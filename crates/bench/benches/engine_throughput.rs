@@ -1,0 +1,41 @@
+//! Criterion bench for the simulation substrate itself: steps/second of
+//! the engine on unison workloads (regression guard for the kernel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::SynchronousDaemon;
+use specstab_kernel::engine::{RunLimits, Simulator};
+use specstab_topology::generators;
+use specstab_unison::clock::CherryClock;
+use specstab_unison::AsyncUnison;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    const STEPS: usize = 1_000;
+    for (rows, cols) in [(4usize, 5usize), (8, 8), (12, 12)] {
+        let g = generators::torus(rows, cols).expect("valid torus");
+        let n = g.n();
+        let clock = CherryClock::new(n as i64, n as i64 + 1).expect("safe parameters");
+        let unison = AsyncUnison::new(clock);
+        // Start inside Γ1 so every step activates every vertex (worst-case
+        // engine load: n guard evaluations + n state updates per step).
+        let init = Configuration::from_fn(n, |_| clock.value(0).expect("0 in domain"));
+        group.throughput(Throughput::Elements((STEPS * n) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("sync_unison_moves", format!("torus-{rows}x{cols}")),
+            &g,
+            |b, g| {
+                let sim = Simulator::new(g, &unison);
+                b.iter(|| {
+                    let mut d = SynchronousDaemon::new();
+                    sim.run(init.clone(), &mut d, RunLimits::with_max_steps(STEPS), &mut [])
+                        .moves
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for Figure 1: cherry clock primitive operations.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use specstab_unison::clock::CherryClock;
+
+fn bench_clock_ops(c: &mut Criterion) {
+    let x = CherryClock::new(5, 12).expect("figure parameters");
+    let values: Vec<_> = x.values().collect();
+    let stab: Vec<_> = values.iter().copied().filter(|&v| x.is_stab(v)).collect();
+
+    c.bench_function("fig1/phi_full_orbit", |b| {
+        b.iter(|| {
+            let mut v = x.reset();
+            for _ in 0..17 {
+                v = x.phi(black_box(v));
+            }
+            v
+        })
+    });
+
+    c.bench_function("fig1/d_k_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for &a in &stab {
+                for &bb in &stab {
+                    acc += x.d_k(black_box(a), black_box(bb));
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("fig1/le_local_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &a in &stab {
+                for &bb in &stab {
+                    acc += usize::from(x.le_local(black_box(a), black_box(bb)));
+                }
+            }
+            acc
+        })
+    });
+
+    // A large clock of SSME scale (n = 100, diam = 50).
+    let big = CherryClock::new(100, (2 * 100 - 1) * 51 + 2).expect("valid parameters");
+    c.bench_function("fig1/phi_large_clock_1000", |b| {
+        b.iter(|| {
+            let mut v = big.reset();
+            for _ in 0..1000 {
+                v = big.phi(black_box(v));
+            }
+            v
+        })
+    });
+}
+
+criterion_group!(benches, bench_clock_ops);
+criterion_main!(benches);

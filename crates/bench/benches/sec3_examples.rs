@@ -1,0 +1,73 @@
+//! Criterion bench for the Section 3 examples: baseline protocol
+//! stabilization runs (synchronous vs central-random schedules).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::engine::{RunLimits, Simulator};
+use specstab_kernel::protocol::random_configuration;
+use specstab_protocols::bfs::MinPlusOneBfs;
+use specstab_protocols::dijkstra::DijkstraRing;
+use specstab_protocols::matching::MaximalMatching;
+use specstab_topology::{generators, VertexId};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec3");
+    let n = 24usize;
+
+    // Dijkstra on a ring.
+    let ring = generators::ring(n).expect("valid ring");
+    let dij = DijkstraRing::new(&ring, n as u64).expect("K = n");
+    let mut rng = StdRng::seed_from_u64(3);
+    let dij_init = random_configuration(&ring, &dij, &mut rng);
+    group.bench_with_input(BenchmarkId::new("dijkstra_sync", n), &n, |b, _| {
+        let sim = Simulator::new(&ring, &dij);
+        b.iter(|| {
+            let mut d = SynchronousDaemon::new();
+            sim.run(dij_init.clone(), &mut d, RunLimits::with_max_steps(100_000), &mut []).steps
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("dijkstra_central", n), &n, |b, _| {
+        let sim = Simulator::new(&ring, &dij);
+        b.iter(|| {
+            let mut d = CentralDaemon::new(CentralStrategy::Random(5));
+            sim.run(dij_init.clone(), &mut d, RunLimits::with_max_steps(1_000_000), &mut []).steps
+        });
+    });
+
+    // min+1 BFS on a grid.
+    let grid = generators::grid(5, 5).expect("valid grid");
+    let bfs = MinPlusOneBfs::new(&grid, VertexId::new(0));
+    let bfs_init = random_configuration(&grid, &bfs, &mut rng);
+    group.bench_function("bfs_sync_grid5x5", |b| {
+        let sim = Simulator::new(&grid, &bfs);
+        b.iter(|| {
+            let mut d = SynchronousDaemon::new();
+            sim.run(bfs_init.clone(), &mut d, RunLimits::with_max_steps(100_000), &mut []).steps
+        });
+    });
+
+    // Maximal matching on a random graph.
+    let er = generators::erdos_renyi_connected(24, 0.2, 11).expect("valid graph");
+    let mm = MaximalMatching::new(&er);
+    let mm_init = random_configuration(&er, &mm, &mut rng);
+    group.bench_function("matching_sync_er24", |b| {
+        let sim = Simulator::new(&er, &mm);
+        b.iter(|| {
+            let mut d = SynchronousDaemon::new();
+            sim.run(mm_init.clone(), &mut d, RunLimits::with_max_steps(100_000), &mut []).steps
+        });
+    });
+    group.bench_function("matching_central_er24", |b| {
+        let sim = Simulator::new(&er, &mm);
+        b.iter(|| {
+            let mut d = CentralDaemon::new(CentralStrategy::Random(5));
+            sim.run(mm_init.clone(), &mut d, RunLimits::with_max_steps(1_000_000), &mut []).steps
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Theorem 3: SSME stabilization under asynchronous
+//! (random distributed / central) schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_bench::support::measure_ssme;
+use specstab_core::ssme::Ssme;
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, RandomDistributedDaemon};
+use specstab_kernel::protocol::random_configuration;
+use specstab_topology::generators;
+
+fn bench_unfair_stabilization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_unfair");
+    group.sample_size(20);
+    for n in [8usize, 12, 16] {
+        let g = generators::ring(n).expect("valid ring");
+        let ssme = Ssme::for_graph(&g).expect("nonempty");
+        let mut rng = StdRng::seed_from_u64(2);
+        let init = random_configuration(&g, &ssme, &mut rng);
+        group.bench_with_input(BenchmarkId::new("dist_rand_p0.3", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = RandomDistributedDaemon::new(0.3, 7);
+                measure_ssme(&g, &ssme, &mut d, init.clone(), 10_000_000).legitimacy_entry
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("central_rand", n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = CentralDaemon::new(CentralStrategy::Random(7));
+                measure_ssme(&g, &ssme, &mut d, init.clone(), 10_000_000).legitimacy_entry
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfair_stabilization);
+criterion_main!(benches);

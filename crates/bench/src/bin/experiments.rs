@@ -1,0 +1,62 @@
+//! CLI entry point: runs the paper-artifact experiments and writes
+//! `bench_results/<id>.txt` and `bench_results/<id>.<table>.csv`.
+
+use specstab_bench::experiments::{self, Experiment, RunConfig};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let ids: Vec<String> = args.iter().filter(|a| !a.starts_with("--")).cloned().collect();
+    let cfg = RunConfig { quick, ..RunConfig::default() };
+
+    let selected: Vec<Box<dyn Experiment>> = if ids.is_empty() {
+        experiments::all()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id '{id}' (valid: e0..e9)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let out_dir = PathBuf::from("bench_results");
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    for exp in selected {
+        let started = Instant::now();
+        println!("=== running {} — {} ===", exp.id(), exp.title());
+        let result = exp.run(&cfg);
+        let elapsed = started.elapsed();
+        let rendered = result.render();
+        println!("{rendered}");
+        println!("({} finished in {:.1?})\n", exp.id(), elapsed);
+        let txt = out_dir.join(format!("{}.txt", exp.id()));
+        if let Err(e) = fs::write(&txt, &rendered) {
+            eprintln!("cannot write {}: {e}", txt.display());
+        }
+        for (i, t) in result.tables.iter().enumerate() {
+            let csv = out_dir.join(format!("{}.{}.csv", exp.id(), i));
+            if let Err(e) = fs::write(&csv, t.to_csv()) {
+                eprintln!("cannot write {}: {e}", csv.display());
+            }
+        }
+        if !result.all_claims_hold {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) reported failed claims");
+        std::process::exit(1);
+    }
+    println!("all experiments completed; results in {}", out_dir.display());
+}

@@ -1,0 +1,195 @@
+//! General-purpose simulation CLI: run a protocol on a topology under a
+//! daemon and report stabilization measurements.
+//!
+//! ```text
+//! simulate --topology ring:12 --protocol ssme --daemon sync --seeds 10
+//! simulate --topology grid:4x5 --protocol ssme --daemon dist:0.4
+//! simulate --topology ring:9 --protocol dijkstra --daemon central-rand
+//! simulate --topology file:my.edges --protocol ssme --daemon sync
+//! ```
+
+use specstab_bench::support::{measure_ssme, measure_with_spec, random_inits};
+use specstab_core::bounds;
+use specstab_core::ssme::Ssme;
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, Daemon, KBoundedDaemon, OldestFirstDaemon,
+    RandomDistributedDaemon, SynchronousDaemon,
+};
+use specstab_protocols::dijkstra::{DijkstraRing, DijkstraSpec};
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_topology::{generators, io, Graph};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate --topology <spec> --protocol <ssme|dijkstra> \
+         [--daemon <sync|central-rr|central-rand|central-oldest|dist:<p>|kbounded:<k>>] \
+         [--seeds <count>] [--max-steps <n>]\n\
+         topology specs: ring:<n>  path:<n>  grid:<r>x<c>  torus:<r>x<c>  star:<n>\n\
+         \x20               complete:<n>  tree:<n>  petersen  er:<n>:<p>  file:<path>"
+    );
+    std::process::exit(2)
+}
+
+fn parse_topology(spec: &str) -> Result<Graph, String> {
+    let err = |e: String| e;
+    if let Some(path) = spec.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return io::parse_edge_list(&text).map_err(|e| e.to_string());
+    }
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or("");
+    let arg = parts.next().unwrap_or("");
+    let arg2 = parts.next().unwrap_or("");
+    let parse_n = |s: &str| s.parse::<usize>().map_err(|e| format!("bad size '{s}': {e}"));
+    match kind {
+        "ring" => generators::ring(parse_n(arg)?).map_err(|e| err(e.to_string())),
+        "path" => generators::path(parse_n(arg)?).map_err(|e| err(e.to_string())),
+        "star" => generators::star(parse_n(arg)?).map_err(|e| err(e.to_string())),
+        "complete" => generators::complete(parse_n(arg)?).map_err(|e| err(e.to_string())),
+        "tree" => generators::random_tree(parse_n(arg)?, 42).map_err(|e| err(e.to_string())),
+        "petersen" => Ok(generators::petersen()),
+        "grid" | "torus" => {
+            let (r, c) = arg
+                .split_once('x')
+                .ok_or_else(|| format!("expected <rows>x<cols>, got '{arg}'"))?;
+            let (r, c) = (parse_n(r)?, parse_n(c)?);
+            if kind == "grid" {
+                generators::grid(r, c).map_err(|e| err(e.to_string()))
+            } else {
+                generators::torus(r, c).map_err(|e| err(e.to_string()))
+            }
+        }
+        "er" => {
+            let n = parse_n(arg)?;
+            let p = arg2.parse::<f64>().map_err(|e| format!("bad probability: {e}"))?;
+            generators::erdos_renyi_connected(n, p, 42).map_err(|e| err(e.to_string()))
+        }
+        other => Err(format!("unknown topology kind '{other}'")),
+    }
+}
+
+fn parse_daemon<S: 'static>(spec: &str, seed: u64) -> Result<Box<dyn Daemon<S>>, String> {
+    if let Some(p) = spec.strip_prefix("dist:") {
+        let p = p.parse::<f64>().map_err(|e| format!("bad probability: {e}"))?;
+        return Ok(Box::new(RandomDistributedDaemon::new(p, seed)));
+    }
+    if let Some(k) = spec.strip_prefix("kbounded:") {
+        let k = k.parse::<usize>().map_err(|e| format!("bad bound: {e}"))?;
+        return Ok(Box::new(KBoundedDaemon::new(k, 0.4, seed)));
+    }
+    match spec {
+        "sync" => Ok(Box::new(SynchronousDaemon::new())),
+        "central-rr" => Ok(Box::new(CentralDaemon::new(CentralStrategy::RoundRobin))),
+        "central-rand" => Ok(Box::new(CentralDaemon::new(CentralStrategy::Random(seed)))),
+        "central-oldest" => Ok(Box::new(OldestFirstDaemon::new())),
+        other => Err(format!("unknown daemon '{other}'")),
+    }
+}
+
+struct Args {
+    topology: String,
+    protocol: String,
+    daemon: String,
+    seeds: usize,
+    max_steps: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topology: String::new(),
+        protocol: String::new(),
+        daemon: "sync".into(),
+        seeds: 5,
+        max_steps: 5_000_000,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = argv.get(i + 1).cloned();
+        match (key, val) {
+            ("--topology", Some(v)) => args.topology = v,
+            ("--protocol", Some(v)) => args.protocol = v,
+            ("--daemon", Some(v)) => args.daemon = v,
+            ("--seeds", Some(v)) => args.seeds = v.parse().unwrap_or_else(|_| usage()),
+            ("--max-steps", Some(v)) => args.max_steps = v.parse().unwrap_or_else(|_| usage()),
+            ("--help", _) => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if args.topology.is_empty() || args.protocol.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let graph = parse_topology(&args.topology).unwrap_or_else(|e| {
+        eprintln!("topology error: {e}");
+        std::process::exit(2);
+    });
+    if !graph.is_connected() {
+        eprintln!("topology error: graph must be connected");
+        std::process::exit(2);
+    }
+    let dm = DistanceMatrix::new(&graph);
+    println!("graph: {graph} (diam = {})", dm.diameter());
+
+    match args.protocol.as_str() {
+        "ssme" => {
+            let ssme = Ssme::for_graph(&graph).expect("nonempty graph");
+            println!("protocol: {}", specstab_kernel::Protocol::name(&ssme));
+            println!(
+                "theorem 2 bound: ceil(diam/2) = {}",
+                bounds::sync_stabilization_bound(dm.diameter())
+            );
+            let inits = random_inits(&graph, &ssme, args.seeds, 0xC0FFEE);
+            let mut worst = 0usize;
+            let mut worst_entry = 0usize;
+            for (i, init) in inits.into_iter().enumerate() {
+                let mut daemon = parse_daemon(&args.daemon, i as u64).unwrap_or_else(|e| {
+                    eprintln!("daemon error: {e}");
+                    std::process::exit(2);
+                });
+                let r = measure_ssme(&graph, &ssme, daemon.as_mut(), init, args.max_steps);
+                println!(
+                    "  run {i}: stab(safety) = {:>4} steps, Γ1 entry = {:>6}, converged = {}",
+                    r.stabilization_steps, r.legitimacy_entry, r.ended_legitimate
+                );
+                worst = worst.max(r.stabilization_steps);
+                worst_entry = worst_entry.max(r.legitimacy_entry);
+            }
+            println!("worst: stab(safety) = {worst}, Γ1 entry = {worst_entry}");
+        }
+        "dijkstra" => {
+            let p = DijkstraRing::new(&graph, graph.n() as u64).unwrap_or_else(|e| {
+                eprintln!("protocol error: {e}");
+                std::process::exit(2);
+            });
+            let spec = DijkstraSpec::new(p.clone());
+            println!("protocol: {}", specstab_kernel::Protocol::name(&p));
+            let inits = random_inits(&graph, &p, args.seeds, 0xC0FFEE);
+            let mut worst = 0usize;
+            for (i, init) in inits.into_iter().enumerate() {
+                let mut daemon = parse_daemon(&args.daemon, i as u64).unwrap_or_else(|e| {
+                    eprintln!("daemon error: {e}");
+                    std::process::exit(2);
+                });
+                let r =
+                    measure_with_spec(&graph, &p, &spec, daemon.as_mut(), init, args.max_steps);
+                println!(
+                    "  run {i}: legitimacy entry = {:>6}, converged = {}",
+                    r.legitimacy_entry, r.ended_legitimate
+                );
+                worst = worst.max(r.legitimacy_entry);
+            }
+            println!("worst legitimacy entry: {worst}");
+        }
+        other => {
+            eprintln!("unknown protocol '{other}' (ssme | dijkstra)");
+            std::process::exit(2);
+        }
+    }
+}

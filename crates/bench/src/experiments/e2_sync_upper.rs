@@ -1,0 +1,87 @@
+//! E2 — Theorem 2: `conv_time(SSME, sd) ≤ ⌈diam(g)/2⌉`.
+
+use super::{Experiment, ExperimentResult, RunConfig};
+use crate::support::{measure_ssme, random_inits};
+use crate::table::Table;
+use crate::zoo;
+use specstab_core::bounds;
+use specstab_core::lower_bound::{theorem4_witness, verify_witness};
+use specstab_core::ssme::Ssme;
+use specstab_kernel::daemon::SynchronousDaemon;
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_unison::analysis;
+
+/// Theorem 2 experiment.
+pub struct E2;
+
+impl Experiment for E2 {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+    fn title(&self) -> &'static str {
+        "synchronous stabilization of SSME vs the ⌈diam/2⌉ bound"
+    }
+    fn paper_artifact(&self) -> &'static str {
+        "Theorem 2 (Section 4.3)"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> ExperimentResult {
+        let scale = if cfg.quick { 1 } else { 3 };
+        let runs = if cfg.quick { 10 } else { 60 };
+        let mut table = Table::new(
+            "SSME under the synchronous daemon: measured worst stabilization vs ⌈diam/2⌉",
+            &[
+                "graph", "n", "diam", "bound ⌈diam/2⌉", "max over random configs",
+                "witness (adversarial) config", "within bound",
+            ],
+        );
+        let mut all_hold = true;
+        for g in zoo::standard(scale) {
+            let dm = DistanceMatrix::new(&g);
+            let diam = dm.diameter();
+            let bound = bounds::sync_stabilization_bound(diam) as usize;
+            let ssme = Ssme::for_graph(&g).expect("nonempty graph");
+            let horizon = analysis::ssme_sync_gamma1_bound(g.n(), diam) as usize + 16;
+            // Random initial configurations.
+            let mut max_random = 0usize;
+            for init in random_inits(&g, &ssme, runs, cfg.seed) {
+                let mut d = SynchronousDaemon::new();
+                let r = measure_ssme(&g, &ssme, &mut d, init, horizon);
+                max_random = max_random.max(r.stabilization_steps);
+            }
+            // The adversarial (Theorem 4) witness, when the diameter allows.
+            let witness_stab = if diam >= 1 {
+                let w = theorem4_witness(&ssme, &g, &dm).expect("diam >= 1");
+                let outcome = verify_witness(&ssme, &g, &w, horizon);
+                outcome.measured_stabilization
+            } else {
+                0
+            };
+            let within = max_random <= bound && witness_stab <= bound;
+            all_hold &= within;
+            table.push_row(vec![
+                g.name().to_string(),
+                g.n().to_string(),
+                diam.to_string(),
+                bound.to_string(),
+                max_random.to_string(),
+                witness_stab.to_string(),
+                within.to_string(),
+            ]);
+        }
+        ExperimentResult {
+            id: self.id().into(),
+            title: self.title().into(),
+            paper_artifact: self.paper_artifact().into(),
+            tables: vec![table],
+            notes: vec![
+                "claim: no safety violation at or after step ⌈diam/2⌉ in any synchronous \
+                 execution; measured: max over sampled random configurations and the \
+                 constructed adversarial witness both stay within the bound (the witness \
+                 achieves it exactly — see e4)"
+                    .into(),
+            ],
+            all_claims_hold: all_hold,
+        }
+    }
+}

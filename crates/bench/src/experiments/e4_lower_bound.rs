@@ -1,0 +1,83 @@
+//! E4 — Theorem 4: the `⌈diam/2⌉` lower bound, demonstrated by an explicit
+//! adversarial initial configuration (the paper's Definitions 7–8
+//! construction, instantiated for SSME).
+
+use super::{Experiment, ExperimentResult, RunConfig};
+use crate::table::Table;
+use crate::zoo;
+use specstab_core::bounds;
+use specstab_core::lower_bound::{theorem4_witness, verify_witness};
+use specstab_core::ssme::Ssme;
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_unison::analysis;
+
+/// Theorem 4 experiment.
+pub struct E4;
+
+impl Experiment for E4 {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+    fn title(&self) -> &'static str {
+        "tightness: two privileges survive until step ⌈diam/2⌉ − 1"
+    }
+    fn paper_artifact(&self) -> &'static str {
+        "Theorem 4 (Section 5) + Definitions 7–8"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> ExperimentResult {
+        let scale = if cfg.quick { 1 } else { 3 };
+        let mut table = Table::new(
+            "Theorem 4 witnesses: both u and v privileged at t = ⌈diam/2⌉ − 1",
+            &[
+                "graph", "diam", "u", "v", "t", "both privileged at t",
+                "measured stabilization", "bound ⌈diam/2⌉", "tight",
+            ],
+        );
+        let mut all_hold = true;
+        for g in zoo::standard(scale) {
+            let dm = DistanceMatrix::new(&g);
+            let diam = dm.diameter();
+            if diam == 0 {
+                continue;
+            }
+            let ssme = Ssme::for_graph(&g).expect("nonempty graph");
+            let w = theorem4_witness(&ssme, &g, &dm).expect("diam >= 1");
+            let horizon = analysis::ssme_sync_gamma1_bound(g.n(), diam) as usize + 16;
+            let outcome = verify_witness(&ssme, &g, &w, horizon);
+            let bound = bounds::sync_stabilization_bound(diam) as usize;
+            let tight = outcome.both_privileged_at_t && outcome.measured_stabilization == bound;
+            all_hold &= tight;
+            table.push_row(vec![
+                g.name().to_string(),
+                diam.to_string(),
+                w.u.to_string(),
+                w.v.to_string(),
+                w.t.to_string(),
+                outcome.both_privileged_at_t.to_string(),
+                outcome.measured_stabilization.to_string(),
+                bound.to_string(),
+                tight.to_string(),
+            ]);
+        }
+        ExperimentResult {
+            id: self.id().into(),
+            title: self.title().into(),
+            paper_artifact: self.paper_artifact().into(),
+            tables: vec![table],
+            notes: vec![
+                "claim: conv_time(π, sd) ≥ ⌈diam/2⌉ for ANY self-stabilizing mutual \
+                 exclusion protocol; measured: the constructed initial configuration \
+                 keeps two vertices simultaneously privileged at step ⌈diam/2⌉ − 1 on \
+                 every topology, so together with Theorem 2 the synchronous worst case \
+                 of SSME is exactly ⌈diam/2⌉"
+                    .into(),
+                "construction: constant-clock balls of radius t around a peripheral \
+                 pair (u, v), values privilege − t, filler −1; border reset waves reach \
+                 the centers only after they tick t times"
+                    .into(),
+            ],
+            all_claims_hold: all_hold,
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! E8 — the speculation story: SSME vs Dijkstra on rings, and the
+//! Definition 4 verdict.
+//!
+//! SSME is `sd`-speculatively stabilizing with synchronous stabilization
+//! `⌈diam/2⌉`; on a ring `diam = ⌊n/2⌋`, so SSME stabilizes in ≈ `n/4`
+//! synchronous steps where Dijkstra needs `2n − 3` — the paper's headline
+//! improvement, plus generality to arbitrary topologies.
+
+use super::{Experiment, ExperimentResult, RunConfig};
+use crate::support::{measure_with_spec, random_inits};
+use crate::table::{fnum, Table};
+use specstab_core::bounds;
+use specstab_core::lower_bound::{theorem4_witness, verify_witness};
+use specstab_core::spec_me::SpecMe;
+use specstab_kernel::spec::Specification;
+use specstab_core::speculation::{check_definition4, profile};
+use specstab_core::ssme::Ssme;
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, Daemon, DaemonClass, RandomDistributedDaemon,
+    SynchronousDaemon,
+};
+use specstab_protocols::dijkstra::{DijkstraRing, DijkstraSpec};
+use specstab_topology::generators;
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_unison::analysis;
+use specstab_unison::clock::ClockValue;
+
+/// Speculation-profile experiment.
+pub struct E8;
+
+impl Experiment for E8 {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+    fn title(&self) -> &'static str {
+        "speculation profiles: SSME vs Dijkstra on rings"
+    }
+    fn paper_artifact(&self) -> &'static str {
+        "Definition 4 + Sections 1/4 (the speculation story)"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> ExperimentResult {
+        let sizes: Vec<usize> =
+            if cfg.quick { vec![6, 10] } else { vec![6, 10, 16, 24, 32, 48] };
+        let runs = if cfg.quick { 6 } else { 20 };
+        let mut head2head = Table::new(
+            "synchronous worst-case stabilization on rings: SSME vs Dijkstra",
+            &[
+                "n", "diam", "SSME ⌈diam/2⌉ (tight)", "SSME witness measured",
+                "Dijkstra 2n−3 law", "Dijkstra measured max", "speedup (Dijkstra/SSME)",
+            ],
+        );
+        let mut all_hold = true;
+        for &n in &sizes {
+            let g = generators::ring(n).expect("valid ring");
+            let dm = DistanceMatrix::new(&g);
+            let diam = dm.diameter();
+            let ssme = Ssme::for_graph(&g).expect("nonempty graph");
+            let witness = theorem4_witness(&ssme, &g, &dm).expect("diam >= 1");
+            let horizon = analysis::ssme_sync_gamma1_bound(n, diam) as usize + 16;
+            let outcome = verify_witness(&ssme, &g, &witness, horizon);
+            let ssme_bound = bounds::sync_stabilization_bound(diam) as usize;
+            all_hold &= outcome.measured_stabilization == ssme_bound;
+
+            let dij = DijkstraRing::new(&g, n as u64).expect("ring with K = n");
+            let dspec = DijkstraSpec::new(dij.clone());
+            let mut dij_max = 0usize;
+            for init in random_inits(&g, &dij, runs, cfg.seed) {
+                let mut d = SynchronousDaemon::new();
+                let r = measure_with_spec(&g, &dij, &dspec, &mut d, init, 100_000);
+                dij_max = dij_max.max(r.legitimacy_entry);
+            }
+            let dij_law = 2 * n - 3;
+            all_hold &= dij_max <= dij_law;
+            head2head.push_row(vec![
+                n.to_string(),
+                diam.to_string(),
+                ssme_bound.to_string(),
+                outcome.measured_stabilization.to_string(),
+                dij_law.to_string(),
+                dij_max.to_string(),
+                fnum(dij_law as f64 / ssme_bound.max(1) as f64),
+            ]);
+        }
+
+        // Full speculation profile + Definition 4 verdict on one ring.
+        let n = if cfg.quick { 8 } else { 12 };
+        let g = generators::ring(n).expect("valid ring");
+        let dm = DistanceMatrix::new(&g);
+        let ssme = Ssme::for_graph(&g).expect("nonempty graph");
+        let spec = SpecMe::new(ssme.clone());
+        let inits = random_inits(&g, &ssme, runs, cfg.seed ^ 17);
+        let mut daemons: Vec<Box<dyn Daemon<ClockValue>>> = vec![
+            Box::new(SynchronousDaemon::new()),
+            Box::new(RandomDistributedDaemon::new(0.5, cfg.seed)),
+            Box::new(CentralDaemon::new(CentralStrategy::Random(cfg.seed ^ 3))),
+        ];
+        let s = spec.clone();
+        let l = spec;
+        let prof = profile(
+            &g,
+            &ssme,
+            &mut daemons,
+            &inits,
+            &move || {
+                let s = s.clone();
+                Box::new(move |c: &_, g: &_| s.is_safe(c, g))
+            },
+            &move || {
+                let l = l.clone();
+                Box::new(move |c: &_, g: &_| l.is_legitimate(c, g))
+            },
+            2_000_000,
+            3,
+        );
+        let mut prof_t = Table::new(
+            format!("speculation profile of SSME on ring-{n}: conv_time as a function of the daemon"),
+            &["daemon", "class", "runs", "max stab", "mean stab", "converged"],
+        );
+        for e in &prof.entries {
+            prof_t.push_row(vec![
+                e.daemon.clone(),
+                e.class.to_string(),
+                e.runs.to_string(),
+                e.max_stabilization.to_string(),
+                fnum(e.mean_stabilization),
+                format!("{}/{}", e.converged_runs, e.runs),
+            ]);
+        }
+        let verdict = check_definition4(
+            &prof,
+            DaemonClass::unfair_distributed(),
+            DaemonClass::synchronous(),
+            bounds::sync_stabilization_bound(dm.diameter()),
+        );
+        all_hold &= verdict.holds();
+        let mut verdict_t = Table::new(
+            "Definition 4 verdict: SSME is (ud, sd, diam·n³, ⌈diam/2⌉)-speculatively stabilizing",
+            &["check", "result"],
+        );
+        verdict_t.push_row(vec!["sd ≺ ud".into(), verdict.daemons_ordered.to_string()]);
+        verdict_t.push_row(vec![
+            "self-stabilizing under ud (all sampled runs)".into(),
+            verdict.stabilizes_under_strong.to_string(),
+        ]);
+        verdict_t.push_row(vec![
+            format!("sd worst {} ≤ ⌈diam/2⌉ = {}", verdict.weak_measured, verdict.weak_claimed),
+            verdict.weak_within_claimed_bound.to_string(),
+        ]);
+
+        ExperimentResult {
+            id: self.id().into(),
+            title: self.title().into(),
+            paper_artifact: self.paper_artifact().into(),
+            tables: vec![head2head, prof_t, verdict_t],
+            notes: vec![
+                "shape check: on rings SSME's synchronous stabilization is ⌈⌊n/2⌋/2⌉ ≈ n/4 \
+                 vs Dijkstra's 2n−3 — SSME wins at every n, with the speedup factor \
+                 growing to ≈ 8x and the protocol additionally supporting arbitrary \
+                 topologies"
+                    .into(),
+            ],
+            all_claims_hold: all_hold,
+        }
+    }
+}

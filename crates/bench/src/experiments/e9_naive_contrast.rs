@@ -1,0 +1,111 @@
+//! E9 (extension) — speculation done right vs speculation without a net.
+//!
+//! The paper's discipline: optimize for the speculated case *without*
+//! giving up correctness elsewhere. This experiment contrasts the BPV
+//! asynchronous unison (SSME's substrate) with the naive `min+1`
+//! synchronous unison:
+//!
+//! * both stabilize in `O(diam)` synchronous steps — the speculated case
+//!   is equally fast;
+//! * under the central daemon the naive protocol's exact worst case grows
+//!   **linearly with the clock-domain size** (unbounded for real clocks),
+//!   while the BPV unison's worst case is bounded by topology constants
+//!   regardless of how large `K` is.
+
+use super::{Experiment, ExperimentResult, RunConfig};
+use crate::table::Table;
+use specstab_kernel::search::{
+    build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
+};
+use specstab_kernel::spec::Specification;
+use specstab_topology::generators;
+use specstab_unison::clock::CherryClock;
+use specstab_unison::sync_unison::{LockstepSpec, NaiveSyncUnison};
+use specstab_unison::{AsyncUnison, SpecAu};
+
+/// Naive-vs-BPV contrast experiment.
+pub struct E9;
+
+impl Experiment for E9 {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+    fn title(&self) -> &'static str {
+        "extension: naive sync unison vs BPV — why speculation needs a safety net"
+    }
+    fn paper_artifact(&self) -> &'static str {
+        "Section 1 (the speculation trade-off), by contrast"
+    }
+
+    fn run(&self, _cfg: &RunConfig) -> ExperimentResult {
+        let g = generators::path(3).expect("valid path");
+        let mut all_hold = true;
+
+        // Naive min+1: exact central worst case grows with the domain.
+        let mut naive_t = Table::new(
+            "naive min+1 unison on path-3: exact central-daemon worst case vs clock domain",
+            &["clock cap", "exact worst (steps)", "law 3·cap−2"],
+        );
+        for cap in [4u64, 8, 12, 16] {
+            let p = NaiveSyncUnison::new(cap);
+            let spec = LockstepSpec;
+            let all = enumerate_all_configurations(&g, &p, 10_000_000)
+                .expect("domain fits the cap");
+            let cg = build_config_graph(&g, &p, &all, SearchDaemon::Central, 10_000_000)
+                .expect("state space fits");
+            let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g))
+                .expect("capped model converges");
+            let max = u64::from(*worst.iter().max().expect("nonempty"));
+            all_hold &= max == 3 * cap - 2;
+            naive_t.push_row(vec![
+                cap.to_string(),
+                max.to_string(),
+                (3 * cap - 2).to_string(),
+            ]);
+        }
+
+        // BPV unison: exact central worst case is K-independent.
+        let mut bpv_t = Table::new(
+            "BPV asynchronous unison on path-3 (α=1): exact central-daemon worst case vs K",
+            &["K", "exact worst (steps)"],
+        );
+        let mut bpv_worsts = Vec::new();
+        for k in [3i64, 5, 8, 12] {
+            let clock = CherryClock::new(1, k).expect("valid clock");
+            let unison = AsyncUnison::new(clock);
+            let spec = SpecAu::new(clock);
+            let all = enumerate_all_configurations(&g, &unison, 10_000_000)
+                .expect("domain fits the cap");
+            let cg = build_config_graph(&g, &unison, &all, SearchDaemon::Central, 10_000_000)
+                .expect("state space fits");
+            let worst = worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g))
+                .expect("BPV converges for α ≥ hole−2 = 1");
+            let max = *worst.iter().max().expect("nonempty");
+            bpv_worsts.push(max);
+            bpv_t.push_row(vec![k.to_string(), max.to_string()]);
+        }
+        // K-independence: the worst case must not grow with K.
+        let spread = bpv_worsts.iter().max().expect("nonempty")
+            - bpv_worsts.iter().min().expect("nonempty");
+        all_hold &= spread <= 2;
+
+        ExperimentResult {
+            id: self.id().into(),
+            title: self.title().into(),
+            paper_artifact: self.paper_artifact().into(),
+            tables: vec![naive_t, bpv_t],
+            notes: vec![
+                "naive min+1 is as fast as BPV in the speculated synchronous case, but a \
+                 central daemon delays its convergence linearly in the clock domain \
+                 (exact law 3·cap−2 on path-3) — unbounded for real clocks, hence NOT \
+                 self-stabilizing"
+                    .into(),
+                "the BPV unison's exact worst case is independent of K: the reset \
+                 mechanism (the cherry stem) is the safety net that lets SSME speculate \
+                 without sacrificing asynchronous correctness"
+                    .into(),
+            ],
+            all_claims_hold: all_hold,
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the PODC 2013 reproduction.
+//!
+//! Every theorem, figure and complexity claim of the paper maps to one
+//! experiment in [`experiments`] (see DESIGN.md §3 for the index). The
+//! `experiments` binary runs them and writes text + CSV results:
+//!
+//! ```text
+//! cargo run -p specstab-bench --release --bin experiments           # all
+//! cargo run -p specstab-bench --release --bin experiments -- e4     # one
+//! cargo run -p specstab-bench --release --bin experiments -- --quick
+//! ```
+//!
+//! Criterion micro-benches live under `benches/` (one per artifact).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod support;
+pub mod table;
+pub mod zoo;

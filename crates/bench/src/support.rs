@@ -1,0 +1,100 @@
+//! Shared measurement helpers for the experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_core::spec_me::SpecMe;
+use specstab_core::ssme::Ssme;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::Daemon;
+use specstab_kernel::measure::{measure_with_early_stop, StabilizationReport};
+use specstab_kernel::protocol::{random_configuration, Protocol};
+use specstab_kernel::spec::Specification;
+use specstab_topology::Graph;
+use specstab_unison::clock::ClockValue;
+
+/// Measures one SSME run, wiring `specME` safety and `Γ1` legitimacy.
+pub fn measure_ssme(
+    graph: &Graph,
+    ssme: &Ssme,
+    daemon: &mut dyn Daemon<ClockValue>,
+    init: Configuration<ClockValue>,
+    max_steps: usize,
+) -> StabilizationReport {
+    let spec = SpecMe::new(ssme.clone());
+    let s = spec.clone();
+    let l = spec.clone();
+    let st = spec;
+    measure_with_early_stop(
+        graph,
+        ssme,
+        daemon,
+        init,
+        Box::new(move |c, g| s.is_safe(c, g)),
+        Box::new(move |c, g| l.is_legitimate(c, g)),
+        Box::new(move |c, g| st.is_legitimate(c, g)),
+        max_steps,
+        3,
+    )
+}
+
+/// Measures a run of any protocol against a cloneable specification.
+pub fn measure_with_spec<P, Sp>(
+    graph: &Graph,
+    protocol: &P,
+    spec: &Sp,
+    daemon: &mut dyn Daemon<P::State>,
+    init: Configuration<P::State>,
+    max_steps: usize,
+) -> StabilizationReport
+where
+    P: Protocol,
+    Sp: Specification<P::State> + Clone + 'static,
+{
+    let s = spec.clone();
+    let l = spec.clone();
+    let st = spec.clone();
+    measure_with_early_stop(
+        graph,
+        protocol,
+        daemon,
+        init,
+        Box::new(move |c, g| s.is_safe(c, g)),
+        Box::new(move |c, g| l.is_legitimate(c, g)),
+        Box::new(move |c, g| st.is_legitimate(c, g)),
+        max_steps,
+        3,
+    )
+}
+
+/// Seeded arbitrary initial configurations for a protocol.
+pub fn random_inits<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    count: usize,
+    base_seed: u64,
+) -> Vec<Configuration<P::State>> {
+    (0..count)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(i as u64));
+            random_configuration(graph, protocol, &mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specstab_kernel::daemon::SynchronousDaemon;
+    use specstab_topology::generators;
+
+    #[test]
+    fn measure_ssme_converges() {
+        let g = generators::ring(5).unwrap();
+        let ssme = Ssme::for_graph(&g).unwrap();
+        let inits = random_inits(&g, &ssme, 2, 7);
+        assert_eq!(inits.len(), 2);
+        let mut d = SynchronousDaemon::new();
+        let r = measure_ssme(&g, &ssme, &mut d, inits[0].clone(), 100_000);
+        assert!(r.ended_legitimate);
+    }
+}

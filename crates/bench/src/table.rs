@@ -1,0 +1,153 @@
+//! Result tables: aligned text rendering and CSV export.
+
+use std::fmt::Write as _;
+
+/// A rectangular result table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows; each must have `columns.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self::from_columns(title, columns.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    /// Creates an empty table from owned column headers.
+    #[must_use]
+    pub fn from_columns(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self { title: title.into(), columns, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned monospace text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, " {c:<w$} |");
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&self.columns, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (title omitted; RFC-4180-style quoting for
+    /// cells containing commas or quotes).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn quote(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+#[must_use]
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["graph", "steps"]);
+        t.push_row(vec!["ring-8".into(), "12".into()]);
+        t.push_row(vec!["grid-3x4".into(), "7".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let s = sample().render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| graph    | steps |"));
+        assert!(s.contains("| ring-8   | 12    |"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = sample().to_csv();
+        assert_eq!(s.lines().next().unwrap(), "graph,steps");
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("q", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        t.push_row(vec!["he said \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1234.6), "1235");
+        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(0.034), "0.0340");
+    }
+}

@@ -1,0 +1,27 @@
+//! The whole experiment registry in quick mode: every paper claim must
+//! hold, and every experiment must produce well-formed tables.
+
+use specstab_bench::experiments::{all, RunConfig};
+
+#[test]
+fn every_experiment_passes_in_quick_mode() {
+    let cfg = RunConfig { quick: true, seed: 0xBEEF };
+    for exp in all() {
+        let result = exp.run(&cfg);
+        assert!(
+            result.all_claims_hold,
+            "{}: claims failed\n{}",
+            exp.id(),
+            result.render()
+        );
+        assert!(!result.tables.is_empty(), "{}: no tables", exp.id());
+        for t in &result.tables {
+            assert!(!t.rows.is_empty(), "{}: empty table '{}'", exp.id(), t.title);
+            // Every row renders and exports.
+            let _ = t.render();
+            let _ = t.to_csv();
+        }
+        assert!(!result.notes.is_empty(), "{}: no notes", exp.id());
+        assert_eq!(result.id, exp.id());
+    }
+}

@@ -1,0 +1,278 @@
+//! Speculative stabilization (Definitions 3–4), as a measurable artifact.
+//!
+//! Definition 4: a protocol `π` is `(d, d', f, f')`-speculatively
+//! stabilizing for a specification when (i) `π` self-stabilizes under the
+//! stronger daemon `d`, and (ii) its stabilization times satisfy
+//! `conv_time(π, d) ∈ Θ(f)` and `conv_time(π, d') ∈ Θ(f')` with `f' < f`
+//! for the weaker daemon `d' ≺ d`. The weak daemon captures the executions
+//! speculated to be frequent (for SSME: synchronous ones).
+//!
+//! This module measures *speculation profiles* — the stabilization time as
+//! a function of the daemon, the paper's central conceptual move — and
+//! checks Definition 4's requirements against empirical data and claimed
+//! bound functions.
+
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::{Daemon, DaemonClass};
+use specstab_kernel::measure::{measure_with_early_stop, StabilizationReport};
+use specstab_kernel::observer::ConfigPredicate;
+use specstab_kernel::protocol::Protocol;
+use specstab_topology::Graph;
+use std::fmt;
+
+/// Measured stabilization behavior under one daemon.
+#[derive(Clone, Debug)]
+pub struct ProfileEntry {
+    /// Daemon name.
+    pub daemon: String,
+    /// Daemon taxonomy class.
+    pub class: DaemonClass,
+    /// Number of runs (initial configurations) measured.
+    pub runs: usize,
+    /// Maximum measured stabilization time (lower bound on `conv_time`).
+    pub max_stabilization: usize,
+    /// Mean measured stabilization time.
+    pub mean_stabilization: f64,
+    /// Number of runs that ended inside the legitimate region.
+    pub converged_runs: usize,
+}
+
+/// The stabilization time of one protocol *as a function of the daemon* —
+/// the paper's reframing of the complexity measure.
+#[derive(Clone, Debug)]
+pub struct SpeculationProfile {
+    /// Protocol name.
+    pub protocol: String,
+    /// Graph description.
+    pub graph: String,
+    /// One entry per measured daemon.
+    pub entries: Vec<ProfileEntry>,
+}
+
+impl SpeculationProfile {
+    /// The entry for a daemon class, if measured.
+    #[must_use]
+    pub fn entry_for(&self, class: DaemonClass) -> Option<&ProfileEntry> {
+        self.entries.iter().find(|e| e.class == class)
+    }
+}
+
+impl fmt::Display for SpeculationProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "speculation profile of {} on {}:", self.protocol, self.graph)?;
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  {:<28} [{}] max={} mean={:.2} ({}/{} converged)",
+                e.daemon, e.class, e.max_stabilization, e.mean_stabilization, e.converged_runs,
+                e.runs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Verdict of checking Definition 4 on measured data.
+#[derive(Clone, Debug)]
+pub struct SpeculationVerdict {
+    /// The weaker daemon is strictly below the stronger one (`d' ≺ d`).
+    pub daemons_ordered: bool,
+    /// All runs under the stronger daemon converged (self-stabilization
+    /// evidence, condition (i)).
+    pub stabilizes_under_strong: bool,
+    /// Measured stabilization under the weak daemon did not exceed the
+    /// claimed bound `f'`.
+    pub weak_within_claimed_bound: bool,
+    /// Measured max under the weak daemon, for reporting.
+    pub weak_measured: usize,
+    /// The claimed bound `f'(g)` evaluated on this graph.
+    pub weak_claimed: u64,
+}
+
+impl SpeculationVerdict {
+    /// Whether all Definition 4 checks passed.
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.daemons_ordered && self.stabilizes_under_strong && self.weak_within_claimed_bound
+    }
+}
+
+/// Measures a protocol's stabilization time under each daemon, from the
+/// same set of initial configurations.
+///
+/// `safety`/`legitimacy` are factories so each run gets fresh predicates.
+#[allow(clippy::too_many_arguments)]
+pub fn profile<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemons: &mut [Box<dyn Daemon<P::State>>],
+    inits: &[Configuration<P::State>],
+    safety: &dyn Fn() -> ConfigPredicate<P::State>,
+    legitimacy: &dyn Fn() -> ConfigPredicate<P::State>,
+    max_steps: usize,
+    stop_margin: usize,
+) -> SpeculationProfile {
+    let mut entries = Vec::with_capacity(daemons.len());
+    for daemon in daemons.iter_mut() {
+        let mut reports: Vec<StabilizationReport> = Vec::with_capacity(inits.len());
+        for init in inits {
+            reports.push(measure_with_early_stop(
+                graph,
+                protocol,
+                daemon.as_mut(),
+                init.clone(),
+                safety(),
+                legitimacy(),
+                legitimacy(),
+                max_steps,
+                stop_margin,
+            ));
+        }
+        let max = reports.iter().map(|r| r.stabilization_steps).max().unwrap_or(0);
+        let mean = if reports.is_empty() {
+            0.0
+        } else {
+            reports.iter().map(|r| r.stabilization_steps as f64).sum::<f64>()
+                / reports.len() as f64
+        };
+        let converged = reports.iter().filter(|r| r.ended_legitimate).count();
+        entries.push(ProfileEntry {
+            daemon: daemon.name(),
+            class: daemon.class(),
+            runs: reports.len(),
+            max_stabilization: max,
+            mean_stabilization: mean,
+            converged_runs: converged,
+        });
+    }
+    SpeculationProfile {
+        protocol: protocol.name(),
+        graph: format!("{graph}"),
+        entries,
+    }
+}
+
+/// Checks Definition 4 against a measured profile:
+///
+/// * `weak ≺ strong` in the daemon partial order;
+/// * every run under the strong daemon converged (condition (i) evidence);
+/// * the weak daemon's measured worst case respects the claimed bound
+///   `f'(g)` (condition (ii), upper side — the lower/Θ side is established
+///   by the matching lower-bound experiment E4).
+#[must_use]
+pub fn check_definition4(
+    prof: &SpeculationProfile,
+    strong: DaemonClass,
+    weak: DaemonClass,
+    weak_bound: u64,
+) -> SpeculationVerdict {
+    let daemons_ordered = weak < strong;
+    let strong_entry = prof.entry_for(strong);
+    let weak_entry = prof.entry_for(weak);
+    let stabilizes_under_strong =
+        strong_entry.is_some_and(|e| e.converged_runs == e.runs && e.runs > 0);
+    let weak_measured = weak_entry.map_or(usize::MAX, |e| e.max_stabilization);
+    let weak_within_claimed_bound = weak_entry
+        .is_some_and(|e| u64::try_from(e.max_stabilization).unwrap_or(u64::MAX) <= weak_bound);
+    SpeculationVerdict {
+        daemons_ordered,
+        stabilizes_under_strong,
+        weak_within_claimed_bound,
+        weak_measured,
+        weak_claimed: weak_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::spec_me::SpecMe;
+    use crate::ssme::Ssme;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use specstab_kernel::daemon::{
+        CentralDaemon, CentralStrategy, RandomDistributedDaemon, SynchronousDaemon,
+    };
+    use specstab_kernel::protocol::random_configuration;
+    use specstab_kernel::spec::Specification;
+    use specstab_topology::generators;
+    use specstab_topology::metrics::DistanceMatrix;
+    use specstab_unison::analysis;
+
+    #[test]
+    fn ssme_profile_on_small_ring_satisfies_definition4() {
+        let g = generators::ring(6).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        let ssme = Ssme::for_graph(&g).unwrap();
+        let spec = SpecMe::new(ssme.clone());
+        let inits: Vec<_> = (0..6u64)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                random_configuration(&g, &ssme, &mut rng)
+            })
+            .collect();
+        let mut daemons: Vec<Box<dyn Daemon<_>>> = vec![
+            Box::new(SynchronousDaemon::new()),
+            Box::new(RandomDistributedDaemon::new(0.5, 7)),
+            Box::new(CentralDaemon::new(CentralStrategy::Random(7))),
+        ];
+        let spec_s = spec.clone();
+        let spec_l = spec.clone();
+        let horizon = bounds::unfair_stabilization_bound(g.n(), dm.diameter());
+        let prof = profile(
+            &g,
+            &ssme,
+            &mut daemons,
+            &inits,
+            &move || {
+                let s = spec_s.clone();
+                Box::new(move |c: &Configuration<_>, g: &Graph| s.is_safe(c, g))
+            },
+            &move || {
+                let l = spec_l.clone();
+                Box::new(move |c: &Configuration<_>, g: &Graph| l.is_legitimate(c, g))
+            },
+            usize::try_from(horizon).unwrap_or(usize::MAX).min(2_000_000),
+            5,
+        );
+        assert_eq!(prof.entries.len(), 3);
+        // Theorem 2 check under sd.
+        let sd = prof.entry_for(DaemonClass::synchronous()).unwrap();
+        assert!(sd.max_stabilization as u64 <= bounds::sync_stabilization_bound(dm.diameter()));
+        assert_eq!(sd.converged_runs, sd.runs);
+        // Definition 4 verdict for (ud, sd).
+        let verdict = check_definition4(
+            &prof,
+            DaemonClass::unfair_distributed(),
+            DaemonClass::synchronous(),
+            bounds::sync_stabilization_bound(dm.diameter()),
+        );
+        assert!(verdict.daemons_ordered);
+        assert!(verdict.stabilizes_under_strong);
+        assert!(verdict.weak_within_claimed_bound);
+        assert!(verdict.holds());
+        // The display renders one line per daemon.
+        let text = prof.to_string();
+        assert!(text.contains("synchronous"));
+        assert!(text.contains("SSME"));
+        let _ = analysis::ssme_sync_gamma1_bound(g.n(), dm.diameter());
+    }
+
+    #[test]
+    fn verdict_fails_for_unordered_daemons() {
+        let prof = SpeculationProfile {
+            protocol: "x".into(),
+            graph: "g".into(),
+            entries: vec![],
+        };
+        let v = check_definition4(
+            &prof,
+            DaemonClass::synchronous(),
+            DaemonClass::central_unfair(), // incomparable with sd
+            10,
+        );
+        assert!(!v.daemons_ordered);
+        assert!(!v.holds());
+    }
+}

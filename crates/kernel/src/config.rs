@@ -1,0 +1,158 @@
+//! Configurations: assignments of a state to every vertex.
+
+use specstab_topology::VertexId;
+use std::fmt;
+
+/// An assignment of values to all variables of the graph — one state per
+/// vertex (the paper's `γ ∈ Γ`).
+///
+/// `Configuration` is deliberately dumb data: protocols interpret the
+/// states, the engine moves them around, and specifications inspect them.
+///
+/// ```
+/// use specstab_kernel::Configuration;
+/// use specstab_topology::VertexId;
+///
+/// let mut c = Configuration::from_fn(3, |v| v.index() as i64);
+/// assert_eq!(*c.get(VertexId::new(2)), 2);
+/// c.set(VertexId::new(2), 7);
+/// assert_eq!(c.states(), &[0, 1, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Configuration<S> {
+    states: Vec<S>,
+}
+
+impl<S> Configuration<S> {
+    /// Wraps a vector of per-vertex states (index = vertex index).
+    #[must_use]
+    pub fn new(states: Vec<S>) -> Self {
+        Self { states }
+    }
+
+    /// Builds a configuration by evaluating `f` on every vertex of a graph
+    /// with `n` vertices.
+    #[must_use]
+    pub fn from_fn(n: usize, mut f: impl FnMut(VertexId) -> S) -> Self {
+        Self { states: (0..n).map(|i| f(VertexId::new(i))).collect() }
+    }
+
+    /// Number of vertices covered by this configuration.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the configuration covers zero vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State of vertex `v` (the paper's `γ(v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn get(&self, v: VertexId) -> &S {
+        &self.states[v.index()]
+    }
+
+    /// Replaces the state of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set(&mut self, v: VertexId, state: S) {
+        self.states[v.index()] = state;
+    }
+
+    /// All states, indexed by vertex index.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Iterates over `(vertex, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &S)> {
+        self.states.iter().enumerate().map(|(i, s)| (VertexId::new(i), s))
+    }
+
+    /// Maps every state through `f`, preserving vertex association.
+    #[must_use]
+    pub fn map<T>(&self, mut f: impl FnMut(VertexId, &S) -> T) -> Configuration<T> {
+        Configuration { states: self.iter().map(|(v, s)| f(v, s)).collect() }
+    }
+}
+
+impl<S: fmt::Display> fmt::Display for Configuration<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<S> From<Vec<S>> for Configuration<S> {
+    fn from(states: Vec<S>) -> Self {
+        Self::new(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_indexes_vertices() {
+        let c = Configuration::from_fn(4, |v| v.index() * 10);
+        assert_eq!(c.states(), &[0, 10, 20, 30]);
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut c = Configuration::new(vec![1, 2, 3]);
+        c.set(VertexId::new(1), 9);
+        assert_eq!(*c.get(VertexId::new(1)), 9);
+        assert_eq!(*c.get(VertexId::new(0)), 1);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let c = Configuration::new(vec!['a', 'b']);
+        let pairs: Vec<_> = c.iter().collect();
+        assert_eq!(pairs, vec![(VertexId::new(0), &'a'), (VertexId::new(1), &'b')]);
+    }
+
+    #[test]
+    fn map_preserves_length() {
+        let c = Configuration::new(vec![1, 2, 3]);
+        let d = c.map(|v, s| s + v.index());
+        assert_eq!(d.states(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn display_renders_list() {
+        let c = Configuration::new(vec![1, 2]);
+        assert_eq!(c.to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn equality_and_hash_are_structural() {
+        use std::collections::HashSet;
+        let a = Configuration::new(vec![1, 2]);
+        let b = Configuration::new(vec![1, 2]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,813 @@
+//! Daemons (adversaries/schedulers) and their taxonomy.
+//!
+//! Definition 1 of the paper abstracts the system's asynchrony as a
+//! *daemon*: a function restricting which executions of a protocol are
+//! possible. Operationally (and equivalently for the protocols studied
+//! here), a daemon picks, in every configuration, a nonempty subset of the
+//! enabled vertices to activate.
+//!
+//! Definition 2 orders daemons by the executions they allow: `d ⪯ d'` when
+//! every execution allowed by `d` is allowed by `d'` (`d'` is *more
+//! powerful*). This module mirrors the classical taxonomy along three
+//! axes — centrality, synchrony and fairness — and implements the induced
+//! partial order on [`DaemonClass`]: the *unfair distributed* daemon `ud`
+//! is the maximum, the *synchronous* daemon `sd` and the *central* daemon
+//! `cd` are strictly below it, and `sd`/`cd` are incomparable.
+
+use crate::config::Configuration;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use specstab_topology::{Graph, VertexId};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// How many vertices a daemon may activate per step.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Centrality {
+    /// Exactly one enabled vertex per step.
+    Central,
+    /// Any nonempty subset of enabled vertices.
+    Distributed,
+}
+
+/// Whether the daemon is forced to activate every enabled vertex.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Synchrony {
+    /// Always activates *all* enabled vertices.
+    Synchronous,
+    /// May activate any allowed subset.
+    Asynchronous,
+}
+
+/// Fairness guarantees on which executions are allowed.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub enum Fairness {
+    /// No fairness guarantee at all (the adversary may starve vertices as
+    /// long as some enabled vertex is activated).
+    Unfair,
+    /// A continuously enabled vertex is eventually activated.
+    WeaklyFair,
+}
+
+/// Taxonomy coordinates of a daemon, inducing the Def. 2 partial order.
+///
+/// ```
+/// use specstab_kernel::daemon::DaemonClass;
+///
+/// let ud = DaemonClass::unfair_distributed();
+/// let sd = DaemonClass::synchronous();
+/// let cd = DaemonClass::central_unfair();
+/// assert!(sd < ud);
+/// assert!(cd < ud);
+/// assert_eq!(sd.partial_cmp(&cd), None); // incomparable
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
+pub struct DaemonClass {
+    /// Centrality axis.
+    pub centrality: Centrality,
+    /// Synchrony axis.
+    pub synchrony: Synchrony,
+    /// Fairness axis.
+    pub fairness: Fairness,
+}
+
+impl DaemonClass {
+    /// `ud`: the unfair distributed daemon — the most powerful adversary.
+    #[must_use]
+    pub fn unfair_distributed() -> Self {
+        Self {
+            centrality: Centrality::Distributed,
+            synchrony: Synchrony::Asynchronous,
+            fairness: Fairness::Unfair,
+        }
+    }
+
+    /// `sd`: the synchronous daemon (activates all enabled vertices).
+    #[must_use]
+    pub fn synchronous() -> Self {
+        Self {
+            centrality: Centrality::Distributed,
+            synchrony: Synchrony::Synchronous,
+            fairness: Fairness::WeaklyFair, // vacuously fair: everyone moves
+        }
+    }
+
+    /// `cd`: the central (unfair) daemon.
+    #[must_use]
+    pub fn central_unfair() -> Self {
+        Self {
+            centrality: Centrality::Central,
+            synchrony: Synchrony::Asynchronous,
+            fairness: Fairness::Unfair,
+        }
+    }
+
+    /// A weakly-fair central daemon (e.g. round-robin).
+    #[must_use]
+    pub fn central_weakly_fair() -> Self {
+        Self {
+            centrality: Centrality::Central,
+            synchrony: Synchrony::Asynchronous,
+            fairness: Fairness::WeaklyFair,
+        }
+    }
+}
+
+/// Per-axis "allows fewer executions" relation.
+fn centrality_le(a: Centrality, b: Centrality) -> bool {
+    a == b || (a == Centrality::Central && b == Centrality::Distributed)
+}
+fn synchrony_le(a: Synchrony, b: Synchrony) -> bool {
+    a == b || (a == Synchrony::Synchronous && b == Synchrony::Asynchronous)
+}
+fn fairness_le(a: Fairness, b: Fairness) -> bool {
+    a == b || (a == Fairness::WeaklyFair && b == Fairness::Unfair)
+}
+
+impl PartialOrd for DaemonClass {
+    /// `a <= b` iff every execution allowed by class `a` is allowed by
+    /// class `b` (`b` is *more powerful*, Def. 2).
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        let le = centrality_le(self.centrality, other.centrality)
+            && synchrony_le(self.synchrony, other.synchrony)
+            && fairness_le(self.fairness, other.fairness);
+        let ge = centrality_le(other.centrality, self.centrality)
+            && synchrony_le(other.synchrony, self.synchrony)
+            && fairness_le(other.fairness, self.fairness);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for DaemonClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self.centrality {
+            Centrality::Central => "central",
+            Centrality::Distributed => "distributed",
+        };
+        let s = match self.synchrony {
+            Synchrony::Synchronous => "synchronous",
+            Synchrony::Asynchronous => "asynchronous",
+        };
+        let fr = match self.fairness {
+            Fairness::Unfair => "unfair",
+            Fairness::WeaklyFair => "weakly-fair",
+        };
+        write!(f, "{c}/{s}/{fr}")
+    }
+}
+
+/// Everything a daemon may inspect when choosing an activation set.
+pub struct SelectionContext<'a, S> {
+    /// The enabled vertices of the current configuration, sorted.
+    pub enabled: &'a [VertexId],
+    /// The current configuration.
+    pub config: &'a Configuration<S>,
+    /// The communication graph.
+    pub graph: &'a Graph,
+    /// Zero-based index of the action about to be taken.
+    pub step: usize,
+    /// One-step lookahead: the configuration that would result from
+    /// activating the given subset of enabled vertices. Adversarial daemons
+    /// use this to pick the most damaging action.
+    pub preview: &'a dyn Fn(&[VertexId]) -> Configuration<S>,
+}
+
+/// A daemon: picks a nonempty subset of the enabled vertices each step.
+///
+/// The engine guarantees `ctx.enabled` is nonempty and validates the
+/// returned set (nonempty, subset of enabled, deduplicated).
+pub trait Daemon<S> {
+    /// Name for reports (e.g. `"synchronous"`).
+    fn name(&self) -> String;
+
+    /// Taxonomy coordinates of this daemon.
+    fn class(&self) -> DaemonClass;
+
+    /// Chooses the activation set for this step.
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId>;
+
+    /// Called once when an execution starts, so stateful daemons
+    /// (round-robin cursors, RNGs with per-run reseeding) can reset.
+    fn reset(&mut self) {}
+}
+
+/// The synchronous daemon `sd`: activates every enabled vertex.
+#[derive(Clone, Debug, Default)]
+pub struct SynchronousDaemon;
+
+impl SynchronousDaemon {
+    /// Creates the synchronous daemon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl<S> Daemon<S> for SynchronousDaemon {
+    fn name(&self) -> String {
+        "synchronous".into()
+    }
+    fn class(&self) -> DaemonClass {
+        DaemonClass::synchronous()
+    }
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        ctx.enabled.to_vec()
+    }
+}
+
+/// Selection strategies for [`CentralDaemon`].
+#[derive(Clone, Debug)]
+pub enum CentralStrategy {
+    /// Cycles through vertex indices, activating the next enabled one —
+    /// weakly fair.
+    RoundRobin,
+    /// Uniform random among enabled (seeded) — fair with probability 1,
+    /// classified unfair (no hard guarantee).
+    Random(u64),
+    /// Always the enabled vertex with the smallest index — unfair.
+    MinId,
+    /// Always the enabled vertex with the largest index — unfair.
+    MaxId,
+}
+
+/// The central daemon `cd`: exactly one enabled vertex per step.
+#[derive(Clone, Debug)]
+pub struct CentralDaemon {
+    strategy: CentralStrategy,
+    cursor: usize,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl CentralDaemon {
+    /// Creates a central daemon with the given strategy.
+    #[must_use]
+    pub fn new(strategy: CentralStrategy) -> Self {
+        let seed = match strategy {
+            CentralStrategy::Random(s) => s,
+            _ => 0,
+        };
+        Self { strategy, cursor: 0, rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl<S> Daemon<S> for CentralDaemon {
+    fn name(&self) -> String {
+        match self.strategy {
+            CentralStrategy::RoundRobin => "central-rr".into(),
+            CentralStrategy::Random(s) => format!("central-rand-s{s}"),
+            CentralStrategy::MinId => "central-min".into(),
+            CentralStrategy::MaxId => "central-max".into(),
+        }
+    }
+
+    fn class(&self) -> DaemonClass {
+        match self.strategy {
+            CentralStrategy::RoundRobin => DaemonClass::central_weakly_fair(),
+            _ => DaemonClass::central_unfair(),
+        }
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        let pick = match &self.strategy {
+            CentralStrategy::MinId => ctx.enabled[0],
+            CentralStrategy::MaxId => *ctx.enabled.last().expect("enabled nonempty"),
+            CentralStrategy::Random(_) => {
+                *ctx.enabled.choose(&mut self.rng).expect("enabled nonempty")
+            }
+            CentralStrategy::RoundRobin => {
+                let n = ctx.graph.n();
+                // Scan from the cursor for the next enabled vertex.
+                let mut pick = ctx.enabled[0];
+                for off in 0..n {
+                    let v = VertexId::new((self.cursor + off) % n);
+                    if ctx.enabled.binary_search(&v).is_ok() {
+                        pick = v;
+                        break;
+                    }
+                }
+                self.cursor = (pick.index() + 1) % n;
+                pick
+            }
+        };
+        vec![pick]
+    }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Random distributed daemon: includes each enabled vertex independently
+/// with probability `p` (falling back to one uniform pick if the sample is
+/// empty). With `p = 1` this degenerates to the synchronous daemon; small
+/// `p` approximates a central one.
+#[derive(Clone, Debug)]
+pub struct RandomDistributedDaemon {
+    p: f64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomDistributedDaemon {
+    /// Creates the daemon with inclusion probability `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "inclusion probability must be in [0,1]");
+        Self { p, rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl<S> Daemon<S> for RandomDistributedDaemon {
+    fn name(&self) -> String {
+        format!("dist-rand-p{:.2}-s{}", self.p, self.seed)
+    }
+    fn class(&self) -> DaemonClass {
+        DaemonClass::unfair_distributed()
+    }
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        let mut set: Vec<VertexId> =
+            ctx.enabled.iter().copied().filter(|_| self.rng.gen_bool(self.p)).collect();
+        if set.is_empty() {
+            set.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
+        }
+        set
+    }
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// K-bounded distributed daemon: a random distributed scheduler that never
+/// lets an enabled vertex be passed over more than `k` consecutive steps —
+/// the classical *k-bounded* daemon, strictly weaker than the unfair one.
+#[derive(Clone, Debug)]
+pub struct KBoundedDaemon {
+    k: usize,
+    p: f64,
+    passes: Vec<usize>,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl KBoundedDaemon {
+    /// Creates a k-bounded daemon with inclusion probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[must_use]
+    pub fn new(k: usize, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "inclusion probability must be in [0,1]");
+        Self { k, p, passes: Vec::new(), rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl<S> Daemon<S> for KBoundedDaemon {
+    fn name(&self) -> String {
+        format!("dist-{}bounded-p{:.2}", self.k, self.p)
+    }
+    fn class(&self) -> DaemonClass {
+        DaemonClass {
+            centrality: Centrality::Distributed,
+            synchrony: Synchrony::Asynchronous,
+            fairness: Fairness::WeaklyFair,
+        }
+    }
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        if self.passes.len() != ctx.graph.n() {
+            self.passes = vec![0; ctx.graph.n()];
+        }
+        let mut set: Vec<VertexId> = ctx
+            .enabled
+            .iter()
+            .copied()
+            .filter(|v| self.passes[v.index()] >= self.k || self.rng.gen_bool(self.p))
+            .collect();
+        if set.is_empty() {
+            set.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
+        }
+        let mut in_set = vec![false; ctx.graph.n()];
+        for &v in &set {
+            in_set[v.index()] = true;
+        }
+        let mut enabled_mask = vec![false; ctx.graph.n()];
+        for &v in ctx.enabled {
+            enabled_mask[v.index()] = true;
+        }
+        for i in 0..ctx.graph.n() {
+            if enabled_mask[i] && !in_set[i] {
+                self.passes[i] += 1;
+            } else {
+                self.passes[i] = 0;
+            }
+        }
+        set
+    }
+    fn reset(&mut self) {
+        self.passes.clear();
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Weakly-fair central daemon: always activates the enabled vertex that
+/// has been continuously enabled the longest ("oldest first"). No enabled
+/// vertex waits more than `n - 1` selections — a strong fairness guarantee
+/// in practice, classified weakly fair.
+#[derive(Clone, Debug, Default)]
+pub struct OldestFirstDaemon {
+    /// Step at which each vertex most recently became enabled.
+    enabled_since: Vec<usize>,
+}
+
+impl OldestFirstDaemon {
+    /// Creates the daemon.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<S> Daemon<S> for OldestFirstDaemon {
+    fn name(&self) -> String {
+        "central-oldest".into()
+    }
+    fn class(&self) -> DaemonClass {
+        DaemonClass::central_weakly_fair()
+    }
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        if self.enabled_since.len() != ctx.graph.n() {
+            self.enabled_since = vec![0; ctx.graph.n()];
+        }
+        // Vertices no longer enabled restart their seniority the next time
+        // they become enabled: record "not enabled now" as becoming enabled
+        // at the *next* step.
+        let mut is_enabled = vec![false; ctx.graph.n()];
+        for &v in ctx.enabled {
+            is_enabled[v.index()] = true;
+        }
+        for v in 0..ctx.graph.n() {
+            if !is_enabled[v] {
+                self.enabled_since[v] = ctx.step + 1;
+            }
+        }
+        let pick = ctx
+            .enabled
+            .iter()
+            .copied()
+            .min_by_key(|v| (self.enabled_since[v.index()], *v))
+            .expect("enabled nonempty");
+        // The chosen vertex's seniority resets (it moves now).
+        self.enabled_since[pick.index()] = ctx.step + 1;
+        vec![pick]
+    }
+    fn reset(&mut self) {
+        self.enabled_since.clear();
+    }
+}
+
+/// Scoring function for [`GreedyAdversary`]: **lower scores are better for
+/// the protocol**, so the adversary picks the action whose successor
+/// configuration has the *highest* score (least progress).
+pub type AdversaryMetric<S> = Box<dyn Fn(&Configuration<S>, &Graph) -> f64>;
+
+/// Which candidate activation sets a [`GreedyAdversary`] considers.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum AdversaryMoves {
+    /// Only singletons: a central adversary.
+    Singletons,
+    /// Singletons plus the full enabled set: a distributed adversary that
+    /// can also emulate the synchronous step.
+    SingletonsAndAll,
+}
+
+/// Greedy adversarial daemon: one-step lookahead, picking the activation
+/// set whose successor maximizes a "remaining disorder" metric.
+///
+/// This is the workhorse for eliciting near-worst-case stabilization times
+/// on instances too large for [`crate::search`]'s exact analysis.
+pub struct GreedyAdversary<S> {
+    metric: AdversaryMetric<S>,
+    moves: AdversaryMoves,
+    tie_rng: StdRng,
+    seed: u64,
+}
+
+impl<S> GreedyAdversary<S> {
+    /// Creates the adversary with the given disorder metric.
+    #[must_use]
+    pub fn new(metric: AdversaryMetric<S>, moves: AdversaryMoves, seed: u64) -> Self {
+        Self { metric, moves, tie_rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+}
+
+/// Convenience adversary maximizing the *number of enabled vertices* after
+/// the step — a protocol-agnostic disorder proxy.
+#[must_use]
+pub fn max_enabled_adversary<P>(
+    protocol: std::sync::Arc<P>,
+    moves: AdversaryMoves,
+    seed: u64,
+) -> GreedyAdversary<P::State>
+where
+    P: crate::protocol::Protocol + 'static,
+{
+    let metric: AdversaryMetric<P::State> = Box::new(move |cfg, graph| {
+        let mut count = 0usize;
+        for v in graph.vertices() {
+            let view = crate::protocol::View::new(v, graph, cfg);
+            if protocol.enabled_rule(&view).is_some() {
+                count += 1;
+            }
+        }
+        count as f64
+    });
+    GreedyAdversary::new(metric, moves, seed)
+}
+
+impl<S> fmt::Debug for GreedyAdversary<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GreedyAdversary")
+            .field("moves", &self.moves)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> Daemon<S> for GreedyAdversary<S> {
+    fn name(&self) -> String {
+        match self.moves {
+            AdversaryMoves::Singletons => "adversary-central".into(),
+            AdversaryMoves::SingletonsAndAll => "adversary-dist".into(),
+        }
+    }
+
+    fn class(&self) -> DaemonClass {
+        match self.moves {
+            AdversaryMoves::Singletons => DaemonClass::central_unfair(),
+            AdversaryMoves::SingletonsAndAll => DaemonClass::unfair_distributed(),
+        }
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        let mut best: Option<(f64, Vec<VertexId>)> = None;
+        let mut consider = |set: Vec<VertexId>, rng: &mut StdRng| {
+            let next = (ctx.preview)(&set);
+            let score = (self.metric)(&next, ctx.graph);
+            match &mut best {
+                None => best = Some((score, set)),
+                Some((b, bs)) => {
+                    // Strictly better, or coin-flip on ties to diversify runs.
+                    if score > *b || (score == *b && rng.gen_bool(0.5)) {
+                        *b = score;
+                        *bs = set;
+                    }
+                }
+            }
+        };
+        for &v in ctx.enabled {
+            consider(vec![v], &mut self.tie_rng);
+        }
+        if self.moves == AdversaryMoves::SingletonsAndAll && ctx.enabled.len() > 1 {
+            consider(ctx.enabled.to_vec(), &mut self.tie_rng);
+        }
+        best.expect("enabled nonempty").1
+    }
+
+    fn reset(&mut self) {
+        self.tie_rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use specstab_topology::generators;
+
+    fn ctx_fixture<'a>(
+        enabled: &'a [VertexId],
+        config: &'a Configuration<u8>,
+        graph: &'a Graph,
+        preview: &'a dyn Fn(&[VertexId]) -> Configuration<u8>,
+    ) -> SelectionContext<'a, u8> {
+        SelectionContext { enabled, config, graph, step: 0, preview }
+    }
+
+    #[test]
+    fn partial_order_matches_paper() {
+        let ud = DaemonClass::unfair_distributed();
+        let sd = DaemonClass::synchronous();
+        let cd = DaemonClass::central_unfair();
+        assert!(sd < ud, "sd ≺ ud");
+        assert!(cd < ud, "cd ≺ ud");
+        assert_eq!(sd.partial_cmp(&cd), None, "sd and cd are incomparable");
+        assert!(ud > sd);
+        assert_eq!(ud.partial_cmp(&ud), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn weakly_fair_below_unfair() {
+        let rr = DaemonClass::central_weakly_fair();
+        let cd = DaemonClass::central_unfair();
+        assert!(rr < cd);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(DaemonClass::unfair_distributed().to_string(), "distributed/asynchronous/unfair");
+    }
+
+    #[test]
+    fn synchronous_selects_all_enabled() {
+        let g = generators::ring(4).unwrap();
+        let c = Configuration::new(vec![0u8; 4]);
+        let enabled = vec![VertexId::new(0), VertexId::new(2)];
+        let preview = |_: &[VertexId]| c.clone();
+        let mut d = SynchronousDaemon::new();
+        let sel = Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
+        assert_eq!(sel, enabled);
+    }
+
+    #[test]
+    fn central_min_max_pick_extremes() {
+        let g = generators::ring(5).unwrap();
+        let c = Configuration::new(vec![0u8; 5]);
+        let enabled = vec![VertexId::new(1), VertexId::new(3), VertexId::new(4)];
+        let preview = |_: &[VertexId]| c.clone();
+        let mut dmin = CentralDaemon::new(CentralStrategy::MinId);
+        let mut dmax = CentralDaemon::new(CentralStrategy::MaxId);
+        assert_eq!(
+            Daemon::<u8>::select(&mut dmin, &ctx_fixture(&enabled, &c, &g, &preview)),
+            vec![VertexId::new(1)]
+        );
+        assert_eq!(
+            Daemon::<u8>::select(&mut dmax, &ctx_fixture(&enabled, &c, &g, &preview)),
+            vec![VertexId::new(4)]
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles_through_enabled() {
+        let g = generators::ring(4).unwrap();
+        let c = Configuration::new(vec![0u8; 4]);
+        let enabled: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+        let mut picks = Vec::new();
+        for _ in 0..4 {
+            let sel = Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
+            picks.push(sel[0].index());
+        }
+        assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn random_central_is_deterministic_per_seed() {
+        let g = generators::ring(8).unwrap();
+        let c = Configuration::new(vec![0u8; 8]);
+        let enabled: Vec<VertexId> = (0..8).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let run = |seed| {
+            let mut d = CentralDaemon::new(CentralStrategy::Random(seed));
+            (0..10)
+                .map(|_| {
+                    Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0]
+                        .index()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn random_distributed_returns_nonempty_subset() {
+        let g = generators::ring(6).unwrap();
+        let c = Configuration::new(vec![0u8; 6]);
+        let enabled: Vec<VertexId> = (0..6).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let mut d = RandomDistributedDaemon::new(0.3, 11);
+        for _ in 0..50 {
+            let sel = d.select(&ctx_fixture(&enabled, &c, &g, &preview));
+            assert!(!sel.is_empty());
+            assert!(sel.iter().all(|v| enabled.contains(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inclusion probability")]
+    fn random_distributed_rejects_bad_p() {
+        let _ = RandomDistributedDaemon::new(1.5, 0);
+    }
+
+    #[test]
+    fn greedy_adversary_picks_highest_scoring_action() {
+        let g = generators::path(3).unwrap();
+        let c = Configuration::new(vec![0u8, 0, 0]);
+        let enabled = vec![VertexId::new(0), VertexId::new(2)];
+        // Preview: activating vertex 2 flips its state to 9.
+        let preview = |set: &[VertexId]| {
+            let mut next = Configuration::new(vec![0u8, 0, 0]);
+            for &v in set {
+                next.set(v, if v.index() == 2 { 9 } else { 1 });
+            }
+            next
+        };
+        // Metric: total state sum — adversary should pick vertex 2.
+        let metric: AdversaryMetric<u8> =
+            Box::new(|cfg, _| cfg.states().iter().map(|&s| s as f64).sum());
+        let mut d = GreedyAdversary::new(metric, AdversaryMoves::Singletons, 0);
+        let sel = d.select(&ctx_fixture(&enabled, &c, &g, &preview));
+        assert_eq!(sel, vec![VertexId::new(2)]);
+    }
+
+    #[test]
+    fn k_bounded_daemon_never_starves_beyond_k() {
+        let g = generators::ring(6).unwrap();
+        let c = Configuration::new(vec![0u8; 6]);
+        let enabled: Vec<VertexId> = (0..6).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let k = 3;
+        let mut d = KBoundedDaemon::new(k, 0.2, 5);
+        let mut since_selected = vec![0usize; 6];
+        for step in 0..200 {
+            let ctx =
+                SelectionContext { enabled: &enabled, config: &c, graph: &g, step, preview: &preview };
+            let sel = d.select(&ctx);
+            assert!(!sel.is_empty());
+            for v in 0..6 {
+                if sel.contains(&VertexId::new(v)) {
+                    since_selected[v] = 0;
+                } else {
+                    since_selected[v] += 1;
+                    assert!(
+                        since_selected[v] <= k + 1,
+                        "vertex {v} passed over {} times",
+                        since_selected[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_bounded_class_is_weakly_fair_distributed() {
+        let d = KBoundedDaemon::new(2, 0.5, 0);
+        let class = Daemon::<u8>::class(&d);
+        assert!(class < DaemonClass::unfair_distributed());
+    }
+
+    #[test]
+    fn oldest_first_serves_waiting_vertices() {
+        let g = generators::ring(4).unwrap();
+        let c = Configuration::new(vec![0u8; 4]);
+        let enabled: Vec<VertexId> = (0..4).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let mut d = OldestFirstDaemon::new();
+        // All become enabled at step 0; ties break by index, and each
+        // selected vertex goes to the back of the seniority order.
+        let mut picks = Vec::new();
+        for step in 0..8 {
+            let ctx = SelectionContext { enabled: &enabled, config: &c, graph: &g, step, preview: &preview };
+            picks.push(d.select(&ctx)[0].index());
+        }
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3], "round-robin-like fairness");
+    }
+
+    #[test]
+    fn oldest_first_class_is_weakly_fair_central() {
+        let d = OldestFirstDaemon::new();
+        assert_eq!(Daemon::<u8>::class(&d), DaemonClass::central_weakly_fair());
+        assert_eq!(Daemon::<u8>::name(&d), "central-oldest");
+    }
+
+    #[test]
+    fn daemon_reset_restores_determinism() {
+        let g = generators::ring(8).unwrap();
+        let c = Configuration::new(vec![0u8; 8]);
+        let enabled: Vec<VertexId> = (0..8).map(VertexId::new).collect();
+        let preview = |_: &[VertexId]| c.clone();
+        let mut d = CentralDaemon::new(CentralStrategy::Random(3));
+        let first: Vec<usize> = (0..5)
+            .map(|_| Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
+            .collect();
+        Daemon::<u8>::reset(&mut d);
+        let second: Vec<usize> = (0..5)
+            .map(|_| Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
+            .collect();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,332 @@
+//! The execution engine: applies daemon-chosen actions step by step.
+//!
+//! One **step** (the paper's unit of stabilization time) is one action
+//! `(γ, γ')`: the daemon selects a nonempty subset of the enabled vertices,
+//! each of which atomically computes its next state from `γ`. The engine
+//! additionally counts **moves** (individual vertex activations).
+
+use crate::config::Configuration;
+use crate::daemon::{Daemon, SelectionContext};
+use crate::observer::{Observer, StepEvent};
+use crate::protocol::{Protocol, RuleId, View};
+use specstab_topology::{Graph, VertexId};
+
+/// Why a run stopped.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// No vertex was enabled: the configuration is terminal.
+    Terminal,
+    /// The step limit was reached.
+    MaxSteps,
+    /// An observer requested the stop (e.g. legitimacy + margin reached).
+    ObserverRequest,
+}
+
+/// Resource limits for a run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RunLimits {
+    /// Maximum number of steps (actions) to execute.
+    pub max_steps: usize,
+}
+
+impl RunLimits {
+    /// Limits with the given step cap.
+    #[must_use]
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        Self { max_steps }
+    }
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunSummary<S> {
+    /// The configuration when the run stopped.
+    pub final_config: Configuration<S>,
+    /// Steps (actions) executed.
+    pub steps: usize,
+    /// Moves (vertex activations) executed.
+    pub moves: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+}
+
+/// Simulator binding a protocol to a communication graph.
+///
+/// See the crate-level example for a full usage walk-through.
+pub struct Simulator<'a, P: Protocol> {
+    graph: &'a Graph,
+    protocol: &'a P,
+}
+
+impl<'a, P: Protocol> Simulator<'a, P> {
+    /// Creates a simulator for `protocol` on `graph`.
+    #[must_use]
+    pub fn new(graph: &'a Graph, protocol: &'a P) -> Self {
+        Self { graph, protocol }
+    }
+
+    /// The communication graph.
+    #[must_use]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// The protocol under simulation.
+    #[must_use]
+    pub fn protocol(&self) -> &'a P {
+        self.protocol
+    }
+
+    /// The rule enabled at `v` in `config`, if any.
+    #[must_use]
+    pub fn enabled_rule(&self, config: &Configuration<P::State>, v: VertexId) -> Option<RuleId> {
+        let view = View::new(v, self.graph, config);
+        self.protocol.enabled_rule(&view)
+    }
+
+    /// All enabled vertices of `config`, sorted by index.
+    #[must_use]
+    pub fn enabled_vertices(&self, config: &Configuration<P::State>) -> Vec<VertexId> {
+        self.graph.vertices().filter(|&v| self.enabled_rule(config, v).is_some()).collect()
+    }
+
+    /// Applies one action activating exactly the vertices in `activate`
+    /// (which must all be enabled). Returns the successor configuration and
+    /// the `(vertex, rule)` pairs that fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex in `activate` is not enabled in `config`.
+    #[must_use]
+    pub fn apply_action(
+        &self,
+        config: &Configuration<P::State>,
+        activate: &[VertexId],
+    ) -> (Configuration<P::State>, Vec<(VertexId, RuleId)>) {
+        let mut next = config.clone();
+        let mut fired = Vec::with_capacity(activate.len());
+        for &v in activate {
+            let view = View::new(v, self.graph, config);
+            let rule = self
+                .protocol
+                .enabled_rule(&view)
+                .unwrap_or_else(|| panic!("daemon activated disabled vertex {v}"));
+            let state = self.protocol.apply(&view, rule);
+            next.set(v, state);
+            fired.push((v, rule));
+        }
+        (next, fired)
+    }
+
+    /// Runs the protocol from `init` under `daemon` until a terminal
+    /// configuration, the step limit, or an observer's stop request.
+    ///
+    /// Observers see the initial configuration (`on_start`) and every
+    /// transition (`on_step`).
+    pub fn run(
+        &self,
+        init: Configuration<P::State>,
+        daemon: &mut dyn Daemon<P::State>,
+        limits: RunLimits,
+        observers: &mut [&mut dyn Observer<P::State>],
+    ) -> RunSummary<P::State> {
+        assert_eq!(init.len(), self.graph.n(), "configuration size must match graph");
+        daemon.reset();
+        let mut config = init;
+        let mut enabled = self.enabled_vertices(&config);
+        let mut enabled_mask = vec![false; self.graph.n()];
+        for &v in &enabled {
+            enabled_mask[v.index()] = true;
+        }
+        for obs in observers.iter_mut() {
+            obs.on_start(&config, self.graph);
+        }
+        let mut steps = 0usize;
+        let mut moves = 0u64;
+        let stop = loop {
+            if enabled.is_empty() {
+                break StopReason::Terminal;
+            }
+            if steps >= limits.max_steps {
+                break StopReason::MaxSteps;
+            }
+            if observers.iter().any(|o| o.should_stop()) {
+                break StopReason::ObserverRequest;
+            }
+            let preview = |set: &[VertexId]| self.apply_action(&config, set).0;
+            let ctx = SelectionContext {
+                enabled: &enabled,
+                config: &config,
+                graph: self.graph,
+                step: steps,
+                preview: &preview,
+            };
+            let mut selection = daemon.select(&ctx);
+            selection.sort_unstable();
+            selection.dedup();
+            assert!(!selection.is_empty(), "daemon must activate at least one vertex");
+            assert!(
+                selection.iter().all(|v| enabled_mask[v.index()]),
+                "daemon selection must be a subset of the enabled vertices"
+            );
+            let (next, fired) = self.apply_action(&config, &selection);
+            // Incremental enablement update: only activated vertices and
+            // their neighbors can change status.
+            let mut touched: Vec<VertexId> = Vec::with_capacity(selection.len() * 3);
+            for &v in &selection {
+                touched.push(v);
+                touched.extend_from_slice(self.graph.neighbors(v));
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            for &v in &touched {
+                enabled_mask[v.index()] = self.enabled_rule(&next, v).is_some();
+            }
+            let next_enabled: Vec<VertexId> =
+                self.graph.vertices().filter(|v| enabled_mask[v.index()]).collect();
+            steps += 1;
+            moves += fired.len() as u64;
+            let event = StepEvent {
+                step: steps,
+                before: &config,
+                after: &next,
+                activated: &fired,
+                enabled_after: &next_enabled,
+                graph: self.graph,
+            };
+            for obs in observers.iter_mut() {
+                obs.on_step(&event);
+            }
+            config = next;
+            enabled = next_enabled;
+        };
+        RunSummary { final_config: config, steps, moves, stop }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+    use crate::protocol::RuleInfo;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use specstab_topology::generators;
+
+    /// "Max propagation": each vertex adopts the maximum of its
+    /// neighborhood; terminal once uniform.
+    struct MaxProto;
+    impl Protocol for MaxProto {
+        type State = u32;
+        fn name(&self) -> String {
+            "max".into()
+        }
+        fn rules(&self) -> Vec<RuleInfo> {
+            vec![RuleInfo::new("ADOPT")]
+        }
+        fn enabled_rule(&self, view: &View<'_, u32>) -> Option<RuleId> {
+            let best = view.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0);
+            (best > *view.state()).then_some(RuleId::new(0))
+        }
+        fn apply(&self, view: &View<'_, u32>, _rule: RuleId) -> u32 {
+            view.neighbor_states().map(|(_, &s)| s).max().unwrap()
+        }
+        fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> u32 {
+            rng.gen_range(0..16)
+        }
+    }
+
+    #[test]
+    fn synchronous_run_converges_in_eccentricity_steps() {
+        let g = generators::path(6).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        // Max value at one end: must travel the whole path.
+        let init = Configuration::from_fn(6, |v| if v.index() == 0 { 9 } else { 0 });
+        let mut d = SynchronousDaemon::new();
+        let s = sim.run(init, &mut d, RunLimits::with_max_steps(100), &mut []);
+        assert_eq!(s.stop, StopReason::Terminal);
+        assert_eq!(s.steps, 5);
+        assert!(s.final_config.states().iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn central_run_also_converges_with_more_steps() {
+        let g = generators::path(6).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let init = Configuration::from_fn(6, |v| if v.index() == 0 { 9 } else { 0 });
+        let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+        let s = sim.run(init, &mut d, RunLimits::with_max_steps(1000), &mut []);
+        assert_eq!(s.stop, StopReason::Terminal);
+        assert_eq!(s.moves, s.steps as u64, "central daemon: one move per step");
+        assert!(s.final_config.states().iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn max_steps_limit_is_respected() {
+        let g = generators::path(50).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let init = Configuration::from_fn(50, |v| if v.index() == 0 { 9 } else { 0 });
+        let mut d = SynchronousDaemon::new();
+        let s = sim.run(init, &mut d, RunLimits::with_max_steps(3), &mut []);
+        assert_eq!(s.stop, StopReason::MaxSteps);
+        assert_eq!(s.steps, 3);
+    }
+
+    #[test]
+    fn terminal_config_stops_immediately() {
+        let g = generators::ring(4).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let init = Configuration::from_fn(4, |_| 5);
+        let mut d = SynchronousDaemon::new();
+        let s = sim.run(init.clone(), &mut d, RunLimits::with_max_steps(10), &mut []);
+        assert_eq!(s.stop, StopReason::Terminal);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.final_config, init);
+    }
+
+    #[test]
+    fn moves_count_all_activations() {
+        let g = generators::complete(4).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let init = Configuration::from_fn(4, |v| v.index() as u32);
+        let mut d = SynchronousDaemon::new();
+        let s = sim.run(init, &mut d, RunLimits::with_max_steps(10), &mut []);
+        // One synchronous step: vertices 0,1,2 adopt 3 (vertex 3 disabled).
+        assert_eq!(s.steps, 1);
+        assert_eq!(s.moves, 3);
+    }
+
+    #[test]
+    fn enabled_vertices_matches_bruteforce() {
+        let g = generators::ring(7).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let cfg = Configuration::from_fn(7, |v| (v.index() as u32 * 3) % 5);
+        let fast = sim.enabled_vertices(&cfg);
+        let slow: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| {
+                let view = View::new(v, &g, &cfg);
+                MaxProto.enabled_rule(&view).is_some()
+            })
+            .collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "daemon activated disabled vertex")]
+    fn apply_action_rejects_disabled_vertex() {
+        let g = generators::ring(4).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let uniform = Configuration::from_fn(4, |_| 5);
+        let _ = sim.apply_action(&uniform, &[VertexId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration size")]
+    fn run_rejects_mismatched_configuration() {
+        let g = generators::ring(4).unwrap();
+        let sim = Simulator::new(&g, &MaxProto);
+        let mut d = SynchronousDaemon::new();
+        let _ = sim.run(Configuration::new(vec![0u32; 3]), &mut d, RunLimits::with_max_steps(1), &mut []);
+    }
+}

@@ -1,0 +1,124 @@
+//! Transient fault injection.
+//!
+//! Self-stabilization models transient faults as an *arbitrary initial
+//! configuration*: whatever a fault burst did to the state, the protocol
+//! must recover. Two entry points:
+//!
+//! * [`crate::protocol::random_configuration`] — a full burst (every vertex
+//!   corrupted), the standard worst case;
+//! * [`inject_faults`] — a partial burst hitting `k` chosen-at-random
+//!   vertices of an otherwise healthy configuration, modelling the
+//!   "speculative" scenario where faults are rare and local.
+
+use crate::config::Configuration;
+use crate::protocol::Protocol;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use specstab_topology::{Graph, VertexId};
+
+/// Corrupts `k` distinct uniformly-chosen vertices of `config` with
+/// arbitrary states. Returns the faulty configuration and the vertices hit.
+///
+/// # Panics
+///
+/// Panics if `k > graph.n()`.
+#[must_use]
+pub fn inject_faults<P: Protocol>(
+    config: &Configuration<P::State>,
+    graph: &Graph,
+    protocol: &P,
+    k: usize,
+    rng: &mut StdRng,
+) -> (Configuration<P::State>, Vec<VertexId>) {
+    assert!(k <= graph.n(), "cannot corrupt more vertices than the graph has");
+    let mut victims: Vec<VertexId> = graph.vertices().collect();
+    victims.shuffle(rng);
+    victims.truncate(k);
+    victims.sort_unstable();
+    let mut faulty = config.clone();
+    for &v in &victims {
+        faulty.set(v, protocol.random_state(v, rng));
+    }
+    (faulty, victims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{RuleId, RuleInfo, View};
+    use rand::SeedableRng;
+    use specstab_topology::generators;
+
+    struct Const;
+    impl Protocol for Const {
+        type State = u8;
+        fn name(&self) -> String {
+            "const".into()
+        }
+        fn rules(&self) -> Vec<RuleInfo> {
+            vec![RuleInfo::new("NOOP")]
+        }
+        fn enabled_rule(&self, _view: &View<'_, u8>) -> Option<RuleId> {
+            None
+        }
+        fn apply(&self, view: &View<'_, u8>, _rule: RuleId) -> u8 {
+            *view.state()
+        }
+        fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> u8 {
+            use rand::Rng;
+            rng.gen_range(100..=200)
+        }
+    }
+
+    #[test]
+    fn injects_exactly_k_faults() {
+        let g = generators::ring(10).unwrap();
+        let healthy = Configuration::new(vec![0u8; 10]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (faulty, victims) = inject_faults(&healthy, &g, &Const, 3, &mut rng);
+        assert_eq!(victims.len(), 3);
+        let changed: Vec<VertexId> = faulty
+            .iter()
+            .filter(|(_, &s)| s != 0)
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(changed, victims);
+    }
+
+    #[test]
+    fn zero_faults_is_identity() {
+        let g = generators::ring(5).unwrap();
+        let healthy = Configuration::new(vec![7u8; 5]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (faulty, victims) = inject_faults(&healthy, &g, &Const, 0, &mut rng);
+        assert!(victims.is_empty());
+        assert_eq!(faulty, healthy);
+    }
+
+    #[test]
+    fn full_burst_touches_all() {
+        let g = generators::ring(5).unwrap();
+        let healthy = Configuration::new(vec![7u8; 5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, victims) = inject_faults(&healthy, &g, &Const, 5, &mut rng);
+        assert_eq!(victims.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot corrupt")]
+    fn rejects_k_above_n() {
+        let g = generators::ring(5).unwrap();
+        let healthy = Configuration::new(vec![7u8; 5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = inject_faults(&healthy, &g, &Const, 6, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::ring(8).unwrap();
+        let healthy = Configuration::new(vec![0u8; 8]);
+        let a = inject_faults(&healthy, &g, &Const, 4, &mut StdRng::seed_from_u64(9));
+        let b = inject_faults(&healthy, &g, &Const, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,257 @@
+//! Stabilization-time measurement (Definition 3, empirically).
+//!
+//! For a single execution the *measured* stabilization time w.r.t. a safety
+//! predicate is `last violation index + 1`. Provided the run extends past
+//! entry into a closed legitimate region, that number certifies suffix
+//! satisfaction (closure of the legitimate set is validated separately by
+//! tests and by [`crate::spec::closure_violation`]).
+//!
+//! The daemon-level stabilization time `conv_time(π, d)` is the supremum
+//! over all executions allowed by `d`; [`max_over_runs`] estimates it by
+//! sampling (a lower bound on the worst case), while [`crate::search`]
+//! computes it exactly on small instances.
+
+use crate::config::Configuration;
+use crate::daemon::Daemon;
+use crate::engine::{RunLimits, Simulator, StopReason};
+use crate::observer::{
+    ConfigPredicate, LegitimacyMonitor, MoveCounter, Observer, SafetyMonitor, StopAfterStable,
+};
+use crate::protocol::Protocol;
+use specstab_topology::Graph;
+
+/// Outcome of a measured run.
+#[derive(Clone, Debug)]
+pub struct StabilizationReport {
+    /// Steps (actions) actually executed.
+    pub steps_run: usize,
+    /// Moves (vertex activations) executed.
+    pub moves: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Index of the last configuration violating safety, if any.
+    pub last_violation: Option<usize>,
+    /// Number of unsafe configurations observed.
+    pub violation_count: usize,
+    /// Measured stabilization time w.r.t. safety: `last_violation + 1`.
+    pub stabilization_steps: usize,
+    /// First index at which the legitimacy predicate held.
+    pub first_legitimate: Option<usize>,
+    /// Index from which legitimacy held for the remainder of the run.
+    pub legitimacy_entry: usize,
+    /// Whether the run ended inside the legitimate region.
+    pub ended_legitimate: bool,
+}
+
+/// Parameters for [`measure_stabilization`].
+pub struct MeasureSettings {
+    /// Hard cap on executed steps.
+    pub max_steps: usize,
+}
+
+impl MeasureSettings {
+    /// Settings with a step cap.
+    #[must_use]
+    pub fn new(max_steps: usize) -> Self {
+        Self { max_steps }
+    }
+}
+
+/// Runs `protocol` from `init` under `daemon`, measuring safety violations
+/// and legitimacy entry. The run uses the full step budget (or stops at a
+/// terminal configuration); use [`measure_with_early_stop`] to cut runs
+/// short once a closed legitimate region is reached.
+pub fn measure_stabilization<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: &mut dyn Daemon<P::State>,
+    init: Configuration<P::State>,
+    safety: ConfigPredicate<P::State>,
+    legitimacy: ConfigPredicate<P::State>,
+    settings: &MeasureSettings,
+) -> StabilizationReport {
+    let sim = Simulator::new(graph, protocol);
+    let mut safety_mon = SafetyMonitor::new(safety);
+    let mut legit_mon = LegitimacyMonitor::new(legitimacy);
+    let mut moves = MoveCounter::new();
+    let mut observers: [&mut dyn Observer<P::State>; 3] =
+        [&mut safety_mon, &mut legit_mon, &mut moves];
+    let summary =
+        sim.run(init, daemon, RunLimits::with_max_steps(settings.max_steps), &mut observers);
+    StabilizationReport {
+        steps_run: summary.steps,
+        moves: summary.moves,
+        stop: summary.stop,
+        last_violation: safety_mon.last_violation(),
+        violation_count: safety_mon.violations(),
+        stabilization_steps: safety_mon.measured_stabilization(),
+        first_legitimate: legit_mon.first_legitimate(),
+        legitimacy_entry: legit_mon.entry_index(),
+        ended_legitimate: legit_mon.currently_legitimate(),
+    }
+}
+
+/// Runs [`measure_stabilization`] repeatedly (fresh daemon state per run via
+/// `Daemon::reset`, distinct initial configurations supplied by `inits`) and
+/// returns the per-run reports.
+pub fn measure_many<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: &mut dyn Daemon<P::State>,
+    inits: impl IntoIterator<Item = Configuration<P::State>>,
+    safety: impl Fn() -> ConfigPredicate<P::State>,
+    legitimacy: impl Fn() -> ConfigPredicate<P::State>,
+    settings: &MeasureSettings,
+) -> Vec<StabilizationReport> {
+    inits
+        .into_iter()
+        .map(|init| {
+            measure_stabilization(graph, protocol, daemon, init, safety(), legitimacy(), settings)
+        })
+        .collect()
+}
+
+/// Maximum measured stabilization time across reports — the sampling
+/// estimate (lower bound) of `conv_time(π, d)`.
+#[must_use]
+pub fn max_over_runs(reports: &[StabilizationReport]) -> usize {
+    reports.iter().map(|r| r.stabilization_steps).max().unwrap_or(0)
+}
+
+/// Convenience: run once with early stopping once a *closed* legitimacy
+/// predicate has held for `margin + 1` consecutive configurations.
+///
+/// Because legitimacy is closed, stopping early cannot hide later safety
+/// violations: the execution suffix stays legitimate (hence safe) forever.
+pub fn measure_with_early_stop<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: &mut dyn Daemon<P::State>,
+    init: Configuration<P::State>,
+    safety: ConfigPredicate<P::State>,
+    legitimacy: ConfigPredicate<P::State>,
+    stop_pred: ConfigPredicate<P::State>,
+    max_steps: usize,
+    margin: usize,
+) -> StabilizationReport {
+    let sim = Simulator::new(graph, protocol);
+    let mut safety_mon = SafetyMonitor::new(safety);
+    let mut legit_mon = LegitimacyMonitor::new(legitimacy);
+    let mut moves = MoveCounter::new();
+    let mut stopper = StopAfterStable::new(stop_pred, margin);
+    let mut observers: [&mut dyn Observer<P::State>; 4] =
+        [&mut safety_mon, &mut legit_mon, &mut moves, &mut stopper];
+    let summary = sim.run(init, daemon, RunLimits::with_max_steps(max_steps), &mut observers);
+    StabilizationReport {
+        steps_run: summary.steps,
+        moves: summary.moves,
+        stop: summary.stop,
+        last_violation: safety_mon.last_violation(),
+        violation_count: safety_mon.violations(),
+        stabilization_steps: safety_mon.measured_stabilization(),
+        first_legitimate: legit_mon.first_legitimate(),
+        legitimacy_entry: legit_mon.entry_index(),
+        ended_legitimate: legit_mon.currently_legitimate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::SynchronousDaemon;
+    use crate::protocol::{RuleId, RuleInfo, View};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use specstab_topology::{generators, VertexId};
+
+    struct MaxProto;
+    impl Protocol for MaxProto {
+        type State = u32;
+        fn name(&self) -> String {
+            "max".into()
+        }
+        fn rules(&self) -> Vec<RuleInfo> {
+            vec![RuleInfo::new("ADOPT")]
+        }
+        fn enabled_rule(&self, view: &View<'_, u32>) -> Option<RuleId> {
+            let best = view.neighbor_states().map(|(_, &s)| s).max().unwrap_or(0);
+            (best > *view.state()).then_some(RuleId::new(0))
+        }
+        fn apply(&self, view: &View<'_, u32>, _rule: RuleId) -> u32 {
+            view.neighbor_states().map(|(_, &s)| s).max().unwrap()
+        }
+        fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> u32 {
+            rng.gen_range(0..16)
+        }
+    }
+
+    fn uniform_pred() -> ConfigPredicate<u32> {
+        Box::new(|c, _| c.states().windows(2).all(|w| w[0] == w[1]))
+    }
+
+    #[test]
+    fn measure_reports_stabilization_on_path() {
+        let g = generators::path(6).unwrap();
+        let init = Configuration::from_fn(6, |v| if v.index() == 0 { 9 } else { 0 });
+        let mut d = SynchronousDaemon::new();
+        let report = measure_stabilization(
+            &g,
+            &MaxProto,
+            &mut d,
+            init,
+            uniform_pred(),
+            uniform_pred(),
+            &MeasureSettings::new(100),
+        );
+        assert_eq!(report.stabilization_steps, 5);
+        assert_eq!(report.legitimacy_entry, 5);
+        assert!(report.ended_legitimate);
+        assert_eq!(report.stop, StopReason::Terminal);
+    }
+
+    #[test]
+    fn early_stop_does_not_change_measured_value() {
+        let g = generators::path(8).unwrap();
+        let init = Configuration::from_fn(8, |v| if v.index() == 0 { 9 } else { 0 });
+        let mut d = SynchronousDaemon::new();
+        let report = measure_with_early_stop(
+            &g,
+            &MaxProto,
+            &mut d,
+            init,
+            uniform_pred(),
+            uniform_pred(),
+            uniform_pred(),
+            1000,
+            2,
+        );
+        assert_eq!(report.stabilization_steps, 7);
+        assert!(report.ended_legitimate);
+    }
+
+    #[test]
+    fn measure_many_and_max() {
+        let g = generators::path(5).unwrap();
+        let inits = vec![
+            Configuration::from_fn(5, |v| if v.index() == 0 { 9 } else { 0 }),
+            Configuration::from_fn(5, |v| if v.index() == 2 { 9 } else { 0 }),
+            Configuration::from_fn(5, |_| 9),
+        ];
+        let mut d = SynchronousDaemon::new();
+        let reports = measure_many(
+            &g,
+            &MaxProto,
+            &mut d,
+            inits,
+            uniform_pred,
+            uniform_pred,
+            &MeasureSettings::new(100),
+        );
+        assert_eq!(reports.len(), 3);
+        // Worst case: the max value at an end of the path (4 steps to cover
+        // distance 4 = eccentricity of v0).
+        assert_eq!(max_over_runs(&reports), 4);
+        // The already-uniform run never violates safety.
+        assert_eq!(reports[2].stabilization_steps, 0);
+    }
+}

@@ -1,0 +1,586 @@
+//! Exact worst-case analysis on small instances.
+//!
+//! `conv_time(π, d)` is a supremum over **all** executions allowed by the
+//! daemon from **all** initial configurations — sampling can only lower-bound
+//! it. On small instances we compute it exactly by materializing the
+//! *configuration game graph*: nodes are configurations, and each daemon
+//! model contributes edges for every action it may choose.
+//!
+//! Two exact quantities are supported:
+//!
+//! * [`worst_steps_to`] — the maximum number of steps the daemon can keep
+//!   the system outside a closed target set (convergence time to
+//!   legitimacy);
+//! * [`worst_safety_stabilization`] — the maximum, over executions, of
+//!   `last safety-violation index + 1` (the paper's stabilization time for
+//!   safety-style specifications such as `specME`).
+//!
+//! Both detect **divergence** (the daemon can avoid the target / cause
+//! violations forever), which is exactly the failure mode exercised by the
+//! broken-parameter ablation experiment (E7).
+
+use crate::config::Configuration;
+use crate::engine::Simulator;
+use crate::protocol::Protocol;
+use specstab_topology::{Graph, VertexId};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Daemon models for exhaustive search.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SearchDaemon {
+    /// One enabled vertex per action (central daemon `cd`).
+    Central,
+    /// All enabled vertices per action (synchronous daemon `sd`).
+    Synchronous,
+    /// Every nonempty subset of enabled vertices (unfair distributed `ud`).
+    /// Fails with [`SearchError::TooManySubsets`] when more than
+    /// `max_enabled` vertices are enabled at once.
+    Distributed {
+        /// Cap on `|enabled|` before subset enumeration is refused.
+        max_enabled: usize,
+    },
+}
+
+/// Errors from the exhaustive explorer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// The reachable configuration space exceeded `max_nodes`.
+    TooLarge {
+        /// The configured node cap.
+        max_nodes: usize,
+    },
+    /// Subset enumeration hit the `max_enabled` cap.
+    TooManySubsets {
+        /// Number of simultaneously enabled vertices encountered.
+        enabled: usize,
+    },
+    /// Worst case is unbounded: the daemon can avoid the target forever.
+    Divergent,
+    /// A configuration with no enabled vertex lies outside the target set.
+    StuckOutsideTarget,
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::TooLarge { max_nodes } => {
+                write!(f, "reachable configuration space exceeds {max_nodes} nodes")
+            }
+            SearchError::TooManySubsets { enabled } => {
+                write!(f, "{enabled} enabled vertices: distributed subset enumeration refused")
+            }
+            SearchError::Divergent => {
+                write!(f, "worst case is unbounded (daemon-controlled cycle)")
+            }
+            SearchError::StuckOutsideTarget => {
+                write!(f, "terminal configuration outside the target set")
+            }
+        }
+    }
+}
+
+impl Error for SearchError {}
+
+/// The materialized configuration game graph.
+#[derive(Clone, Debug)]
+pub struct ConfigGraph<S> {
+    /// Distinct reachable configurations.
+    pub nodes: Vec<Configuration<S>>,
+    /// `succ[i]` = indices of configurations reachable from `nodes[i]` in
+    /// one daemon-allowed action (empty = terminal).
+    pub succ: Vec<Vec<u32>>,
+    /// Indices (into `nodes`) of the requested initial configurations.
+    pub initial: Vec<u32>,
+}
+
+impl<S> ConfigGraph<S> {
+    /// Number of distinct configurations explored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty (never true after a successful build).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+fn nonempty_subsets(items: &[VertexId]) -> impl Iterator<Item = Vec<VertexId>> + '_ {
+    let k = items.len();
+    (1u64..(1u64 << k)).map(move |mask| {
+        items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &v)| v)
+            .collect()
+    })
+}
+
+/// Explores all configurations reachable from `initial` under the given
+/// daemon model.
+///
+/// # Errors
+///
+/// [`SearchError::TooLarge`] if more than `max_nodes` distinct
+/// configurations are reached, [`SearchError::TooManySubsets`] if the
+/// distributed model meets too many simultaneously enabled vertices.
+pub fn build_config_graph<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    initial: &[Configuration<P::State>],
+    daemon: SearchDaemon,
+    max_nodes: usize,
+) -> Result<ConfigGraph<P::State>, SearchError> {
+    let sim = Simulator::new(graph, protocol);
+    let mut nodes: Vec<Configuration<P::State>> = Vec::new();
+    let mut index: HashMap<Configuration<P::State>, u32> = HashMap::new();
+    let mut succ: Vec<Vec<u32>> = Vec::new();
+    let mut work: Vec<u32> = Vec::new();
+    let mut initial_ids = Vec::with_capacity(initial.len());
+
+    let mut intern = |cfg: Configuration<P::State>,
+                      nodes: &mut Vec<Configuration<P::State>>,
+                      succ: &mut Vec<Vec<u32>>,
+                      work: &mut Vec<u32>|
+     -> Result<u32, SearchError> {
+        if let Some(&id) = index.get(&cfg) {
+            return Ok(id);
+        }
+        if nodes.len() >= max_nodes {
+            return Err(SearchError::TooLarge { max_nodes });
+        }
+        let id = u32::try_from(nodes.len()).expect("node count fits u32");
+        index.insert(cfg.clone(), id);
+        nodes.push(cfg);
+        succ.push(Vec::new());
+        work.push(id);
+        Ok(id)
+    };
+
+    for cfg in initial {
+        let id = intern(cfg.clone(), &mut nodes, &mut succ, &mut work)?;
+        initial_ids.push(id);
+    }
+
+    while let Some(id) = work.pop() {
+        let cfg = nodes[id as usize].clone();
+        let enabled = sim.enabled_vertices(&cfg);
+        if enabled.is_empty() {
+            continue;
+        }
+        let mut next_ids = Vec::new();
+        match daemon {
+            SearchDaemon::Synchronous => {
+                let (next, _) = sim.apply_action(&cfg, &enabled);
+                next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+            }
+            SearchDaemon::Central => {
+                for &v in &enabled {
+                    let (next, _) = sim.apply_action(&cfg, &[v]);
+                    next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+                }
+            }
+            SearchDaemon::Distributed { max_enabled } => {
+                if enabled.len() > max_enabled {
+                    return Err(SearchError::TooManySubsets { enabled: enabled.len() });
+                }
+                for subset in nonempty_subsets(&enabled) {
+                    let (next, _) = sim.apply_action(&cfg, &subset);
+                    next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+                }
+            }
+        }
+        next_ids.sort_unstable();
+        next_ids.dedup();
+        succ[id as usize] = next_ids;
+    }
+
+    Ok(ConfigGraph { nodes, succ, initial: initial_ids })
+}
+
+/// Enumerates the full configuration space from [`Protocol::state_domain`],
+/// or `None` if a domain is unavailable or the product exceeds `cap`.
+#[must_use]
+pub fn enumerate_all_configurations<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cap: usize,
+) -> Option<Vec<Configuration<P::State>>> {
+    let domains: Option<Vec<Vec<P::State>>> =
+        graph.vertices().map(|v| protocol.state_domain(v)).collect();
+    let domains = domains?;
+    let mut total: usize = 1;
+    for d in &domains {
+        total = total.checked_mul(d.len())?;
+        if total > cap {
+            return None;
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    let mut counters = vec![0usize; domains.len()];
+    loop {
+        out.push(Configuration::new(
+            counters.iter().zip(&domains).map(|(&c, d)| d[c].clone()).collect(),
+        ));
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == domains.len() {
+                return Some(out);
+            }
+            counters[i] += 1;
+            if counters[i] < domains[i].len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Exact worst-case number of steps the daemon can keep the system outside
+/// the (closed) `target` set, over all explored configurations.
+///
+/// Returns the per-node worst value; the overall `conv_time` bound is the
+/// max over the `initial` nodes (or over all nodes when the graph was built
+/// from the full configuration space).
+///
+/// # Errors
+///
+/// [`SearchError::Divergent`] if a daemon-controlled cycle avoids the
+/// target, [`SearchError::StuckOutsideTarget`] if a terminal configuration
+/// lies outside it.
+pub fn worst_steps_to<S>(
+    cg: &ConfigGraph<S>,
+    target: impl Fn(&Configuration<S>) -> bool,
+) -> Result<Vec<u32>, SearchError> {
+    let n = cg.nodes.len();
+    let in_target: Vec<bool> = cg.nodes.iter().map(|c| target(c)).collect();
+    let mut value = vec![0u32; n];
+    // Iterative DFS with tri-color marking over non-target nodes.
+    #[derive(Copy, Clone, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    for root in 0..n {
+        if in_target[root] || color[root] == Color::Black {
+            continue;
+        }
+        // Stack of (node, next-successor-index).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = Color::Gray;
+        while let Some(&(node, next)) = stack.last() {
+            if cg.succ[node].is_empty() {
+                return Err(SearchError::StuckOutsideTarget);
+            }
+            if next == cg.succ[node].len() {
+                // All successors resolved.
+                let best = cg.succ[node]
+                    .iter()
+                    .map(|&s| {
+                        let s = s as usize;
+                        if in_target[s] {
+                            1
+                        } else {
+                            value[s].saturating_add(1)
+                        }
+                    })
+                    .max()
+                    .expect("nonempty successor list");
+                value[node] = best;
+                color[node] = Color::Black;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("stack nonempty").1 += 1;
+            let s = cg.succ[node][next] as usize;
+            if in_target[s] || color[s] == Color::Black {
+                continue;
+            }
+            if color[s] == Color::Gray {
+                return Err(SearchError::Divergent);
+            }
+            color[s] = Color::Gray;
+            stack.push((s, 0));
+        }
+    }
+    Ok(value)
+}
+
+/// Exact worst-case safety stabilization time per node: the maximum over
+/// executions of `last safety-violation index + 1`.
+///
+/// # Errors
+///
+/// [`SearchError::Divergent`] if the daemon can reach safety violations
+/// infinitely often (a cycle inside the violation-reaching region).
+pub fn worst_safety_stabilization<S>(
+    cg: &ConfigGraph<S>,
+    safe: impl Fn(&Configuration<S>) -> bool,
+) -> Result<Vec<u32>, SearchError> {
+    let n = cg.nodes.len();
+    let is_unsafe: Vec<bool> = cg.nodes.iter().map(|c| !safe(c)).collect();
+    // U = nodes from which an unsafe node is reachable (including itself):
+    // backward closure over reversed edges.
+    let mut pred: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, ss) in cg.succ.iter().enumerate() {
+        for &s in ss {
+            pred[s as usize].push(u32::try_from(u).expect("fits"));
+        }
+    }
+    let mut in_u = is_unsafe.clone();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| is_unsafe[i]).collect();
+    while let Some(x) = queue.pop() {
+        for &p in &pred[x] {
+            if !in_u[p as usize] {
+                in_u[p as usize] = true;
+                queue.push(p as usize);
+            }
+        }
+    }
+    // The U-induced subgraph must be a DAG, otherwise violations can recur
+    // forever. Kahn's algorithm on U.
+    let mut indeg = vec![0u32; n];
+    for (u, ss) in cg.succ.iter().enumerate() {
+        if !in_u[u] {
+            continue;
+        }
+        for &s in ss {
+            if in_u[s as usize] {
+                indeg[s as usize] += 1;
+            }
+        }
+    }
+    let mut topo: Vec<usize> = Vec::new();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| in_u[i] && indeg[i] == 0).collect();
+    while let Some(x) = ready.pop() {
+        topo.push(x);
+        for &s in &cg.succ[x] {
+            let s = s as usize;
+            if in_u[s] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+    }
+    let u_count = in_u.iter().filter(|&&b| b).count();
+    if topo.len() != u_count {
+        return Err(SearchError::Divergent);
+    }
+    // g(x) = max( unsafe(x) ? 1 : 0, max_{y ∈ succ(x) ∩ U} g(y) + 1 ),
+    // computed in reverse topological order.
+    let mut g = vec![0u32; n];
+    for &x in topo.iter().rev() {
+        let mut best = u32::from(is_unsafe[x]);
+        for &s in &cg.succ[x] {
+            let s = s as usize;
+            if in_u[s] {
+                best = best.max(g[s] + 1);
+            }
+        }
+        g[x] = best;
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{RuleId, RuleInfo, View};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use specstab_topology::generators;
+
+    /// Token-passing toy on a path: a vertex holding `true` hands it to the
+    /// right (position encoded by index); stabilizes when only the last
+    /// vertex holds a token... Simplified: state = bool "dirty"; a dirty
+    /// vertex with a clean right-neighbor cleans itself. Terminal/legit:
+    /// nobody dirty except possibly the last vertex.
+    struct Sweep;
+    impl Protocol for Sweep {
+        type State = bool;
+        fn name(&self) -> String {
+            "sweep".into()
+        }
+        fn rules(&self) -> Vec<RuleInfo> {
+            vec![RuleInfo::new("CLEAN")]
+        }
+        fn enabled_rule(&self, view: &View<'_, bool>) -> Option<RuleId> {
+            let v = view.vertex().index();
+            let dirty = *view.state();
+            let last = view.graph().n() - 1;
+            (dirty && v != last).then_some(RuleId::new(0))
+        }
+        fn apply(&self, _view: &View<'_, bool>, _rule: RuleId) -> bool {
+            false
+        }
+        fn random_state(&self, _v: specstab_topology::VertexId, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+        fn state_domain(&self, _v: specstab_topology::VertexId) -> Option<Vec<bool>> {
+            Some(vec![false, true])
+        }
+    }
+
+    #[test]
+    fn enumerate_full_space() {
+        let g = generators::path(3).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 100).unwrap();
+        assert_eq!(all.len(), 8);
+        // Capped enumeration returns None.
+        assert!(enumerate_all_configurations(&g, &Sweep, 7).is_none());
+    }
+
+    #[test]
+    fn central_worst_case_counts_dirty_interior() {
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let cg = build_config_graph(&g, &Sweep, &all, SearchDaemon::Central, 10_000).unwrap();
+        let clean = |c: &Configuration<bool>| c.states()[..3].iter().all(|&d| !d);
+        let worst = worst_steps_to(&cg, clean).unwrap();
+        // Each dirty interior vertex needs exactly one move; the central
+        // daemon serializes them: worst = 3 (first three vertices dirty).
+        let max = cg
+            .initial
+            .iter()
+            .filter(|&&i| !clean(&cg.nodes[i as usize]))
+            .map(|&i| worst[i as usize])
+            .max()
+            .unwrap();
+        assert_eq!(max, 3);
+    }
+
+    #[test]
+    fn synchronous_worst_case_is_one() {
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let cg = build_config_graph(&g, &Sweep, &all, SearchDaemon::Synchronous, 10_000).unwrap();
+        let clean = |c: &Configuration<bool>| c.states()[..3].iter().all(|&d| !d);
+        let worst = worst_steps_to(&cg, clean).unwrap();
+        // All dirty vertices clean simultaneously in one synchronous step.
+        let max = cg
+            .initial
+            .iter()
+            .filter(|&&i| !clean(&cg.nodes[i as usize]))
+            .map(|&i| worst[i as usize])
+            .max()
+            .unwrap();
+        assert_eq!(max, 1);
+    }
+
+    #[test]
+    fn distributed_worst_case_equals_central_here() {
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let cg = build_config_graph(
+            &g,
+            &Sweep,
+            &all,
+            SearchDaemon::Distributed { max_enabled: 8 },
+            100_000,
+        )
+        .unwrap();
+        let clean = |c: &Configuration<bool>| c.states()[..3].iter().all(|&d| !d);
+        let worst = worst_steps_to(&cg, clean).unwrap();
+        let max = cg
+            .initial
+            .iter()
+            .filter(|&&i| !clean(&cg.nodes[i as usize]))
+            .map(|&i| worst[i as usize])
+            .max()
+            .unwrap();
+        // The laziest distributed schedule is the central one.
+        assert_eq!(max, 3);
+    }
+
+    #[test]
+    fn safety_stabilization_matches_steps_to_for_sweep() {
+        // Safety := "at most one dirty interior vertex".
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let cg = build_config_graph(&g, &Sweep, &all, SearchDaemon::Central, 10_000).unwrap();
+        let safe =
+            |c: &Configuration<bool>| c.states()[..3].iter().filter(|&&d| d).count() <= 1;
+        let worst = worst_safety_stabilization(&cg, safe).unwrap();
+        // Worst initial config: all three interior dirty; the daemon cleans
+        // one at a time; configs stay unsafe while >= 2 dirty. Indices:
+        // γ0 (3 dirty, unsafe), γ1 (2 dirty, unsafe), γ2 (1 dirty, safe).
+        // Last violation index 1 → stabilization 2.
+        let max = worst.iter().max().copied().unwrap();
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn too_large_is_reported() {
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let err = build_config_graph(&g, &Sweep, &all, SearchDaemon::Central, 3).unwrap_err();
+        assert!(matches!(err, SearchError::TooLarge { .. }));
+    }
+
+    #[test]
+    fn subset_cap_is_reported() {
+        let g = generators::path(4).unwrap();
+        let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
+        let err = build_config_graph(
+            &g,
+            &Sweep,
+            &all,
+            SearchDaemon::Distributed { max_enabled: 2 },
+            100_000,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SearchError::TooManySubsets { .. }));
+    }
+
+    /// A protocol where the central daemon can ping-pong forever between
+    /// two states: divergence detection test.
+    struct PingPong;
+    impl Protocol for PingPong {
+        type State = bool;
+        fn name(&self) -> String {
+            "pingpong".into()
+        }
+        fn rules(&self) -> Vec<RuleInfo> {
+            vec![RuleInfo::new("FLIP")]
+        }
+        fn enabled_rule(&self, view: &View<'_, bool>) -> Option<RuleId> {
+            // A vertex differing from some neighbor may flip.
+            view.neighbor_states().any(|(_, &s)| s != *view.state()).then_some(RuleId::new(0))
+        }
+        fn apply(&self, view: &View<'_, bool>, _rule: RuleId) -> bool {
+            !*view.state()
+        }
+        fn random_state(&self, _v: specstab_topology::VertexId, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+        fn state_domain(&self, _v: specstab_topology::VertexId) -> Option<Vec<bool>> {
+            Some(vec![false, true])
+        }
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        // On a 3-path the central daemon can flip the middle vertex back
+        // and forth forever (FFT → FTT → FFT ...), avoiding uniformity.
+        let g = generators::path(3).unwrap();
+        let all = enumerate_all_configurations(&g, &PingPong, 100).unwrap();
+        let cg = build_config_graph(&g, &PingPong, &all, SearchDaemon::Central, 1000).unwrap();
+        let uniform =
+            |c: &Configuration<bool>| c.states().windows(2).all(|w| w[0] == w[1]);
+        assert_eq!(worst_steps_to(&cg, uniform).unwrap_err(), SearchError::Divergent);
+        let safe = |c: &Configuration<bool>| c.states().windows(2).all(|w| w[0] == w[1]);
+        assert_eq!(worst_safety_stabilization(&cg, safe).unwrap_err(), SearchError::Divergent);
+    }
+}

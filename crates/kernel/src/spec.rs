@@ -1,0 +1,115 @@
+//! Problem specifications (Definition 3 scaffolding).
+//!
+//! A *specification* is a set of executions. For the problems in this
+//! workspace, specifications decompose into a per-configuration **safety**
+//! predicate, a per-configuration **legitimacy** predicate (a closed set of
+//! configurations from which every execution satisfies the specification),
+//! and a **liveness** component checked over recorded traces.
+//!
+//! The kernel keeps this abstract; `specstab-unison` instantiates it for
+//! `specAU` and `specstab-core` for `specME`.
+
+use crate::config::Configuration;
+use specstab_topology::Graph;
+
+/// A problem specification over per-vertex states `S`.
+pub trait Specification<S> {
+    /// Name for reports (e.g. `"specME"`).
+    fn name(&self) -> String;
+
+    /// Safety predicate over a single configuration (e.g. "at most one
+    /// privileged vertex").
+    fn is_safe(&self, config: &Configuration<S>, graph: &Graph) -> bool;
+
+    /// Legitimacy predicate: a *closed* set of configurations from which
+    /// every execution satisfies the specification. Legitimacy implies
+    /// safety for well-formed specifications.
+    fn is_legitimate(&self, config: &Configuration<S>, graph: &Graph) -> bool;
+}
+
+/// Checks closure of a specification's legitimacy predicate along one
+/// recorded execution: once legitimate, never illegitimate again.
+///
+/// Returns the index of the first closure violation, if any.
+#[must_use]
+pub fn closure_violation<S, Sp: Specification<S> + ?Sized>(
+    spec: &Sp,
+    configs: &[Configuration<S>],
+    graph: &Graph,
+) -> Option<usize> {
+    let mut was_legitimate = false;
+    for (i, c) in configs.iter().enumerate() {
+        let leg = spec.is_legitimate(c, graph);
+        if was_legitimate && !leg {
+            return Some(i);
+        }
+        was_legitimate = was_legitimate || leg;
+    }
+    None
+}
+
+/// Checks that legitimacy implies safety on every sampled configuration.
+///
+/// Returns the index of the first configuration that is legitimate but
+/// unsafe, if any.
+#[must_use]
+pub fn legitimacy_implies_safety_violation<S, Sp: Specification<S> + ?Sized>(
+    spec: &Sp,
+    configs: &[Configuration<S>],
+    graph: &Graph,
+) -> Option<usize> {
+    configs
+        .iter()
+        .position(|c| spec.is_legitimate(c, graph) && !spec.is_safe(c, graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specstab_topology::generators;
+
+    /// Toy spec over u8 states: safe = no state equals 255; legitimate =
+    /// all states equal.
+    struct Uniform;
+    impl Specification<u8> for Uniform {
+        fn name(&self) -> String {
+            "uniform".into()
+        }
+        fn is_safe(&self, config: &Configuration<u8>, _g: &Graph) -> bool {
+            config.states().iter().all(|&s| s != 255)
+        }
+        fn is_legitimate(&self, config: &Configuration<u8>, _g: &Graph) -> bool {
+            config.states().windows(2).all(|w| w[0] == w[1])
+        }
+    }
+
+    #[test]
+    fn closure_violation_detected() {
+        let g = generators::path(2).unwrap();
+        let configs = vec![
+            Configuration::new(vec![1, 1]), // legitimate
+            Configuration::new(vec![1, 2]), // closure broken here
+        ];
+        assert_eq!(closure_violation(&Uniform, &configs, &g), Some(1));
+    }
+
+    #[test]
+    fn closure_holds_when_monotone() {
+        let g = generators::path(2).unwrap();
+        let configs = vec![
+            Configuration::new(vec![1, 2]),
+            Configuration::new(vec![2, 2]),
+            Configuration::new(vec![2, 2]),
+        ];
+        assert_eq!(closure_violation(&Uniform, &configs, &g), None);
+    }
+
+    #[test]
+    fn legitimacy_implies_safety_checked() {
+        let g = generators::path(2).unwrap();
+        let configs = vec![Configuration::new(vec![255, 255])]; // legitimate but unsafe
+        assert_eq!(legitimacy_implies_safety_violation(&Uniform, &configs, &g), Some(0));
+        let ok = vec![Configuration::new(vec![3, 3])];
+        assert_eq!(legitimacy_implies_safety_violation(&Uniform, &ok, &g), None);
+    }
+}

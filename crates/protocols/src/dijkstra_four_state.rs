@@ -1,0 +1,395 @@
+//! Dijkstra's four-state self-stabilizing mutual exclusion on a line (the
+//! second solution of the 1974 note).
+//!
+//! Machines `0 .. n-1` form a bidirectional line. Each machine holds a
+//! boolean pair `(x, up)`; the bottom machine's `up` is frozen to `true`
+//! and the top machine's to `false` (so they effectively use two states —
+//! hence "four-state" for the normal machines):
+//!
+//! ```text
+//! bottom :: x = x_R ∧ ¬up_R          → x := ¬x
+//! top    :: x ≠ x_L                  → x := ¬x
+//! normal :: x ≠ x_L                  → x := ¬x ; up := true
+//! normal :: x = x_R ∧ up ∧ ¬up_R    → up := false
+//! ```
+//!
+//! Like the three-state solution, a normal machine may hold both guards at
+//! once; this implementation prefers the first rule and exhaustively
+//! verifies that self-stabilization survives the arbitration.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
+use specstab_kernel::spec::Specification;
+use specstab_topology::{Graph, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// Rule indices.
+pub mod rules {
+    use specstab_kernel::protocol::RuleId;
+
+    /// Bottom machine's toggle.
+    pub const BOTTOM: RuleId = RuleId::new(0);
+    /// Top machine's toggle.
+    pub const TOP: RuleId = RuleId::new(1);
+    /// Normal machine's downward-token rule (`x ≠ x_L`).
+    pub const FLIP: RuleId = RuleId::new(2);
+    /// Normal machine's upward-token rule (`up := false`).
+    pub const LOWER: RuleId = RuleId::new(3);
+}
+
+/// Per-machine state: the `(x, up)` boolean pair.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FourState {
+    /// The `x` bit.
+    pub x: bool,
+    /// The `up` bit (frozen for bottom/top).
+    pub up: bool,
+}
+
+impl fmt::Display for FourState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", u8::from(self.x), if self.up { "↑" } else { "↓" })
+    }
+}
+
+/// Errors building a [`DijkstraFourState`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum FourStateError {
+    /// The communication graph is not a line (path) with `n >= 2`.
+    NotALine,
+}
+
+impl fmt::Display for FourStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dijkstra's four-state protocol requires a line of n >= 2 machines")
+    }
+}
+
+impl Error for FourStateError {}
+
+/// Dijkstra's four-state protocol instance.
+#[derive(Clone, Debug)]
+pub struct DijkstraFourState {
+    n: usize,
+}
+
+impl DijkstraFourState {
+    /// Creates the protocol for a line graph (`path(n)`, `n >= 2`).
+    ///
+    /// # Errors
+    ///
+    /// [`FourStateError::NotALine`] otherwise.
+    pub fn new(graph: &Graph) -> Result<Self, FourStateError> {
+        let n = graph.n();
+        if n < 2 || graph.m() != n - 1 {
+            return Err(FourStateError::NotALine);
+        }
+        for i in 0..n - 1 {
+            if !graph.contains_edge(VertexId::new(i), VertexId::new(i + 1)) {
+                return Err(FourStateError::NotALine);
+            }
+        }
+        Ok(Self { n })
+    }
+
+    /// Number of machines.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Normalizes a state for machine `i` (freezes the special machines'
+    /// `up` bit).
+    #[must_use]
+    pub fn canonical(&self, i: usize, mut s: FourState) -> FourState {
+        if i == 0 {
+            s.up = true;
+        } else if i == self.n - 1 {
+            s.up = false;
+        }
+        s
+    }
+
+    /// The guards enabled at `v` (Dijkstra's "privileges").
+    #[must_use]
+    pub fn privileges(&self, v: VertexId, config: &Configuration<FourState>) -> Vec<RuleId> {
+        let i = v.index();
+        let s = self.canonical(i, *config.get(v));
+        let mut out = Vec::new();
+        if i == 0 {
+            let r = self.canonical(1, *config.get(VertexId::new(1)));
+            if s.x == r.x && !r.up {
+                out.push(rules::BOTTOM);
+            }
+        } else if i == self.n - 1 {
+            let l = self.canonical(i - 1, *config.get(VertexId::new(i - 1)));
+            if s.x != l.x {
+                out.push(rules::TOP);
+            }
+        } else {
+            let l = self.canonical(i - 1, *config.get(VertexId::new(i - 1)));
+            let r = self.canonical(i + 1, *config.get(VertexId::new(i + 1)));
+            if s.x != l.x {
+                out.push(rules::FLIP);
+            }
+            if s.x == r.x && s.up && !r.up {
+                out.push(rules::LOWER);
+            }
+        }
+        out
+    }
+
+    /// Total privilege count of the configuration.
+    #[must_use]
+    pub fn privilege_count(&self, config: &Configuration<FourState>) -> usize {
+        (0..self.n).map(|i| self.privileges(VertexId::new(i), config).len()).sum()
+    }
+}
+
+impl Protocol for DijkstraFourState {
+    type State = FourState;
+
+    fn name(&self) -> String {
+        format!("dijkstra-4state[n={}]", self.n)
+    }
+
+    fn rules(&self) -> Vec<RuleInfo> {
+        vec![
+            RuleInfo::new("BOTTOM"),
+            RuleInfo::new("TOP"),
+            RuleInfo::new("FLIP"),
+            RuleInfo::new("LOWER"),
+        ]
+    }
+
+    fn enabled_rule(&self, view: &View<'_, FourState>) -> Option<RuleId> {
+        let i = view.vertex().index();
+        let s = self.canonical(i, *view.state());
+        if i == 0 {
+            let r = self.canonical(1, *view.state_of(VertexId::new(1)));
+            (s.x == r.x && !r.up).then_some(rules::BOTTOM)
+        } else if i == self.n - 1 {
+            let l = self.canonical(i - 1, *view.state_of(VertexId::new(i - 1)));
+            (s.x != l.x).then_some(rules::TOP)
+        } else {
+            let l = self.canonical(i - 1, *view.state_of(VertexId::new(i - 1)));
+            let r = self.canonical(i + 1, *view.state_of(VertexId::new(i + 1)));
+            if s.x != l.x {
+                Some(rules::FLIP)
+            } else if s.x == r.x && s.up && !r.up {
+                Some(rules::LOWER)
+            } else {
+                None
+            }
+        }
+    }
+
+    fn apply(&self, view: &View<'_, FourState>, rule: RuleId) -> FourState {
+        let i = view.vertex().index();
+        let mut s = self.canonical(i, *view.state());
+        match rule {
+            rules::BOTTOM | rules::TOP => s.x = !s.x,
+            rules::FLIP => {
+                s.x = !s.x;
+                s.up = true;
+            }
+            rules::LOWER => s.up = false,
+            other => panic!("four-state protocol has no rule {other}"),
+        }
+        self.canonical(i, s)
+    }
+
+    fn random_state(&self, v: VertexId, rng: &mut StdRng) -> FourState {
+        self.canonical(
+            v.index(),
+            FourState { x: rng.gen_bool(0.5), up: rng.gen_bool(0.5) },
+        )
+    }
+
+    fn state_domain(&self, v: VertexId) -> Option<Vec<FourState>> {
+        let i = v.index();
+        let mut out = Vec::new();
+        for x in [false, true] {
+            for up in [false, true] {
+                let s = self.canonical(i, FourState { x, up });
+                if !out.contains(&s) {
+                    out.push(s);
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// `specME` for the four-state line: safety = at most one privilege,
+/// legitimacy = exactly one.
+#[derive(Clone, Debug)]
+pub struct FourStateSpec {
+    protocol: DijkstraFourState,
+}
+
+impl FourStateSpec {
+    /// Creates the specification.
+    #[must_use]
+    pub fn new(protocol: DijkstraFourState) -> Self {
+        Self { protocol }
+    }
+}
+
+impl Specification<FourState> for FourStateSpec {
+    fn name(&self) -> String {
+        "specME(dijkstra-4state)".into()
+    }
+    fn is_safe(&self, config: &Configuration<FourState>, _graph: &Graph) -> bool {
+        self.protocol.privilege_count(config) <= 1
+    }
+    fn is_legitimate(&self, config: &Configuration<FourState>, _graph: &Graph) -> bool {
+        self.protocol.privilege_count(config) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use specstab_kernel::daemon::{CentralDaemon, CentralStrategy};
+    use specstab_kernel::engine::Simulator;
+    use specstab_kernel::measure::measure_with_early_stop;
+    use specstab_kernel::protocol::random_configuration;
+    use specstab_kernel::search::{
+        build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
+    };
+    use specstab_topology::generators;
+
+    fn line(n: usize) -> (Graph, DijkstraFourState) {
+        let g = generators::path(n).unwrap();
+        let p = DijkstraFourState::new(&g).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn rejects_non_lines() {
+        let ring = generators::ring(4).unwrap();
+        assert!(DijkstraFourState::new(&ring).is_err());
+    }
+
+    #[test]
+    fn special_machines_have_two_states() {
+        let (_, p) = line(4);
+        assert_eq!(p.state_domain(VertexId::new(0)).unwrap().len(), 2);
+        assert_eq!(p.state_domain(VertexId::new(3)).unwrap().len(), 2);
+        assert_eq!(p.state_domain(VertexId::new(1)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn exact_self_stabilization_under_central_daemon() {
+        // Exhaustive over the whole state space for n = 3..6 — correctness
+        // oracle for the transcribed rules.
+        for n in [3usize, 4, 5, 6] {
+            let (g, p) = line(n);
+            let spec = FourStateSpec::new(p.clone());
+            let all = enumerate_all_configurations(&g, &p, 1_000_000).unwrap();
+            let cg = build_config_graph(&g, &p, &all, SearchDaemon::Central, 2_000_000).unwrap();
+            let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g));
+            assert!(worst.is_ok(), "n={n}: {:?}", worst.err());
+        }
+    }
+
+    #[test]
+    fn exact_self_stabilization_under_distributed_daemon() {
+        let (g, p) = line(4);
+        let spec = FourStateSpec::new(p.clone());
+        let all = enumerate_all_configurations(&g, &p, 1_000_000).unwrap();
+        let cg = build_config_graph(
+            &g,
+            &p,
+            &all,
+            SearchDaemon::Distributed { max_enabled: 4 },
+            5_000_000,
+        )
+        .unwrap();
+        assert!(worst_steps_to(&cg, |c| spec.is_legitimate(c, &g)).is_ok());
+    }
+
+    #[test]
+    fn legitimacy_is_closed_exhaustively() {
+        let (g, p) = line(5);
+        let spec = FourStateSpec::new(p.clone());
+        let sim = Simulator::new(&g, &p);
+        let all = enumerate_all_configurations(&g, &p, 1_000_000).unwrap();
+        for c in &all {
+            if !spec.is_legitimate(c, &g) {
+                continue;
+            }
+            for &v in &sim.enabled_vertices(c) {
+                let (next, _) = sim.apply_action(c, &[v]);
+                assert!(spec.is_legitimate(&next, &g), "closure broken at {:?}", c.states());
+            }
+        }
+    }
+
+    #[test]
+    fn no_terminal_configurations_exist() {
+        let (g, p) = line(5);
+        let sim = Simulator::new(&g, &p);
+        let all = enumerate_all_configurations(&g, &p, 1_000_000).unwrap();
+        for c in &all {
+            assert!(!sim.enabled_vertices(c).is_empty(), "deadlock at {:?}", c.states());
+        }
+    }
+
+    #[test]
+    fn converges_from_random_configurations() {
+        let (g, p) = line(10);
+        let spec = FourStateSpec::new(p.clone());
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = random_configuration(&g, &p, &mut rng);
+            let mut d = CentralDaemon::new(CentralStrategy::Random(seed));
+            let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
+            let r = measure_with_early_stop(
+                &g,
+                &p,
+                &mut d,
+                init,
+                Box::new(move |c, g| s.is_safe(c, g)),
+                Box::new(move |c, g| l.is_legitimate(c, g)),
+                Box::new(move |c, g| st.is_legitimate(c, g)),
+                1_000_000,
+                5,
+            );
+            assert!(r.ended_legitimate, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn token_shuttles_between_ends() {
+        let (g, p) = line(5);
+        let sim = Simulator::new(&g, &p);
+        let mut config =
+            Configuration::from_fn(5, |v| p.canonical(v.index(), FourState::default()));
+        let (mut bottom, mut top) = (0, 0);
+        for _ in 0..60 {
+            let enabled = sim.enabled_vertices(&config);
+            assert!(!enabled.is_empty());
+            if enabled.contains(&VertexId::new(0)) {
+                bottom += 1;
+            }
+            if enabled.contains(&VertexId::new(4)) {
+                top += 1;
+            }
+            config = sim.apply_action(&config, &enabled[..1]).0;
+        }
+        assert!(bottom > 0 && top > 0);
+    }
+
+    #[test]
+    fn display_renders_state() {
+        assert_eq!(FourState { x: true, up: false }.to_string(), "1↓");
+        assert_eq!(FourState { x: false, up: true }.to_string(), "0↑");
+    }
+}

@@ -1,0 +1,382 @@
+//! Exact computation of `hole(g)` and `lcp(g)`.
+//!
+//! The asynchronous unison of Boulinier, Petit & Villain — the substrate of
+//! SSME — is parametrized by two topological constants:
+//!
+//! * `hole(g)`: the length of a longest *hole* (chordless/induced cycle) if
+//!   `g` contains a cycle, and `2` otherwise. Convergence requires the
+//!   clock's initial segment to satisfy `α >= hole(g) - 2`.
+//! * `lcp(g)`: the length (in edges) of a longest *elementary chordless
+//!   path* (induced path). The synchronous stabilization bound of the
+//!   unison is `α + lcp(g) + diam(g)` steps.
+//!
+//! Both quantities are NP-hard in general; this module computes them
+//! **exactly** with a pruned depth-first enumeration of induced
+//! paths/cycles, guarded by an explicit [`SearchBudget`] so callers control
+//! the worst-case cost. At the scale used by the test-suite and experiments
+//! (`n <= ~40` for exact values) the searches complete in milliseconds;
+//! SSME itself only needs the bound `hole(g) <= n`, which holds trivially.
+
+use crate::graph::{Graph, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// Cap on the number of DFS node visits for the exponential searches.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct SearchBudget {
+    /// Maximum number of DFS extensions examined before giving up.
+    pub max_visits: u64,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self { max_visits: 20_000_000 }
+    }
+}
+
+/// The search exceeded its [`SearchBudget`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct BudgetExceeded {
+    /// Number of DFS extensions examined when the budget ran out.
+    pub visited: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chordless-structure search exceeded its budget after {} visits", self.visited)
+    }
+}
+
+impl Error for BudgetExceeded {}
+
+/// Dense adjacency matrix with O(1) edge tests, used by the DFS.
+struct AdjMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjMatrix {
+    fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for &(u, v) in g.edges() {
+            let (ui, vi) = (u.index(), v.index());
+            bits[ui * words_per_row + vi / 64] |= 1 << (vi % 64);
+            bits[vi * words_per_row + ui / 64] |= 1 << (ui % 64);
+        }
+        Self { n, words_per_row, bits }
+    }
+
+    #[inline]
+    fn adj(&self, u: usize, v: usize) -> bool {
+        debug_assert!(u < self.n && v < self.n);
+        self.bits[u * self.words_per_row + v / 64] >> (v % 64) & 1 == 1
+    }
+}
+
+struct Dfs<'a> {
+    g: &'a Graph,
+    adj: AdjMatrix,
+    in_path: Vec<bool>,
+    path: Vec<usize>,
+    visits: u64,
+    budget: SearchBudget,
+}
+
+impl<'a> Dfs<'a> {
+    fn new(g: &'a Graph, budget: SearchBudget) -> Self {
+        Self {
+            g,
+            adj: AdjMatrix::new(g),
+            in_path: vec![false; g.n()],
+            path: Vec::with_capacity(g.n()),
+            visits: 0,
+            budget,
+        }
+    }
+
+    fn tick(&mut self) -> Result<(), BudgetExceeded> {
+        self.visits += 1;
+        if self.visits > self.budget.max_visits {
+            Err(BudgetExceeded { visited: self.visits })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `w` is adjacent to no path vertex except the last one and,
+    /// optionally, the first one.
+    fn extension_chords(&self, w: usize) -> (bool, bool) {
+        let last = *self.path.last().expect("path never empty during DFS");
+        let first = self.path[0];
+        let mut chord_to_first = false;
+        for &x in &self.path {
+            if x == last {
+                continue;
+            }
+            if self.adj.adj(w, x) {
+                if x == first {
+                    chord_to_first = true;
+                } else {
+                    return (true, chord_to_first);
+                }
+            }
+        }
+        (false, chord_to_first)
+    }
+
+    /// Longest chordless cycle through minimal vertex `start`, restricted to
+    /// vertices `> start` (so each cycle is explored from its minimum
+    /// vertex only). Updates `best` in place.
+    fn cycles_from(&mut self, start: usize, best: &mut Option<usize>) -> Result<(), BudgetExceeded> {
+        let last = *self.path.last().expect("path never empty");
+        // Iterate over indices to appease the borrow checker cheaply.
+        for i in 0..self.g.neighbors(VertexId::new(last)).len() {
+            let w = self.g.neighbors(VertexId::new(last))[i].index();
+            if w <= start || self.in_path[w] {
+                continue;
+            }
+            self.tick()?;
+            let (inner_chord, closes) = self.extension_chords(w);
+            if inner_chord {
+                continue;
+            }
+            if closes {
+                // w is adjacent to both `last` and `start` and nothing else
+                // on the path: a chordless cycle of |path| + 1 vertices.
+                if self.path.len() >= 2 {
+                    let len = self.path.len() + 1;
+                    if best.map_or(true, |b| len > b) {
+                        *best = Some(len);
+                    }
+                }
+                // Extending past w would make (w, start) a chord.
+                continue;
+            }
+            self.path.push(w);
+            self.in_path[w] = true;
+            self.cycles_from(start, best)?;
+            self.in_path[w] = false;
+            self.path.pop();
+        }
+        Ok(())
+    }
+
+    /// Longest induced path extension, measured in edges.
+    fn paths_from(&mut self, best: &mut usize) -> Result<(), BudgetExceeded> {
+        let last = *self.path.last().expect("path never empty");
+        for i in 0..self.g.neighbors(VertexId::new(last)).len() {
+            let w = self.g.neighbors(VertexId::new(last))[i].index();
+            if self.in_path[w] {
+                continue;
+            }
+            self.tick()?;
+            let (inner_chord, chord_to_first) = self.extension_chords(w);
+            // For a path, an edge back to the first vertex is also a chord
+            // (unless the path is a single edge so far, where "first" is the
+            // previous vertex handled by `extension_chords` as `last`).
+            if inner_chord || (chord_to_first && self.path.len() >= 2) {
+                continue;
+            }
+            self.path.push(w);
+            self.in_path[w] = true;
+            *best = (*best).max(self.path.len() - 1);
+            self.paths_from(best)?;
+            self.in_path[w] = false;
+            self.path.pop();
+        }
+        Ok(())
+    }
+}
+
+/// Length (number of vertices = number of edges) of a longest chordless
+/// (induced) cycle, or `None` if the graph is acyclic.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the pruned DFS exceeds `budget`.
+pub fn longest_chordless_cycle(
+    g: &Graph,
+    budget: SearchBudget,
+) -> Result<Option<usize>, BudgetExceeded> {
+    if !g.has_cycle() {
+        return Ok(None);
+    }
+    let mut dfs = Dfs::new(g, budget);
+    let mut best = None;
+    for start in 0..g.n() {
+        dfs.path.clear();
+        dfs.path.push(start);
+        dfs.in_path.fill(false);
+        dfs.in_path[start] = true;
+        dfs.cycles_from(start, &mut best)?;
+    }
+    Ok(best)
+}
+
+/// `hole(g)` with the paper's convention: longest chordless cycle length if
+/// `g` contains a cycle, `2` otherwise.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the pruned DFS exceeds `budget`.
+pub fn hole(g: &Graph, budget: SearchBudget) -> Result<usize, BudgetExceeded> {
+    Ok(longest_chordless_cycle(g, budget)?.unwrap_or(2))
+}
+
+/// `lcp(g)`: length in edges of a longest elementary chordless (induced)
+/// path. A single-vertex graph has `lcp = 0`.
+///
+/// # Errors
+///
+/// Returns [`BudgetExceeded`] if the pruned DFS exceeds `budget`.
+pub fn longest_chordless_path(g: &Graph, budget: SearchBudget) -> Result<usize, BudgetExceeded> {
+    let mut dfs = Dfs::new(g, budget);
+    let mut best = 0usize;
+    for start in 0..g.n() {
+        dfs.path.clear();
+        dfs.path.push(start);
+        dfs.in_path.fill(false);
+        dfs.in_path[start] = true;
+        dfs.paths_from(&mut best)?;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+
+    fn b() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    #[test]
+    fn ring_hole_is_n() {
+        for n in 3..12 {
+            let g = generators::ring(n).unwrap();
+            assert_eq!(hole(&g, b()).unwrap(), n, "ring-{n}");
+        }
+    }
+
+    #[test]
+    fn tree_hole_is_two_by_convention() {
+        let g = generators::binary_tree(15).unwrap();
+        assert_eq!(longest_chordless_cycle(&g, b()).unwrap(), None);
+        assert_eq!(hole(&g, b()).unwrap(), 2);
+    }
+
+    #[test]
+    fn complete_hole_is_three() {
+        // Every cycle of length >= 4 in K_n has a chord; triangles remain.
+        for n in 3..7 {
+            let g = generators::complete(n).unwrap();
+            assert_eq!(hole(&g, b()).unwrap(), 3, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn grid_hole_snakes() {
+        // 2x2 grid: the 4-cycle itself.
+        assert_eq!(hole(&generators::grid(2, 2).unwrap(), b()).unwrap(), 4);
+        // 3x3 grid: the 8-vertex perimeter is chordless.
+        assert_eq!(hole(&generators::grid(3, 3).unwrap(), b()).unwrap(), 8);
+    }
+
+    #[test]
+    fn petersen_hole_is_six() {
+        // Petersen: girth 5, but the longest induced cycles have length 6.
+        assert_eq!(hole(&generators::petersen(), b()).unwrap(), 6);
+    }
+
+    #[test]
+    fn wheel_hole_is_rim_minus_hub_chords() {
+        // In wheel-6 (hub + rim C5) every rim cycle of length >= 4 gains a
+        // chord through... no: hub chords only exist for cycles through the
+        // hub. The rim C5 itself is induced? Each rim vertex is adjacent to
+        // the hub, but the hub is not on the cycle, so the rim is chordless.
+        assert_eq!(hole(&generators::wheel(6).unwrap(), b()).unwrap(), 5);
+    }
+
+    #[test]
+    fn hole_of_cycle_with_one_chord() {
+        // C6 with a chord splitting it into a C4 and a C3... chord (0,3)
+        // splits C6 0-1-2-3-4-5 into 0-1-2-3 (4-cycle) and 0-3-4-5 (4-cycle).
+        let g = GraphBuilder::new(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 5)
+            .edge(5, 0)
+            .edge(0, 3)
+            .build()
+            .unwrap();
+        assert_eq!(hole(&g, b()).unwrap(), 4);
+    }
+
+    #[test]
+    fn lcp_of_path_is_full_length() {
+        for n in 1..8 {
+            let g = generators::path(n).unwrap();
+            assert_eq!(longest_chordless_path(&g, b()).unwrap(), n - 1, "path-{n}");
+        }
+    }
+
+    #[test]
+    fn lcp_of_ring_is_n_minus_two() {
+        // A ring path using all n vertices closes a chord between its two
+        // endpoints; n-1 consecutive vertices give an induced path with
+        // n-2 edges.
+        for n in 4..10 {
+            let g = generators::ring(n).unwrap();
+            assert_eq!(longest_chordless_path(&g, b()).unwrap(), n - 2, "ring-{n}");
+        }
+    }
+
+    #[test]
+    fn lcp_of_complete_is_one() {
+        let g = generators::complete(5).unwrap();
+        assert_eq!(longest_chordless_path(&g, b()).unwrap(), 1);
+    }
+
+    #[test]
+    fn lcp_of_star_is_two() {
+        let g = generators::star(7).unwrap();
+        assert_eq!(longest_chordless_path(&g, b()).unwrap(), 2);
+    }
+
+    #[test]
+    fn lcp_single_vertex_is_zero() {
+        let g = generators::path(1).unwrap();
+        assert_eq!(longest_chordless_path(&g, b()).unwrap(), 0);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = generators::hypercube(6).unwrap();
+        let tiny = SearchBudget { max_visits: 10 };
+        assert!(longest_chordless_path(&g, tiny).is_err());
+        assert!(longest_chordless_cycle(&g, tiny).is_err());
+    }
+
+    #[test]
+    fn hole_never_exceeds_n() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(12, 0.25, seed).unwrap();
+            let h = hole(&g, b()).unwrap();
+            assert!(h <= g.n(), "{}: hole {} > n {}", g.name(), h, g.n());
+            assert!(h >= 2);
+        }
+    }
+
+    #[test]
+    fn hypercube_holes() {
+        // Q3: induced cycles have length 4 and 6.
+        assert_eq!(hole(&generators::hypercube(3).unwrap(), b()).unwrap(), 6);
+    }
+}

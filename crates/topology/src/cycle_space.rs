@@ -1,0 +1,417 @@
+//! Cycle space, minimum cycle bases and the cyclomatic characteristic
+//! `cyclo(g)`.
+//!
+//! Boulinier, Petit & Villain prove their asynchronous unison live when the
+//! clock period satisfies `K > cyclo(g)`, where `cyclo(g)` is the *cyclomatic
+//! characteristic*: the length of the longest cycle in a shortest (minimum
+//! total length) maximal cycle basis of `g`, or `2` if `g` is acyclic. All
+//! minimum cycle bases of a graph share the same sorted length sequence, so
+//! `cyclo(g)` is well defined.
+//!
+//! This module implements Horton's classical algorithm: generate the
+//! candidate set `{ SP(v,x) + (x,y) + SP(y,v) }`, sort by length, and
+//! extract a maximal independent family over GF(2). BFS trees use
+//! smallest-index tie-breaking, which makes shortest paths consistent — the
+//! standard exactness condition for Horton's algorithm.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::HashMap;
+
+/// A cycle expressed over the graph's edge list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasisCycle {
+    /// Indices into [`Graph::edges`] of the edges of this cycle.
+    pub edge_indices: Vec<usize>,
+}
+
+impl BasisCycle {
+    /// Number of edges (= number of vertices) of the cycle.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edge_indices.len()
+    }
+
+    /// Whether the cycle is empty (never true for basis members).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edge_indices.is_empty()
+    }
+}
+
+/// A minimum cycle basis of a connected graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleBasis {
+    /// Basis cycles, sorted by nondecreasing length.
+    pub cycles: Vec<BasisCycle>,
+}
+
+impl CycleBasis {
+    /// Dimension of the cycle space (`m - n + 1` for connected graphs).
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total length of the basis.
+    #[must_use]
+    pub fn total_length(&self) -> usize {
+        self.cycles.iter().map(BasisCycle::len).sum()
+    }
+
+    /// Length of the longest basis cycle, or `None` for acyclic graphs.
+    #[must_use]
+    pub fn max_cycle_length(&self) -> Option<usize> {
+        self.cycles.iter().map(BasisCycle::len).max()
+    }
+}
+
+/// Cyclomatic number `m - n + 1` of a connected graph (dimension of its
+/// cycle space).
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected (the simulation model requires
+/// connected communication graphs).
+#[must_use]
+pub fn cyclomatic_number(g: &Graph) -> usize {
+    assert!(g.is_connected(), "cyclomatic_number requires a connected graph");
+    g.m() + 1 - g.n()
+}
+
+/// BFS tree with smallest-index tie-breaking: `(dist, parent)` per vertex.
+fn bfs_tree(g: &Graph, root: VertexId) -> (Vec<u32>, Vec<usize>) {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[root.index()] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        // Neighbor lists are sorted, so parents are smallest-index among
+        // equal-distance predecessors.
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = dist[u.index()] + 1;
+                parent[w.index()] = u.index();
+                queue.push_back(w);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Sparse GF(2) vector over edge indices, kept sorted.
+type EdgeVec = Vec<usize>;
+
+fn xor_sorted(a: &[usize], b: &[usize]) -> EdgeVec {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Computes a minimum cycle basis with Horton's algorithm.
+///
+/// Returns an empty basis for acyclic graphs.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+#[must_use]
+pub fn minimum_cycle_basis(g: &Graph) -> CycleBasis {
+    let nu = cyclomatic_number(g);
+    if nu == 0 {
+        return CycleBasis { cycles: Vec::new() };
+    }
+    let edge_index: HashMap<(VertexId, VertexId), usize> =
+        g.edges().iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+    let eidx = |a: usize, b: usize| -> usize {
+        let (u, v) = (VertexId::new(a.min(b)), VertexId::new(a.max(b)));
+        *edge_index.get(&(u, v)).expect("edge must exist")
+    };
+
+    // Horton candidates: for every root v and edge (x, y), the cycle
+    // SP(v,x) + (x,y) + SP(y,v), valid when the two tree paths intersect
+    // only at v.
+    let mut candidates: Vec<(usize, EdgeVec)> = Vec::new();
+    let mut seen: HashMap<EdgeVec, ()> = HashMap::new();
+    for v in g.vertices() {
+        let (dist, parent) = bfs_tree(g, v);
+        let tree_path = |mut x: usize| -> Vec<usize> {
+            let mut verts = vec![x];
+            while parent[x] != usize::MAX {
+                x = parent[x];
+                verts.push(x);
+            }
+            verts
+        };
+        for &(x, y) in g.edges() {
+            let (xi, yi) = (x.index(), y.index());
+            if dist[xi] == u32::MAX || dist[yi] == u32::MAX {
+                continue;
+            }
+            if parent[xi] == yi || parent[yi] == xi {
+                continue; // tree edge of this BFS: degenerate candidate
+            }
+            let px = tree_path(xi);
+            let py = tree_path(yi);
+            // Paths must share exactly the root v.
+            let share: Vec<&usize> = px.iter().filter(|a| py.contains(a)).collect();
+            if share.len() != 1 || *share[0] != v.index() {
+                continue;
+            }
+            let mut edges: EdgeVec = Vec::new();
+            for w in px.windows(2) {
+                edges.push(eidx(w[0], w[1]));
+            }
+            for w in py.windows(2) {
+                edges.push(eidx(w[0], w[1]));
+            }
+            edges.push(eidx(xi, yi));
+            edges.sort_unstable();
+            debug_assert!(edges.windows(2).all(|w| w[0] != w[1]), "simple cycle candidate");
+            let len = edges.len();
+            if seen.insert(edges.clone(), ()).is_none() {
+                candidates.push((len, edges));
+            }
+        }
+    }
+    candidates.sort_by_key(|(len, edges)| (*len, edges.clone()));
+
+    // Greedy GF(2) independence: reduced echelon accumulator.
+    let mut basis_reduced: Vec<EdgeVec> = Vec::new(); // reduced forms, by pivot
+    let mut chosen: Vec<BasisCycle> = Vec::new();
+    for (_, cand) in candidates {
+        let mut red = cand.clone();
+        for b in &basis_reduced {
+            if !red.is_empty()
+                && !b.is_empty()
+                && red[0] >= b[0]
+                && red.binary_search(&b[0]).is_ok()
+            {
+                red = xor_sorted(&red, b);
+            }
+        }
+        if !red.is_empty() {
+            basis_reduced.push(red);
+            basis_reduced.sort_by_key(|v| v[0]);
+            chosen.push(BasisCycle { edge_indices: cand });
+            if chosen.len() == nu {
+                break;
+            }
+        }
+    }
+    if chosen.len() < nu {
+        // Fallback for pathological shortest-path ties: complete the basis
+        // with fundamental cycles of a BFS tree. The result is then a valid
+        // cycle basis whose maximum length conservatively upper-bounds the
+        // true cyclomatic characteristic (safe for `K > cyclo` validation).
+        let root = VertexId::new(0);
+        let (_, parent) = bfs_tree(g, root);
+        let tree_path = |mut x: usize| -> Vec<usize> {
+            let mut verts = vec![x];
+            while parent[x] != usize::MAX {
+                x = parent[x];
+                verts.push(x);
+            }
+            verts
+        };
+        for &(x, y) in g.edges() {
+            if chosen.len() == nu {
+                break;
+            }
+            if parent[x.index()] == y.index() || parent[y.index()] == x.index() {
+                continue; // tree edge
+            }
+            let mut edges: EdgeVec = Vec::new();
+            for w in tree_path(x.index()).windows(2) {
+                edges.push(eidx(w[0], w[1]));
+            }
+            for w in tree_path(y.index()).windows(2) {
+                edges.push(eidx(w[0], w[1]));
+            }
+            edges.push(eidx(x.index(), y.index()));
+            edges.sort_unstable();
+            // Shared tree-path prefix edges cancel out over GF(2).
+            let mut cancelled: EdgeVec = Vec::new();
+            let mut i = 0;
+            while i < edges.len() {
+                if i + 1 < edges.len() && edges[i] == edges[i + 1] {
+                    i += 2;
+                } else {
+                    cancelled.push(edges[i]);
+                    i += 1;
+                }
+            }
+            let mut red = cancelled.clone();
+            for b in &basis_reduced {
+                if !red.is_empty() && red.binary_search(&b[0]).is_ok() {
+                    red = xor_sorted(&red, b);
+                }
+            }
+            if !red.is_empty() {
+                basis_reduced.push(red);
+                basis_reduced.sort_by_key(|v| v[0]);
+                chosen.push(BasisCycle { edge_indices: cancelled });
+            }
+        }
+    }
+    assert_eq!(chosen.len(), nu, "cycle basis must span the cycle space of a connected graph");
+    chosen.sort_by_key(BasisCycle::len);
+    CycleBasis { cycles: chosen }
+}
+
+/// `cyclo(g)`: the cyclomatic characteristic with the paper's convention —
+/// length of the longest cycle of a minimum cycle basis if `g` contains a
+/// cycle, `2` otherwise.
+///
+/// # Panics
+///
+/// Panics if the graph is disconnected.
+#[must_use]
+pub fn cyclo(g: &Graph) -> usize {
+    minimum_cycle_basis(g).max_cycle_length().unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn tree_has_trivial_cycle_space() {
+        let g = generators::binary_tree(15).unwrap();
+        assert_eq!(cyclomatic_number(&g), 0);
+        assert_eq!(minimum_cycle_basis(&g).dimension(), 0);
+        assert_eq!(cyclo(&g), 2);
+    }
+
+    #[test]
+    fn ring_basis_is_the_ring() {
+        for n in 3..10 {
+            let g = generators::ring(n).unwrap();
+            let basis = minimum_cycle_basis(&g);
+            assert_eq!(basis.dimension(), 1, "ring-{n}");
+            assert_eq!(basis.cycles[0].len(), n);
+            assert_eq!(cyclo(&g), n);
+        }
+    }
+
+    #[test]
+    fn grid_basis_is_all_faces() {
+        for (r, c) in [(2, 2), (3, 3), (3, 5), (4, 4)] {
+            let g = generators::grid(r, c).unwrap();
+            let basis = minimum_cycle_basis(&g);
+            assert_eq!(basis.dimension(), (r - 1) * (c - 1), "grid-{r}x{c}");
+            assert!(basis.cycles.iter().all(|cy| cy.len() == 4));
+            assert_eq!(cyclo(&g), 4);
+        }
+    }
+
+    #[test]
+    fn complete_graph_basis_is_triangles() {
+        for n in 3..7 {
+            let g = generators::complete(n).unwrap();
+            let basis = minimum_cycle_basis(&g);
+            assert_eq!(basis.dimension(), g.m() + 1 - n);
+            assert!(basis.cycles.iter().all(|cy| cy.len() == 3), "K_{n}");
+            assert_eq!(cyclo(&g), 3);
+        }
+    }
+
+    #[test]
+    fn wheel_basis_is_triangles() {
+        let g = generators::wheel(8).unwrap();
+        assert_eq!(cyclo(&g), 3);
+    }
+
+    #[test]
+    fn petersen_basis_is_pentagons() {
+        let g = generators::petersen();
+        let basis = minimum_cycle_basis(&g);
+        assert_eq!(basis.dimension(), 6);
+        assert!(basis.cycles.iter().all(|cy| cy.len() == 5));
+        assert_eq!(cyclo(&g), 5);
+    }
+
+    #[test]
+    fn hypercube_basis_is_squares() {
+        let g = generators::hypercube(3).unwrap();
+        let basis = minimum_cycle_basis(&g);
+        assert_eq!(basis.dimension(), 12 - 8 + 1);
+        assert!(basis.cycles.iter().all(|cy| cy.len() == 4));
+        assert_eq!(cyclo(&g), 4);
+    }
+
+    #[test]
+    fn basis_cycles_have_even_degree_everywhere() {
+        // Each basis element is a cycle (or union): every vertex touches an
+        // even number of its edges.
+        let g = generators::erdos_renyi_connected(12, 0.3, 5).unwrap();
+        let basis = minimum_cycle_basis(&g);
+        for cy in &basis.cycles {
+            let mut deg = vec![0usize; g.n()];
+            for &ei in &cy.edge_indices {
+                let (u, v) = g.edges()[ei];
+                deg[u.index()] += 1;
+                deg[v.index()] += 1;
+            }
+            assert!(deg.iter().all(|&d| d % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn cyclo_bounded_by_n_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi_connected(14, 0.2, seed).unwrap();
+            let c = cyclo(&g);
+            assert!((2..=g.n()).contains(&c), "{}: cyclo {}", g.name(), c);
+        }
+    }
+
+    #[test]
+    fn torus_cyclo_at_most_girth_bound() {
+        // Torus 3x3 has 3-cycles (wrapped rows/columns) and 4-cycle faces;
+        // the MCB mixes them but never exceeds 4.
+        let g = generators::torus(3, 3).unwrap();
+        let basis = minimum_cycle_basis(&g);
+        assert_eq!(basis.dimension(), 18 - 9 + 1);
+        assert!(basis.max_cycle_length().unwrap() <= 4);
+    }
+
+    #[test]
+    fn basis_total_length_is_minimal_for_ring_with_chord() {
+        // C6 plus chord (0,3): MCB = two 4-cycles, total 8.
+        let g = crate::graph::GraphBuilder::new(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 5)
+            .edge(5, 0)
+            .edge(0, 3)
+            .build()
+            .unwrap();
+        let basis = minimum_cycle_basis(&g);
+        assert_eq!(basis.dimension(), 2);
+        assert_eq!(basis.total_length(), 8);
+        assert_eq!(cyclo(&g), 4);
+    }
+}

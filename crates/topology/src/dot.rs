@@ -1,0 +1,66 @@
+//! Export helpers: Graphviz DOT and a terminal summary.
+
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format (undirected).
+///
+/// ```
+/// use specstab_topology::{generators, dot};
+/// let g = generators::ring(3).expect("n >= 3");
+/// let out = dot::to_dot(&g);
+/// assert!(out.starts_with("graph"));
+/// assert!(out.contains("v0 -- v1"));
+/// ```
+#[must_use]
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", g.name());
+    for v in g.vertices() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for &(u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// One-line structural summary used by experiment reports.
+#[must_use]
+pub fn summary(g: &Graph) -> String {
+    format!(
+        "{name}: n={n} m={m} degmin={dmin} degmax={dmax}",
+        name = g.name(),
+        n = g.n(),
+        m = g.m(),
+        dmin = g.min_degree(),
+        dmax = g.max_degree(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_lists_all_edges_and_vertices() {
+        let g = generators::path(3).unwrap();
+        let out = to_dot(&g);
+        assert!(out.contains("v0;"));
+        assert!(out.contains("v2;"));
+        assert!(out.contains("v0 -- v1;"));
+        assert!(out.contains("v1 -- v2;"));
+        assert!(out.ends_with("}\n"));
+    }
+
+    #[test]
+    fn summary_contains_counts() {
+        let g = generators::star(5).unwrap();
+        let s = summary(&g);
+        assert!(s.contains("n=5"));
+        assert!(s.contains("m=4"));
+        assert!(s.contains("degmax=4"));
+    }
+}

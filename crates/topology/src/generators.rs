@@ -1,0 +1,519 @@
+//! The topology zoo: generators for the communication structures used in
+//! experiments.
+//!
+//! Every generator returns a **connected** simple graph whose name encodes
+//! the family and parameters, e.g. `"ring-8"` or `"torus-4x5"`. Generators
+//! taking randomness accept an explicit seed so that experiments are
+//! reproducible.
+
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn dim_err(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidDimension { reason: reason.into() }
+}
+
+/// Ring (cycle) on `n >= 3` vertices. Dijkstra's original topology.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n < 3`.
+pub fn ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(dim_err(format!("ring requires n >= 3, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n).name(format!("ring-{n}"));
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n);
+    }
+    b.build_connected()
+}
+
+/// Path (line) on `n >= 1` vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n == 0`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(dim_err("path requires n >= 1"));
+    }
+    let mut b = GraphBuilder::new(n).name(format!("path-{n}"));
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1);
+    }
+    b.build_connected()
+}
+
+/// Star: one hub (vertex 0) connected to `n - 1` leaves; `n >= 2`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n < 2`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(dim_err(format!("star requires n >= 2, got {n}")));
+    }
+    let mut b = GraphBuilder::new(n).name(format!("star-{n}"));
+    for i in 1..n {
+        b.add_edge(0, i);
+    }
+    b.build_connected()
+}
+
+/// Complete graph `K_n`, `n >= 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(dim_err("complete requires n >= 1"));
+    }
+    let mut b = GraphBuilder::new(n).name(format!("complete-{n}"));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j);
+        }
+    }
+    b.build_connected()
+}
+
+/// Complete bipartite graph `K_{a,b}`, `a, b >= 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `a == 0` or `b == 0`.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(dim_err("complete_bipartite requires a, b >= 1"));
+    }
+    let mut builder = GraphBuilder::new(a + b).name(format!("kbipartite-{a}x{b}"));
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i, a + j);
+        }
+    }
+    builder.build_connected()
+}
+
+/// `rows x cols` grid, both dimensions `>= 1` and `rows * cols >= 1`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(dim_err("grid requires rows, cols >= 1"));
+    }
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols).name(format!("grid-{rows}x{cols}"));
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    b.build_connected()
+}
+
+/// `rows x cols` torus (grid with wraparound), both dimensions `>= 3`.
+///
+/// Dimensions below 3 would create parallel edges, which the simple-graph
+/// model forbids.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if either dimension is `< 3`.
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(dim_err(format!("torus requires rows, cols >= 3, got {rows}x{cols}")));
+    }
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols).name(format!("torus-{rows}x{cols}"));
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols));
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c));
+        }
+    }
+    b.build_connected()
+}
+
+/// Hypercube of dimension `d >= 1` (so `2^d` vertices).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `d == 0` or `d > 16`.
+pub fn hypercube(d: u32) -> Result<Graph, GraphError> {
+    if d == 0 || d > 16 {
+        return Err(dim_err(format!("hypercube requires 1 <= d <= 16, got {d}")));
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n).name(format!("hypercube-{d}"));
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1usize << bit);
+            if u > v {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build_connected()
+}
+
+/// Complete binary tree with `n >= 1` vertices (heap-shaped).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n == 0`.
+pub fn binary_tree(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(dim_err("binary_tree requires n >= 1"));
+    }
+    let mut b = GraphBuilder::new(n).name(format!("bintree-{n}"));
+    for i in 1..n {
+        b.add_edge(i, (i - 1) / 2);
+    }
+    b.build_connected()
+}
+
+/// Uniformly random labelled tree on `n >= 1` vertices (Prüfer-free random
+/// attachment: vertex `i` attaches to a uniform earlier vertex).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(dim_err("random_tree requires n >= 1"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!("rtree-{n}-s{seed}"));
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        b.add_edge(i, p);
+    }
+    b.build_connected()
+}
+
+/// Caterpillar: a spine path of `spine` vertices, each carrying `legs`
+/// pendant leaves.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
+    if spine == 0 {
+        return Err(dim_err("caterpillar requires spine >= 1"));
+    }
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n).name(format!("caterpillar-{spine}x{legs}"));
+    for i in 0..spine.saturating_sub(1) {
+        b.add_edge(i, i + 1);
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l);
+        }
+    }
+    b.build_connected()
+}
+
+/// Lollipop: a clique `K_k` with a path of `p` extra vertices attached.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `k < 3`.
+pub fn lollipop(k: usize, p: usize) -> Result<Graph, GraphError> {
+    if k < 3 {
+        return Err(dim_err(format!("lollipop requires clique size >= 3, got {k}")));
+    }
+    let n = k + p;
+    let mut b = GraphBuilder::new(n).name(format!("lollipop-{k}+{p}"));
+    for i in 0..k {
+        for j in (i + 1)..k {
+            b.add_edge(i, j);
+        }
+    }
+    for i in 0..p {
+        let prev = if i == 0 { k - 1 } else { k + i - 1 };
+        b.add_edge(prev, k + i);
+    }
+    b.build_connected()
+}
+
+/// Wheel: a hub (vertex 0) connected to every vertex of a ring on
+/// `n - 1 >= 3` rim vertices.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n < 4`.
+pub fn wheel(n: usize) -> Result<Graph, GraphError> {
+    if n < 4 {
+        return Err(dim_err(format!("wheel requires n >= 4, got {n}")));
+    }
+    let rim = n - 1;
+    let mut b = GraphBuilder::new(n).name(format!("wheel-{n}"));
+    for i in 0..rim {
+        b.add_edge(1 + i, 1 + (i + 1) % rim);
+        b.add_edge(0, 1 + i);
+    }
+    b.build_connected()
+}
+
+/// The Petersen graph (n = 10, m = 15, diameter 2, girth 5).
+///
+/// A classic 3-regular graph whose longest hole has length 6 despite the
+/// small diameter — useful for exercising the unison parameter bounds.
+#[must_use]
+pub fn petersen() -> Graph {
+    let mut b = GraphBuilder::new(10).name("petersen");
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5); // outer pentagon
+        b.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        b.add_edge(i, 5 + i); // spokes
+    }
+    b.build_connected().expect("petersen graph is connected by construction")
+}
+
+/// Connected Erdős–Rényi graph: `G(n, p)` conditioned on connectivity by
+/// first laying down a uniform random spanning tree, then adding each other
+/// edge independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `n == 0` or `p` is not in
+/// `[0, 1]`.
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(dim_err("erdos_renyi_connected requires n >= 1"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(dim_err(format!("edge probability must be in [0,1], got {p}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n).name(format!("er-{n}-p{p:.2}-s{seed}"));
+    // Random spanning tree: random permutation, attach each vertex to a
+    // uniformly random earlier vertex in the permutation.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        b.add_edge(order[i], order[j]);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build_connected()
+}
+
+/// Two cliques of size `k` joined by a path of `p` vertices (a "barbell").
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidDimension`] if `k < 3`.
+pub fn barbell(k: usize, p: usize) -> Result<Graph, GraphError> {
+    if k < 3 {
+        return Err(dim_err(format!("barbell requires clique size >= 3, got {k}")));
+    }
+    let n = 2 * k + p;
+    let mut b = GraphBuilder::new(n).name(format!("barbell-{k}+{p}+{k}"));
+    for base in [0, k + p] {
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.add_edge(base + i, base + j);
+            }
+        }
+    }
+    // Chain: last vertex of clique 1 -- path -- first vertex of clique 2.
+    let mut prev = k - 1;
+    for i in 0..p {
+        b.add_edge(prev, k + i);
+        prev = k + i;
+    }
+    b.add_edge(prev, k + p);
+    b.build_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DistanceMatrix;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(8).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 8);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn ring_rejects_small() {
+        assert!(ring(2).is_err());
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(5).unwrap();
+        assert_eq!(g.m(), 4);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path(1).unwrap();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn star_structure() {
+        let g = star(6).unwrap();
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.max_degree(), 5);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn complete_structure() {
+        let g = complete(5).unwrap();
+        assert_eq!(g.m(), 10);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 1);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // rows*(cols-1) + (rows-1)*cols
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 5);
+    }
+
+    #[test]
+    fn torus_structure() {
+        let g = torus(3, 3).unwrap();
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m(), 18);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn torus_rejects_small_dims() {
+        assert!(torus(2, 5).is_err());
+        assert!(torus(5, 2).is_err());
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert!(g.vertices().all(|v| g.degree(v) == 4));
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(7).unwrap();
+        assert_eq!(g.m(), 6);
+        assert!(!g.has_cycle());
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn random_tree_is_tree_and_deterministic() {
+        let g1 = random_tree(20, 42).unwrap();
+        let g2 = random_tree(20, 42).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(g1.m(), 19);
+        assert!(!g1.has_cycle());
+    }
+
+    #[test]
+    fn random_tree_seed_changes_graph() {
+        let g1 = random_tree(20, 1).unwrap();
+        let g2 = random_tree(20, 2).unwrap();
+        assert_ne!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn caterpillar_structure() {
+        let g = caterpillar(4, 2).unwrap();
+        assert_eq!(g.n(), 12);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(4, 3).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 6 + 3);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 4);
+    }
+
+    #[test]
+    fn wheel_structure() {
+        let g = wheel(6).unwrap();
+        assert_eq!(g.m(), 10);
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn petersen_structure() {
+        let g = petersen();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 3));
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 2);
+    }
+
+    #[test]
+    fn erdos_renyi_connected_is_connected() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(30, 0.05, seed).unwrap();
+            assert!(g.is_connected(), "seed {seed} produced a disconnected graph");
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_p() {
+        assert!(erdos_renyi_connected(5, 1.5, 0).is_err());
+        assert!(erdos_renyi_connected(5, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_p_one_is_complete() {
+        let g = erdos_renyi_connected(6, 1.0, 7).unwrap();
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(3, 2).unwrap();
+        assert_eq!(g.n(), 8);
+        assert!(g.is_connected());
+        assert_eq!(DistanceMatrix::new(&g).diameter(), 5);
+    }
+}

@@ -1,0 +1,464 @@
+//! Simple undirected communication graphs.
+//!
+//! The distributed systems simulated by this workspace follow the classical
+//! model of Dijkstra: processes are vertices of a simple undirected graph
+//! `g = (V, E)` and communicate by atomically reading the states of their
+//! neighbors. This module provides the graph representation shared by every
+//! other crate.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a vertex (process) in a [`Graph`].
+///
+/// Vertex identifiers are dense: a graph with `n` vertices uses exactly the
+/// identifiers `0..n`. The paper additionally assumes the set of process
+/// identities is `{0, 1, .., n-1}`; by default a vertex's *identity* equals
+/// its index, but protocols may remap identities with a permutation (see
+/// `specstab-core`'s `IdAssignment`).
+///
+/// ```
+/// use specstab_topology::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (graphs that large are far
+    /// beyond simulation scale).
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this vertex.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+/// Errors produced while constructing a [`Graph`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no vertices.
+    Empty,
+    /// An edge references a vertex outside `0..n`.
+    VertexOutOfRange {
+        /// Offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// An edge connects a vertex to itself.
+    SelfLoop {
+        /// The vertex carrying the loop.
+        vertex: usize,
+    },
+    /// The graph is not connected, but a connected graph was required.
+    Disconnected,
+    /// A generator was asked for dimensions it cannot satisfy.
+    InvalidDimension {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph must have at least one vertex"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edge references vertex {vertex} but the graph has {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed in a simple graph")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidDimension { reason } => {
+                write!(f, "invalid generator dimension: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A simple, undirected communication graph.
+///
+/// Invariants maintained by construction:
+///
+/// * no self-loops, no parallel edges;
+/// * neighbor lists are sorted by vertex index;
+/// * the edge list stores each edge once as `(min, max)` in lexicographic
+///   order.
+///
+/// Connectivity is *not* an invariant of the type (some intermediate
+/// constructions are disconnected) but every generator in
+/// [`crate::generators`] returns a connected graph and
+/// [`GraphBuilder::build_connected`] enforces it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    adj: Vec<Vec<VertexId>>,
+    edges: Vec<(VertexId, VertexId)>,
+    name: String,
+}
+
+impl Graph {
+    /// Number of vertices, `n = |V|`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges, `m = |E|`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Human-readable name assigned by the generator (for reports).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns a copy of this graph carrying a different name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Iterates over all vertices in index order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n()).map(VertexId::new)
+    }
+
+    /// The sorted neighbor list of `v` (the set `neig(v)` of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[must_use]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of this graph.
+    #[must_use]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Maximum degree over all vertices.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all vertices.
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[must_use]
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        u != v
+            && u.index() < self.n()
+            && v.index() < self.n()
+            && self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// The edge list; each edge appears once as `(min, max)`.
+    #[must_use]
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Whether the graph is connected (single vertex counts as connected).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n() == 0 {
+            return false;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![VertexId::new(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &w in self.neighbors(u) {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == self.n()
+    }
+
+    /// Whether the graph contains at least one cycle.
+    ///
+    /// For a connected graph this is equivalent to `m >= n`.
+    #[must_use]
+    pub fn has_cycle(&self) -> bool {
+        // Union-find over edges; a repeated component merge reveals a cycle.
+        let mut parent: Vec<usize> = (0..self.n()).collect();
+        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for &(u, v) in &self.edges {
+            let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+            if ru == rv {
+                return true;
+            }
+            parent[ru] = rv;
+        }
+        false
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={}, m={})", self.name, self.n(), self.m())
+    }
+}
+
+/// Incremental builder for [`Graph`] values.
+///
+/// ```
+/// use specstab_topology::GraphBuilder;
+///
+/// # fn main() -> Result<(), specstab_topology::GraphError> {
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(2, 0)
+///     .name("triangle")
+///     .build_connected()?;
+/// assert_eq!(g.m(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+    name: String,
+    error: Option<GraphError>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `n` vertices (no edges yet).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: BTreeSet::new(), name: format!("graph-n{n}"), error: None }
+    }
+
+    /// Adds the undirected edge `{u, v}`; duplicates are ignored.
+    ///
+    /// Errors (self-loop, out-of-range endpoint) are deferred to
+    /// [`GraphBuilder::build`].
+    #[must_use]
+    pub fn edge(mut self, u: usize, v: usize) -> Self {
+        self.add_edge(u, v);
+        self
+    }
+
+    /// Non-consuming variant of [`GraphBuilder::edge`] for loop-heavy
+    /// construction.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if u == v {
+            self.error = Some(GraphError::SelfLoop { vertex: u });
+            return self;
+        }
+        for w in [u, v] {
+            if w >= self.n {
+                self.error = Some(GraphError::VertexOutOfRange { vertex: w, n: self.n });
+                return self;
+            }
+        }
+        self.edges.insert((u.min(v), u.max(v)));
+        self
+    }
+
+    /// Sets the graph's display name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] for `n == 0`, or the first deferred
+    /// edge error ([`GraphError::SelfLoop`],
+    /// [`GraphError::VertexOutOfRange`]).
+    pub fn build(self) -> Result<Graph, GraphError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); self.n];
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            adj[u].push(VertexId::new(v));
+            adj[v].push(VertexId::new(u));
+            edges.push((VertexId::new(u), VertexId::new(v)));
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        Ok(Graph { adj, edges, name: self.name })
+    }
+
+    /// Finalizes the graph, additionally requiring connectivity.
+    ///
+    /// # Errors
+    ///
+    /// All errors of [`GraphBuilder::build`], plus
+    /// [`GraphError::Disconnected`].
+    pub fn build_connected(self) -> Result<Graph, GraphError> {
+        let g = self.build()?;
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        for i in [0usize, 1, 7, 1024] {
+            assert_eq!(VertexId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn vertex_id_display_and_order() {
+        assert_eq!(VertexId::new(5).to_string(), "v5");
+        assert!(VertexId::new(2) < VertexId::new(10));
+    }
+
+    #[test]
+    fn builder_constructs_triangle() {
+        let g = GraphBuilder::new(3).edge(0, 1).edge(1, 2).edge(0, 2).build().unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert!(g.contains_edge(VertexId::new(0), VertexId::new(2)));
+        assert!(g.is_connected());
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn builder_deduplicates_edges() {
+        let g = GraphBuilder::new(2).edge(0, 1).edge(1, 0).edge(0, 1).build().unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let err = GraphBuilder::new(2).edge(1, 1).build().unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { vertex: 1 });
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let err = GraphBuilder::new(2).edge(0, 5).build().unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 });
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert_eq!(GraphBuilder::new(0).build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn build_connected_rejects_disconnected() {
+        let err = GraphBuilder::new(4).edge(0, 1).edge(2, 3).build_connected().unwrap_err();
+        assert_eq!(err, GraphError::Disconnected);
+    }
+
+    #[test]
+    fn single_vertex_is_connected_and_acyclic() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert!(g.is_connected());
+        assert!(!g.has_cycle());
+        assert_eq!(g.degree(VertexId::new(0)), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let g = GraphBuilder::new(4).edge(3, 0).edge(0, 2).edge(0, 1).build().unwrap();
+        let ns: Vec<usize> = g.neighbors(VertexId::new(0)).iter().map(|v| v.index()).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tree_has_no_cycle() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(1, 3).build().unwrap();
+        assert!(!g.has_cycle());
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn degrees_and_edge_list() {
+        let g = GraphBuilder::new(4).edge(0, 1).edge(1, 2).edge(1, 3).build().unwrap();
+        assert_eq!(g.degree(VertexId::new(1)), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.edges().len(), 3);
+        for &(u, v) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn display_includes_name_and_size() {
+        let g = GraphBuilder::new(2).edge(0, 1).name("pair").build().unwrap();
+        assert_eq!(g.to_string(), "pair (n=2, m=1)");
+    }
+}

@@ -1,0 +1,189 @@
+//! Plain-text graph I/O: a minimal edge-list format for custom topologies.
+//!
+//! Format (one item per line, `#` comments allowed):
+//!
+//! ```text
+//! # name: my-topology
+//! n 5
+//! 0 1
+//! 1 2
+//! 2 3
+//! 3 4
+//! 4 0
+//! ```
+//!
+//! The `n <count>` line is optional — without it the vertex count is
+//! `max endpoint + 1`. The `# name:` comment, when present, names the
+//! graph.
+
+use crate::graph::{Graph, GraphBuilder, GraphError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors parsing the edge-list format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line was not a comment, an `n` directive or an edge.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The resulting graph was invalid.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Malformed { line, content } => {
+                write!(f, "line {line}: cannot parse '{content}'")
+            }
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> Self {
+        ParseError::Graph(e)
+    }
+}
+
+/// Parses the edge-list format.
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] on unparseable lines, [`ParseError::Graph`]
+/// when the edges do not form a valid simple graph.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
+    let mut name: Option<String> = None;
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_vertex = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if let Some(n) = comment.trim().strip_prefix("name:") {
+                name = Some(n.trim().to_string());
+            }
+            continue;
+        }
+        if let Some(count) = line.strip_prefix("n ") {
+            declared_n = count.trim().parse::<usize>().ok();
+            if declared_n.is_none() {
+                return Err(ParseError::Malformed { line: idx + 1, content: raw.to_string() });
+            }
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (a, b) = (parts.next(), parts.next());
+        match (a.and_then(|x| x.parse::<usize>().ok()), b.and_then(|x| x.parse::<usize>().ok()))
+        {
+            (Some(u), Some(v)) if parts.next().is_none() => {
+                max_vertex = max_vertex.max(u).max(v);
+                edges.push((u, v));
+            }
+            _ => {
+                return Err(ParseError::Malformed { line: idx + 1, content: raw.to_string() })
+            }
+        }
+    }
+    let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    let mut g = b.build()?;
+    if let Some(name) = name {
+        g = g.with_name(name);
+    }
+    Ok(g)
+}
+
+/// Serializes a graph to the edge-list format (round-trips through
+/// [`parse_edge_list`]).
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# name: {}", g.name());
+    let _ = writeln!(out, "n {}", g.n());
+    for &(u, v) in g.edges() {
+        let _ = writeln!(out, "{} {}", u.index(), v.index());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn parses_basic_edge_list() {
+        let g = parse_edge_list("# name: tri\nn 3\n0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.name(), "tri");
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn infers_vertex_count() {
+        let g = parse_edge_list("0 1\n1 4\n").unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let g = parse_edge_list("# a comment\n\n0 1\n# another\n1 2\n").unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_edge_list("0 1\nhello world x\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { line: 2, .. }));
+        let err = parse_edge_list("0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+        let err = parse_edge_list("n abc\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. }));
+    }
+
+    #[test]
+    fn rejects_invalid_graphs() {
+        let err = parse_edge_list("0 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::SelfLoop { .. })));
+        let err = parse_edge_list("n 2\n0 5\n").unwrap_err();
+        assert!(matches!(err, ParseError::Graph(GraphError::VertexOutOfRange { .. })));
+    }
+
+    #[test]
+    fn round_trips_generated_graphs() {
+        for g in [
+            generators::ring(7).unwrap(),
+            generators::petersen(),
+            generators::grid(3, 4).unwrap(),
+        ] {
+            let text = to_edge_list(&g);
+            let back = parse_edge_list(&text).unwrap();
+            assert_eq!(back, g, "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn declared_n_allows_isolated_trailing_vertices() {
+        // Disconnected but parseable; connectivity is the caller's policy.
+        let g = parse_edge_list("n 4\n0 1\n").unwrap();
+        assert_eq!(g.n(), 4);
+        assert!(!g.is_connected());
+    }
+}

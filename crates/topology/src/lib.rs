@@ -1,0 +1,41 @@
+//! Communication graphs for self-stabilizing protocol simulation.
+//!
+//! This crate provides the graph substrate assumed by Dijkstra's
+//! state-reading model and by the PODC 2013 paper *Introducing Speculation
+//! in Self-Stabilization* (Dubois & Guerraoui):
+//!
+//! * [`Graph`] — simple, undirected, connected communication graphs with
+//!   vertices identified by [`VertexId`];
+//! * [`generators`] — the topology zoo (rings, paths, grids, tori,
+//!   hypercubes, trees, random connected graphs, ...);
+//! * [`metrics`] — BFS distances, eccentricities, [`metrics::DistanceMatrix`],
+//!   diameter and peripheral pairs;
+//! * [`chordless`] — exact `hole(g)` (longest chordless cycle) and `lcp(g)`
+//!   (longest chordless path), the constants governing the asynchronous
+//!   unison parameters of Boulinier, Petit & Villain;
+//! * [`cycle_space`] — minimum cycle bases and the cyclomatic characteristic
+//!   `cyclo(g)`;
+//! * [`dot`] — Graphviz/ASCII export for debugging and reports.
+//!
+//! # Example
+//!
+//! ```
+//! use specstab_topology::{generators, metrics::DistanceMatrix};
+//!
+//! let g = generators::torus(4, 5).expect("valid dimensions");
+//! let dm = DistanceMatrix::new(&g);
+//! assert_eq!(g.n(), 20);
+//! assert_eq!(dm.diameter(), 4);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chordless;
+pub mod cycle_space;
+pub mod dot;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+
+pub use graph::{Graph, GraphBuilder, GraphError, VertexId};

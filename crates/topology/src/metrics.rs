@@ -1,0 +1,305 @@
+//! BFS-based graph metrics: distances, eccentricities, diameter, girth.
+//!
+//! The paper's complexity statements are functions of `n`, `m` and
+//! `diam(g)`; the SSME protocol itself takes `diam(g)` as a constant known
+//! to every vertex. [`DistanceMatrix`] provides exact all-pairs shortest
+//! path distances via one BFS per vertex (`O(n·m)`), which is ample at
+//! simulation scale.
+
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Distance not defined (vertices in different components).
+const UNREACHED: u32 = u32::MAX;
+
+/// Single-source BFS distances from `source`.
+///
+/// Unreachable vertices get `None`.
+#[must_use]
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<Option<u32>> {
+    let mut dist = vec![UNREACHED; g.n()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &w in g.neighbors(u) {
+            if dist[w.index()] == UNREACHED {
+                dist[w.index()] = du + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist.into_iter().map(|d| (d != UNREACHED).then_some(d)).collect()
+}
+
+/// All-pairs shortest-path distances of a **connected** graph.
+///
+/// ```
+/// use specstab_topology::{generators, metrics::DistanceMatrix, VertexId};
+///
+/// let g = generators::ring(6).expect("n >= 3");
+/// let dm = DistanceMatrix::new(&g);
+/// assert_eq!(dm.dist(VertexId::new(0), VertexId::new(3)), 3);
+/// assert_eq!(dm.diameter(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<u32>, // row-major n x n
+}
+
+impl DistanceMatrix {
+    /// Computes all-pairs distances with one BFS per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is disconnected; the simulation model assumes
+    /// connected communication graphs and every generator guarantees it.
+    #[must_use]
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut dist = vec![UNREACHED; n * n];
+        for v in g.vertices() {
+            let row = bfs_distances(g, v);
+            for (u, d) in row.into_iter().enumerate() {
+                dist[v.index() * n + u] =
+                    d.expect("DistanceMatrix requires a connected graph");
+            }
+        }
+        Self { n, dist }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance `dist(g, u, v)` (length of a shortest path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex index is out of range.
+    #[must_use]
+    pub fn dist(&self, u: VertexId, v: VertexId) -> u32 {
+        assert!(u.index() < self.n && v.index() < self.n, "vertex out of range");
+        self.dist[u.index() * self.n + v.index()]
+    }
+
+    /// Eccentricity of `v`: the maximum distance from `v` to any vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn eccentricity(&self, v: VertexId) -> u32 {
+        assert!(v.index() < self.n, "vertex out of range");
+        let row = &self.dist[v.index() * self.n..(v.index() + 1) * self.n];
+        row.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `diam(g)`: the maximum distance between any two vertices.
+    #[must_use]
+    pub fn diameter(&self) -> u32 {
+        (0..self.n).map(|v| self.eccentricity(VertexId::new(v))).max().unwrap_or(0)
+    }
+
+    /// Radius: the minimum eccentricity.
+    #[must_use]
+    pub fn radius(&self) -> u32 {
+        (0..self.n).map(|v| self.eccentricity(VertexId::new(v))).min().unwrap_or(0)
+    }
+
+    /// A pair `(u, v)` realizing the diameter (`dist(u, v) == diam(g)`).
+    ///
+    /// Used by the Theorem 4 lower-bound construction, which places the two
+    /// colliding privileged vertices at distance exactly `diam(g)`.
+    #[must_use]
+    pub fn peripheral_pair(&self) -> (VertexId, VertexId) {
+        let mut best = (VertexId::new(0), VertexId::new(0), 0u32);
+        for u in 0..self.n {
+            for v in 0..self.n {
+                let d = self.dist[u * self.n + v];
+                if d > best.2 {
+                    best = (VertexId::new(u), VertexId::new(v), d);
+                }
+            }
+        }
+        (best.0, best.1)
+    }
+
+    /// All vertices within distance `r` of `center` (the closed ball).
+    #[must_use]
+    pub fn ball(&self, center: VertexId, r: u32) -> Vec<VertexId> {
+        (0..self.n)
+            .map(VertexId::new)
+            .filter(|&u| self.dist(center, u) <= r)
+            .collect()
+    }
+}
+
+/// Girth: length of a shortest cycle, or `None` for forests.
+///
+/// Runs a BFS from every vertex, detecting the shortest cycle through each
+/// root (standard `O(n·m)` algorithm, exact for simple graphs).
+#[must_use]
+pub fn girth(g: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for root in g.vertices() {
+        let mut dist = vec![UNREACHED; g.n()];
+        let mut parent = vec![usize::MAX; g.n()];
+        let mut queue = VecDeque::new();
+        dist[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.neighbors(u) {
+                if dist[w.index()] == UNREACHED {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    parent[w.index()] = u.index();
+                    queue.push_back(w);
+                } else if parent[u.index()] != w.index() {
+                    // Non-tree edge: cycle through root of length
+                    // dist(u) + dist(w) + 1 (may overestimate for cycles not
+                    // through the root, but the minimum over all roots is
+                    // exact).
+                    let len = dist[u.index()] + dist[w.index()] + 1;
+                    best = Some(best.map_or(len, |b| b.min(len)));
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(4).unwrap();
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = GraphBuilder::new(3).edge(0, 1).build().unwrap();
+        let d = bfs_distances(&g, VertexId::new(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn distances_symmetric_on_ring() {
+        let g = generators::ring(7).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(dm.dist(u, v), dm.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_diameter_is_half() {
+        for n in 3..12 {
+            let g = generators::ring(n).unwrap();
+            assert_eq!(DistanceMatrix::new(&g).diameter() as usize, n / 2, "ring-{n}");
+        }
+    }
+
+    #[test]
+    fn path_radius_and_diameter() {
+        let g = generators::path(9).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.diameter(), 8);
+        assert_eq!(dm.radius(), 4);
+    }
+
+    #[test]
+    fn peripheral_pair_realizes_diameter() {
+        for g in [
+            generators::ring(9).unwrap(),
+            generators::grid(3, 5).unwrap(),
+            generators::random_tree(17, 3).unwrap(),
+        ] {
+            let dm = DistanceMatrix::new(&g);
+            let (u, v) = dm.peripheral_pair();
+            assert_eq!(dm.dist(u, v), dm.diameter(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn ball_of_radius_zero_is_center() {
+        let g = generators::grid(3, 3).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        assert_eq!(dm.ball(VertexId::new(4), 0), vec![VertexId::new(4)]);
+    }
+
+    #[test]
+    fn ball_grows_with_radius() {
+        let g = generators::grid(3, 3).unwrap();
+        let dm = DistanceMatrix::new(&g);
+        let center = VertexId::new(4); // middle of the grid
+        assert_eq!(dm.ball(center, 1).len(), 5);
+        assert_eq!(dm.ball(center, 2).len(), 9);
+    }
+
+    #[test]
+    fn girth_of_ring_is_n() {
+        for n in 3..10 {
+            let g = generators::ring(n).unwrap();
+            assert_eq!(girth(&g), Some(n as u32));
+        }
+    }
+
+    #[test]
+    fn girth_of_tree_is_none() {
+        let g = generators::binary_tree(15).unwrap();
+        assert_eq!(girth(&g), None);
+    }
+
+    #[test]
+    fn girth_of_complete_is_three() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn girth_of_petersen_is_five() {
+        assert_eq!(girth(&generators::petersen()), Some(5));
+    }
+
+    #[test]
+    fn girth_of_grid_is_four() {
+        let g = generators::grid(3, 4).unwrap();
+        assert_eq!(girth(&g), Some(4));
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi_connected(20, 0.1, seed).unwrap();
+            let dm = DistanceMatrix::new(&g);
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    for w in g.vertices() {
+                        assert!(dm.dist(u, w) <= dm.dist(u, v) + dm.dist(v, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_at_distance_one() {
+        let g = generators::petersen();
+        let dm = DistanceMatrix::new(&g);
+        for &(u, v) in g.edges() {
+            assert_eq!(dm.dist(u, v), 1);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Theoretical stabilization bounds for the unison substrate, as used by
+//! the paper's complexity proofs.
+//!
+//! * Boulinier, Petit & Villain (Algorithmica 2008, the paper's `[3]`):
+//!   under the **synchronous** daemon the unison stabilizes to `Γ1` in at
+//!   most `α + lcp(g) + diam(g)` steps.
+//! * Devismes & Petit (TADDS 2012, the paper's `[7]`): under the **unfair
+//!   distributed** daemon it stabilizes in at most
+//!   `2·diam(g)·n³ + (α + 1)·n² + (α − 2·diam(g))·n` steps.
+//!
+//! These are the bounds invoked in the proofs of Theorems 2 (Case 3) and 3.
+
+/// Synchronous stabilization bound `α + lcp(g) + diam(g)` (paper's `[3]`).
+#[must_use]
+pub fn sync_stabilization_bound(alpha: i64, lcp: usize, diam: u32) -> u64 {
+    u64::try_from(alpha).expect("α ≥ 1") + lcp as u64 + u64::from(diam)
+}
+
+/// Unfair-distributed step bound
+/// `2·diam·n³ + (α + 1)·n² + (α − 2·diam)·n` (paper's `[7]`).
+///
+/// The final term can be negative for large-diameter graphs; the bound is
+/// computed in `i128` and clamped at zero (a vacuous negative bound never
+/// arises for the paper's `α = n ≥ diam` choice, but the helper stays total).
+#[must_use]
+pub fn unfair_step_bound(n: usize, diam: u32, alpha: i64) -> u128 {
+    let n = i128::try_from(n).expect("n fits i128");
+    let d = i128::from(diam);
+    let a = i128::from(alpha);
+    let raw = 2 * d * n * n * n + (a + 1) * n * n + (a - 2 * d) * n;
+    u128::try_from(raw.max(0)).expect("clamped at zero")
+}
+
+/// The bound the paper's Theorem 2 proof uses for SSME's synchronous
+/// stabilization to `Γ1` (Case 3): `2n + diam(g)`, obtained from the `[3]`
+/// bound with `α = n` and `lcp(g) ≤ n`.
+#[must_use]
+pub fn ssme_sync_gamma1_bound(n: usize, diam: u32) -> u64 {
+    2 * n as u64 + u64::from(diam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_bound_adds_three_terms() {
+        assert_eq!(sync_stabilization_bound(5, 7, 3), 15);
+        assert_eq!(sync_stabilization_bound(1, 0, 0), 1);
+    }
+
+    #[test]
+    fn unfair_bound_matches_formula() {
+        // n = 4, diam = 2, α = 4:
+        // 2*2*64 + 5*16 + (4 - 4)*4 = 256 + 80 + 0 = 336.
+        assert_eq!(unfair_step_bound(4, 2, 4), 336);
+    }
+
+    #[test]
+    fn unfair_bound_clamps_negative() {
+        // Degenerate parameters where the linear term dominates negatively
+        // cannot happen with n ≥ 1, but the helper stays total:
+        assert_eq!(unfair_step_bound(0, 5, 0), 0);
+    }
+
+    #[test]
+    fn ssme_gamma1_bound() {
+        assert_eq!(ssme_sync_gamma1_bound(10, 5), 25);
+    }
+
+    #[test]
+    fn ssme_gamma1_bound_dominates_exact_sync_bound() {
+        // 2n + diam must dominate α + lcp + diam when α = n and lcp ≤ n.
+        for n in 1..20u64 {
+            for lcp in 0..n as usize {
+                for diam in 0..n as u32 {
+                    assert!(
+                        sync_stabilization_bound(n as i64, lcp, diam)
+                            <= ssme_sync_gamma1_bound(n as usize, diam)
+                    );
+                }
+            }
+        }
+    }
+}

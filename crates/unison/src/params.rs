@@ -1,0 +1,218 @@
+//! Clock-parameter selection and validation.
+//!
+//! The Boulinier–Petit–Villain unison is self-stabilizing for `specAU`
+//! under the unfair distributed daemon on an anonymous graph `g` provided
+//!
+//! * `α ≥ hole(g) − 2` — guarantees convergence to `Γ1`;
+//! * `K > cyclo(g)`   — guarantees liveness (each clock increments forever).
+//!
+//! Both constants are bounded by `n`, so `α = n`, `K > n` is always safe —
+//! that is what SSME exploits. This module computes minimal parameters on
+//! small graphs (exact `hole`/`cyclo`) and validates arbitrary parameter
+//! choices; the ablation experiment (E7) drives the *invalid* side.
+
+use crate::clock::{CherryClock, ClockError};
+use specstab_topology::chordless::{self, BudgetExceeded, SearchBudget};
+use specstab_topology::cycle_space;
+use specstab_topology::Graph;
+use std::error::Error;
+use std::fmt;
+
+/// A validated pair of unison clock parameters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct UnisonParams {
+    /// Initial-segment length `α`.
+    pub alpha: i64,
+    /// Cycle size `K`.
+    pub k: i64,
+}
+
+impl UnisonParams {
+    /// Builds the cherry clock for these parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClockError::InvalidParameters`] for `α < 1` or `K < 2`.
+    pub fn clock(&self) -> Result<CherryClock, ClockError> {
+        CherryClock::new(self.alpha, self.k)
+    }
+}
+
+impl fmt::Display for UnisonParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "α={}, K={}", self.alpha, self.k)
+    }
+}
+
+/// Why a parameter choice is rejected for a graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// `α < hole(g) − 2`: convergence can fail.
+    AlphaTooSmall {
+        /// Chosen `α`.
+        alpha: i64,
+        /// Required minimum `hole(g) − 2` (at least 1).
+        required: i64,
+    },
+    /// `K ≤ cyclo(g)`: liveness can fail.
+    KTooSmall {
+        /// Chosen `K`.
+        k: i64,
+        /// Exclusive lower bound `cyclo(g)`.
+        cyclo: i64,
+    },
+    /// The clock parameters are structurally invalid.
+    Clock(ClockError),
+    /// The exact `hole` computation exceeded its search budget.
+    Budget(BudgetExceeded),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::AlphaTooSmall { alpha, required } => {
+                write!(f, "α = {alpha} is below the required hole(g) - 2 = {required}")
+            }
+            ParamError::KTooSmall { k, cyclo } => {
+                write!(f, "K = {k} does not exceed cyclo(g) = {cyclo}")
+            }
+            ParamError::Clock(e) => write!(f, "invalid clock: {e}"),
+            ParamError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ParamError {}
+
+impl From<ClockError> for ParamError {
+    fn from(e: ClockError) -> Self {
+        ParamError::Clock(e)
+    }
+}
+
+impl From<BudgetExceeded> for ParamError {
+    fn from(e: BudgetExceeded) -> Self {
+        ParamError::Budget(e)
+    }
+}
+
+/// Minimal valid parameters for `g` using exact `hole`/`cyclo` computation:
+/// `α = max(1, hole(g) − 2)`, `K = max(2, cyclo(g) + 1)`.
+///
+/// # Errors
+///
+/// [`ParamError::Budget`] if the exact topology constants exceed `budget`.
+pub fn minimal_params(g: &Graph, budget: SearchBudget) -> Result<UnisonParams, ParamError> {
+    let hole = i64::try_from(chordless::hole(g, budget)?).expect("hole fits i64");
+    let cyclo = i64::try_from(cycle_space::cyclo(g)).expect("cyclo fits i64");
+    Ok(UnisonParams { alpha: (hole - 2).max(1), k: (cyclo + 1).max(2) })
+}
+
+/// Conservative parameters valid on **any** connected graph with `n`
+/// vertices, without computing topology constants: `α = n`, `K = n + 1`.
+///
+/// (`hole(g) ≤ n` and `cyclo(g) ≤ n` always hold.)
+#[must_use]
+pub fn safe_params(n: usize) -> UnisonParams {
+    let n = i64::try_from(n).expect("n fits i64");
+    UnisonParams { alpha: n.max(1), k: n + 1 }
+}
+
+/// Validates `params` against the exact topology constants of `g`.
+///
+/// # Errors
+///
+/// [`ParamError::AlphaTooSmall`], [`ParamError::KTooSmall`],
+/// [`ParamError::Clock`] or [`ParamError::Budget`].
+pub fn validate(g: &Graph, params: UnisonParams, budget: SearchBudget) -> Result<(), ParamError> {
+    params.clock()?;
+    let hole = i64::try_from(chordless::hole(g, budget)?).expect("hole fits i64");
+    let cyclo = i64::try_from(cycle_space::cyclo(g)).expect("cyclo fits i64");
+    let required = (hole - 2).max(1);
+    if params.alpha < required {
+        return Err(ParamError::AlphaTooSmall { alpha: params.alpha, required });
+    }
+    if params.k <= cyclo {
+        return Err(ParamError::KTooSmall { k: params.k, cyclo });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specstab_topology::generators;
+
+    fn b() -> SearchBudget {
+        SearchBudget::default()
+    }
+
+    #[test]
+    fn minimal_params_on_ring() {
+        // hole(ring-8) = 8, cyclo = 8 → α = 6, K = 9.
+        let g = generators::ring(8).unwrap();
+        let p = minimal_params(&g, b()).unwrap();
+        assert_eq!(p, UnisonParams { alpha: 6, k: 9 });
+        assert!(validate(&g, p, b()).is_ok());
+    }
+
+    #[test]
+    fn minimal_params_on_tree() {
+        // hole = cyclo = 2 by convention → α = 1, K = 3.
+        let g = generators::binary_tree(7).unwrap();
+        let p = minimal_params(&g, b()).unwrap();
+        assert_eq!(p, UnisonParams { alpha: 1, k: 3 });
+        assert!(validate(&g, p, b()).is_ok());
+    }
+
+    #[test]
+    fn minimal_params_on_grid() {
+        // grid 3x3: hole = 8 → α = 6; cyclo = 4 → K = 5.
+        let g = generators::grid(3, 3).unwrap();
+        let p = minimal_params(&g, b()).unwrap();
+        assert_eq!(p, UnisonParams { alpha: 6, k: 5 });
+    }
+
+    #[test]
+    fn safe_params_always_validate() {
+        for g in [
+            generators::ring(9).unwrap(),
+            generators::grid(3, 4).unwrap(),
+            generators::petersen(),
+            generators::random_tree(12, 3).unwrap(),
+        ] {
+            let p = safe_params(g.n());
+            assert!(validate(&g, p, b()).is_ok(), "{}", g.name());
+        }
+    }
+
+    #[test]
+    fn undersized_alpha_is_rejected() {
+        let g = generators::ring(8).unwrap();
+        let p = UnisonParams { alpha: 5, k: 9 }; // required α = 6
+        assert_eq!(
+            validate(&g, p, b()).unwrap_err(),
+            ParamError::AlphaTooSmall { alpha: 5, required: 6 }
+        );
+    }
+
+    #[test]
+    fn undersized_k_is_rejected() {
+        let g = generators::ring(8).unwrap();
+        let p = UnisonParams { alpha: 6, k: 8 }; // need K > 8
+        assert_eq!(validate(&g, p, b()).unwrap_err(), ParamError::KTooSmall { k: 8, cyclo: 8 });
+    }
+
+    #[test]
+    fn structurally_invalid_clock_is_rejected() {
+        let g = generators::ring(8).unwrap();
+        let p = UnisonParams { alpha: 0, k: 9 };
+        assert!(matches!(validate(&g, p, b()).unwrap_err(), ParamError::Clock(_)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(UnisonParams { alpha: 3, k: 9 }.to_string(), "α=3, K=9");
+    }
+}

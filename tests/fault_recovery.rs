@@ -1,0 +1,132 @@
+//! Transient-fault recovery across crates: inject faults into stabilized
+//! systems and verify re-stabilization within the theorem bounds.
+
+use specstab::prelude::*;
+
+fn stabilize(
+    g: &Graph,
+    ssme: &Ssme,
+    init: Configuration<ClockValue>,
+    horizon: usize,
+) -> Configuration<ClockValue> {
+    let sim = Simulator::new(g, ssme);
+    let mut d = SynchronousDaemon::new();
+    sim.run(init, &mut d, RunLimits::with_max_steps(horizon), &mut []).final_config
+}
+
+#[test]
+fn recovery_within_theorem2_bound_for_any_fault_extent() {
+    for g in [
+        generators::ring(10).expect("valid"),
+        generators::grid(3, 5).expect("valid"),
+        generators::binary_tree(11).expect("valid"),
+    ] {
+        let dm = DistanceMatrix::new(&g);
+        let diam = dm.diameter();
+        let bound = bounds::sync_stabilization_bound(diam) as usize;
+        let horizon = analysis::ssme_sync_gamma1_bound(g.n(), diam) as usize + 16;
+        let ssme = Ssme::for_graph(&g).expect("nonempty");
+        let spec = SpecMe::new(ssme.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let healthy = stabilize(
+            &g,
+            &ssme,
+            random_configuration(&g, &ssme, &mut rng),
+            horizon,
+        );
+        assert!(spec.is_legitimate(&healthy, &g), "{}", g.name());
+        for k in [1usize, g.n() / 2, g.n()] {
+            let (faulty, victims) = inject_faults(&healthy, &g, &ssme, k, &mut rng);
+            assert_eq!(victims.len(), k);
+            let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
+            let mut d = SynchronousDaemon::new();
+            let report = measure_with_early_stop(
+                &g,
+                &ssme,
+                &mut d,
+                faulty,
+                Box::new(move |c, g| s.is_safe(c, g)),
+                Box::new(move |c, g| l.is_legitimate(c, g)),
+                Box::new(move |c, g| st.is_legitimate(c, g)),
+                horizon,
+                3,
+            );
+            assert!(report.ended_legitimate, "{} k={k}", g.name());
+            assert!(
+                report.stabilization_steps <= bound,
+                "{} k={k}: recovery {} > bound {bound}",
+                g.name(),
+                report.stabilization_steps
+            );
+        }
+    }
+}
+
+#[test]
+fn single_fault_often_recovers_without_any_violation() {
+    // A one-vertex corruption cannot fabricate a second privilege unless it
+    // lands exactly on a privilege slot; count how often safety is even
+    // disturbed.
+    let g = generators::ring(12).expect("valid");
+    let dm = DistanceMatrix::new(&g);
+    let horizon = analysis::ssme_sync_gamma1_bound(g.n(), dm.diameter()) as usize + 16;
+    let ssme = Ssme::for_graph(&g).expect("nonempty");
+    let spec = SpecMe::new(ssme.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let healthy = stabilize(&g, &ssme, random_configuration(&g, &ssme, &mut rng), horizon);
+    let mut violated = 0usize;
+    let trials = 40;
+    for _ in 0..trials {
+        let (faulty, _) = inject_faults(&healthy, &g, &ssme, 1, &mut rng);
+        let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
+        let mut d = SynchronousDaemon::new();
+        let report = measure_with_early_stop(
+            &g,
+            &ssme,
+            &mut d,
+            faulty,
+            Box::new(move |c, g| s.is_safe(c, g)),
+            Box::new(move |c, g| l.is_legitimate(c, g)),
+            Box::new(move |c, g| st.is_legitimate(c, g)),
+            horizon,
+            3,
+        );
+        assert!(report.ended_legitimate);
+        if report.violation_count > 0 {
+            violated += 1;
+        }
+    }
+    assert!(
+        violated < trials / 2,
+        "single-vertex faults should rarely violate safety ({violated}/{trials} did)"
+    );
+}
+
+#[test]
+fn recovery_under_asynchronous_daemon_too() {
+    let g = generators::torus(3, 4).expect("valid");
+    let dm = DistanceMatrix::new(&g);
+    let horizon = 3_000_000;
+    let ssme = Ssme::for_graph(&g).expect("nonempty");
+    let spec = SpecMe::new(ssme.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let sync_h = analysis::ssme_sync_gamma1_bound(g.n(), dm.diameter()) as usize + 16;
+    let healthy = stabilize(&g, &ssme, random_configuration(&g, &ssme, &mut rng), sync_h);
+    for seed in 0..5 {
+        let (faulty, _) = inject_faults(&healthy, &g, &ssme, g.n() / 2, &mut rng);
+        let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
+        let mut d = RandomDistributedDaemon::new(0.4, seed);
+        let report = measure_with_early_stop(
+            &g,
+            &ssme,
+            &mut d,
+            faulty,
+            Box::new(move |c, g| s.is_safe(c, g)),
+            Box::new(move |c, g| l.is_legitimate(c, g)),
+            Box::new(move |c, g| st.is_legitimate(c, g)),
+            horizon,
+            3,
+        );
+        assert!(report.ended_legitimate, "seed {seed}");
+    }
+}
