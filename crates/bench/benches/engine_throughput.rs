@@ -28,8 +28,7 @@ fn bench_engine(c: &mut Criterion) {
                 let sim = Simulator::new(g, &unison);
                 b.iter(|| {
                     let mut d = SynchronousDaemon::new();
-                    sim.run(init.clone(), &mut d, RunLimits::with_max_steps(STEPS), &mut [])
-                        .moves
+                    sim.run(init.clone(), &mut d, RunLimits::with_max_steps(STEPS), &mut []).moves
                 });
             },
         );

@@ -5,91 +5,45 @@
 //! simulate --topology ring:12 --protocol ssme --daemon sync --seeds 10
 //! simulate --topology grid:4x5 --protocol ssme --daemon dist:0.4
 //! simulate --topology ring:9 --protocol dijkstra --daemon central-rand
+//! simulate --topology torus:4x5 --protocol ssme --faults 2 --seeds 20
 //! simulate --topology file:my.edges --protocol ssme --daemon sync
 //! ```
+//!
+//! `--faults <k>` switches from full random bursts to the speculative
+//! partial-burst scenario: each run starts from a legitimate configuration
+//! with `k` uniformly chosen vertices corrupted
+//! (`specstab_kernel::fault::inject_faults`).
 
-use specstab_bench::support::{measure_ssme, measure_with_spec, random_inits};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_bench::support::{measure_ssme, measure_with_spec};
+use specstab_campaign::executor::burst_configuration;
 use specstab_core::bounds;
 use specstab_core::ssme::Ssme;
-use specstab_kernel::daemon::{
-    CentralDaemon, CentralStrategy, Daemon, KBoundedDaemon, OldestFirstDaemon,
-    RandomDistributedDaemon, SynchronousDaemon,
-};
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::parse_daemon_spec;
+use specstab_kernel::protocol::Protocol;
 use specstab_protocols::dijkstra::{DijkstraRing, DijkstraSpec};
 use specstab_topology::metrics::DistanceMatrix;
-use specstab_topology::{generators, io, Graph};
+use specstab_topology::spec::{parse_spec, SPEC_GRAMMAR};
+use specstab_topology::Graph;
 
 fn usage() -> ! {
     eprintln!(
         "usage: simulate --topology <spec> --protocol <ssme|dijkstra> \
-         [--daemon <sync|central-rr|central-rand|central-oldest|dist:<p>|kbounded:<k>>] \
-         [--seeds <count>] [--max-steps <n>]\n\
-         topology specs: ring:<n>  path:<n>  grid:<r>x<c>  torus:<r>x<c>  star:<n>\n\
-         \x20               complete:<n>  tree:<n>  petersen  er:<n>:<p>  file:<path>"
+         [--daemon <sync|central-rr|central-rand|central-min|central-max|central-oldest\
+         |dist:<p>|kbounded:<k>[:<p>]>] \
+         [--faults <k>] [--seeds <count>] [--max-steps <n>]\n\
+         topology specs: {SPEC_GRAMMAR}"
     );
     std::process::exit(2)
-}
-
-fn parse_topology(spec: &str) -> Result<Graph, String> {
-    let err = |e: String| e;
-    if let Some(path) = spec.strip_prefix("file:") {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        return io::parse_edge_list(&text).map_err(|e| e.to_string());
-    }
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or("");
-    let arg = parts.next().unwrap_or("");
-    let arg2 = parts.next().unwrap_or("");
-    let parse_n = |s: &str| s.parse::<usize>().map_err(|e| format!("bad size '{s}': {e}"));
-    match kind {
-        "ring" => generators::ring(parse_n(arg)?).map_err(|e| err(e.to_string())),
-        "path" => generators::path(parse_n(arg)?).map_err(|e| err(e.to_string())),
-        "star" => generators::star(parse_n(arg)?).map_err(|e| err(e.to_string())),
-        "complete" => generators::complete(parse_n(arg)?).map_err(|e| err(e.to_string())),
-        "tree" => generators::random_tree(parse_n(arg)?, 42).map_err(|e| err(e.to_string())),
-        "petersen" => Ok(generators::petersen()),
-        "grid" | "torus" => {
-            let (r, c) = arg
-                .split_once('x')
-                .ok_or_else(|| format!("expected <rows>x<cols>, got '{arg}'"))?;
-            let (r, c) = (parse_n(r)?, parse_n(c)?);
-            if kind == "grid" {
-                generators::grid(r, c).map_err(|e| err(e.to_string()))
-            } else {
-                generators::torus(r, c).map_err(|e| err(e.to_string()))
-            }
-        }
-        "er" => {
-            let n = parse_n(arg)?;
-            let p = arg2.parse::<f64>().map_err(|e| format!("bad probability: {e}"))?;
-            generators::erdos_renyi_connected(n, p, 42).map_err(|e| err(e.to_string()))
-        }
-        other => Err(format!("unknown topology kind '{other}'")),
-    }
-}
-
-fn parse_daemon<S: 'static>(spec: &str, seed: u64) -> Result<Box<dyn Daemon<S>>, String> {
-    if let Some(p) = spec.strip_prefix("dist:") {
-        let p = p.parse::<f64>().map_err(|e| format!("bad probability: {e}"))?;
-        return Ok(Box::new(RandomDistributedDaemon::new(p, seed)));
-    }
-    if let Some(k) = spec.strip_prefix("kbounded:") {
-        let k = k.parse::<usize>().map_err(|e| format!("bad bound: {e}"))?;
-        return Ok(Box::new(KBoundedDaemon::new(k, 0.4, seed)));
-    }
-    match spec {
-        "sync" => Ok(Box::new(SynchronousDaemon::new())),
-        "central-rr" => Ok(Box::new(CentralDaemon::new(CentralStrategy::RoundRobin))),
-        "central-rand" => Ok(Box::new(CentralDaemon::new(CentralStrategy::Random(seed)))),
-        "central-oldest" => Ok(Box::new(OldestFirstDaemon::new())),
-        other => Err(format!("unknown daemon '{other}'")),
-    }
 }
 
 struct Args {
     topology: String,
     protocol: String,
     daemon: String,
+    faults: Option<usize>,
     seeds: usize,
     max_steps: usize,
 }
@@ -99,6 +53,7 @@ fn parse_args() -> Args {
         topology: String::new(),
         protocol: String::new(),
         daemon: "sync".into(),
+        faults: None,
         seeds: 5,
         max_steps: 5_000_000,
     };
@@ -111,6 +66,7 @@ fn parse_args() -> Args {
             ("--topology", Some(v)) => args.topology = v,
             ("--protocol", Some(v)) => args.protocol = v,
             ("--daemon", Some(v)) => args.daemon = v,
+            ("--faults", Some(v)) => args.faults = Some(v.parse().unwrap_or_else(|_| usage())),
             ("--seeds", Some(v)) => args.seeds = v.parse().unwrap_or_else(|_| usage()),
             ("--max-steps", Some(v)) => args.max_steps = v.parse().unwrap_or_else(|_| usage()),
             ("--help", _) => usage(),
@@ -124,9 +80,27 @@ fn parse_args() -> Args {
     args
 }
 
+/// Seeded initial configurations via the campaign engine's shared
+/// burst-scenario semantics: full random bursts (`faults == None`/`0`), or
+/// `k`-vertex partial bursts of a legitimate configuration.
+fn initial_configs<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    healthy: &Configuration<P::State>,
+    faults: Option<usize>,
+    seeds: usize,
+) -> Vec<Configuration<P::State>> {
+    (0..seeds)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xC0FFEE_u64.wrapping_add(i as u64));
+            burst_configuration(graph, protocol, healthy.clone(), faults.unwrap_or(0), &mut rng)
+        })
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
-    let graph = parse_topology(&args.topology).unwrap_or_else(|e| {
+    let graph = parse_spec(&args.topology).unwrap_or_else(|e| {
         eprintln!("topology error: {e}");
         std::process::exit(2);
     });
@@ -136,6 +110,12 @@ fn main() {
     }
     let dm = DistanceMatrix::new(&graph);
     println!("graph: {graph} (diam = {})", dm.diameter());
+    match args.faults {
+        Some(0) | None => {
+            println!("scenario: full burst (arbitrary random initial configuration)");
+        }
+        Some(k) => println!("scenario: {k}-vertex fault burst on a legitimate configuration"),
+    }
 
     match args.protocol.as_str() {
         "ssme" => {
@@ -145,11 +125,13 @@ fn main() {
                 "theorem 2 bound: ceil(diam/2) = {}",
                 bounds::sync_stabilization_bound(dm.diameter())
             );
-            let inits = random_inits(&graph, &ssme, args.seeds, 0xC0FFEE);
+            let healthy_value = ssme.clock().value(0).expect("0 is in the stab domain");
+            let healthy = Configuration::from_fn(graph.n(), |_| healthy_value);
+            let inits = initial_configs(&graph, &ssme, &healthy, args.faults, args.seeds);
             let mut worst = 0usize;
             let mut worst_entry = 0usize;
             for (i, init) in inits.into_iter().enumerate() {
-                let mut daemon = parse_daemon(&args.daemon, i as u64).unwrap_or_else(|e| {
+                let mut daemon = parse_daemon_spec(&args.daemon, i as u64).unwrap_or_else(|e| {
                     eprintln!("daemon error: {e}");
                     std::process::exit(2);
                 });
@@ -170,15 +152,15 @@ fn main() {
             });
             let spec = DijkstraSpec::new(p.clone());
             println!("protocol: {}", specstab_kernel::Protocol::name(&p));
-            let inits = random_inits(&graph, &p, args.seeds, 0xC0FFEE);
+            let healthy = Configuration::from_fn(graph.n(), |_| 0u64);
+            let inits = initial_configs(&graph, &p, &healthy, args.faults, args.seeds);
             let mut worst = 0usize;
             for (i, init) in inits.into_iter().enumerate() {
-                let mut daemon = parse_daemon(&args.daemon, i as u64).unwrap_or_else(|e| {
+                let mut daemon = parse_daemon_spec(&args.daemon, i as u64).unwrap_or_else(|e| {
                     eprintln!("daemon error: {e}");
                     std::process::exit(2);
                 });
-                let r =
-                    measure_with_spec(&graph, &p, &spec, daemon.as_mut(), init, args.max_steps);
+                let r = measure_with_spec(&graph, &p, &spec, daemon.as_mut(), init, args.max_steps);
                 println!(
                     "  run {i}: legitimacy entry = {:>6}, converged = {}",
                     r.legitimacy_entry, r.ended_legitimate

@@ -7,9 +7,7 @@ use crate::table::Table;
 use crate::zoo;
 use specstab_core::bounds;
 use specstab_core::ssme::Ssme;
-use specstab_kernel::daemon::{
-    CentralDaemon, CentralStrategy, Daemon, RandomDistributedDaemon,
-};
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, Daemon, RandomDistributedDaemon};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_unison::clock::ClockValue;
 
@@ -32,7 +30,15 @@ impl Experiment for E0 {
         let runs = if cfg.quick { 3 } else { 10 };
         let mut table = Table::new(
             "convergence of SSME to specME under asynchronous daemons",
-            &["graph", "daemon", "runs", "converged", "max stab steps", "max Γ1 entry", "violations after entry"],
+            &[
+                "graph",
+                "daemon",
+                "runs",
+                "converged",
+                "max stab steps",
+                "max Γ1 entry",
+                "violations after entry",
+            ],
         );
         let mut all_hold = true;
         let mut notes = Vec::new();
@@ -45,12 +51,9 @@ impl Experiment for E0 {
                     continue;
                 }
             };
-            let horizon = usize::try_from(bounds::unfair_stabilization_bound(
-                g.n(),
-                dm.diameter(),
-            ))
-            .unwrap_or(usize::MAX)
-            .min(5_000_000);
+            let horizon = usize::try_from(bounds::unfair_stabilization_bound(g.n(), dm.diameter()))
+                .unwrap_or(usize::MAX)
+                .min(5_000_000);
             let mut daemons: Vec<Box<dyn Daemon<ClockValue>>> = vec![
                 Box::new(RandomDistributedDaemon::new(0.3, cfg.seed)),
                 Box::new(RandomDistributedDaemon::new(0.8, cfg.seed ^ 1)),

@@ -11,6 +11,8 @@ use super::{Experiment, ExperimentResult, RunConfig};
 use crate::fit::power_fit;
 use crate::support::{measure_with_spec, random_inits};
 use crate::table::{fnum, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
 use specstab_kernel::engine::{RunLimits, Simulator};
 use specstab_kernel::protocol::random_configuration;
@@ -19,8 +21,6 @@ use specstab_protocols::dijkstra::{DijkstraRing, DijkstraSpec};
 use specstab_protocols::matching::MaximalMatching;
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::{generators, VertexId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Section 3 examples experiment.
 pub struct E1;
@@ -151,7 +151,8 @@ impl Experiment for E1 {
                     let mut rng = StdRng::seed_from_u64(cfg.seed ^ seed);
                     let init = random_configuration(&g, &p, &mut rng);
                     let mut sd = SynchronousDaemon::new();
-                    let s = sim.run(init.clone(), &mut sd, RunLimits::with_max_steps(100_000), &mut []);
+                    let s =
+                        sim.run(init.clone(), &mut sd, RunLimits::with_max_steps(100_000), &mut []);
                     sync_max = sync_max.max(s.steps);
                     let mut cd = CentralDaemon::new(CentralStrategy::Random(seed));
                     let s = sim.run(init, &mut cd, RunLimits::with_max_steps(2_000_000), &mut []);
@@ -187,8 +188,7 @@ impl Experiment for E1 {
             let g = generators::ring(n).expect("valid ring");
             let p = specstab_protocols::dijkstra_three_state::DijkstraThreeState::new(&g)
                 .expect("ring topology");
-            let spec =
-                specstab_protocols::dijkstra_three_state::ThreeStateSpec::new(p.clone());
+            let spec = specstab_protocols::dijkstra_three_state::ThreeStateSpec::new(p.clone());
             let all = specstab_kernel::search::enumerate_all_configurations(&g, &p, 2_000_000)
                 .expect("3^n fits");
             let cg = specstab_kernel::search::build_config_graph(

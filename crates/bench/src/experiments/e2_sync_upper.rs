@@ -1,15 +1,15 @@
 //! E2 — Theorem 2: `conv_time(SSME, sd) ≤ ⌈diam(g)/2⌉`.
+//!
+//! Runs on the campaign engine: one scenario matrix sweeps random full
+//! bursts over the standard zoo under the synchronous daemon (in parallel,
+//! deterministically seeded per cell), a second single-seed matrix runs the
+//! Theorem 4 adversarial witness on the same topologies.
 
 use super::{Experiment, ExperimentResult, RunConfig};
-use crate::support::{measure_ssme, random_inits};
 use crate::table::Table;
 use crate::zoo;
-use specstab_core::bounds;
-use specstab_core::lower_bound::{theorem4_witness, verify_witness};
-use specstab_core::ssme::Ssme;
-use specstab_kernel::daemon::SynchronousDaemon;
-use specstab_topology::metrics::DistanceMatrix;
-use specstab_unison::analysis;
+use specstab_campaign::executor::{run_campaign, CampaignConfig};
+use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
 
 /// Theorem 2 experiment.
 pub struct E2;
@@ -28,43 +28,70 @@ impl Experiment for E2 {
     fn run(&self, cfg: &RunConfig) -> ExperimentResult {
         let scale = if cfg.quick { 1 } else { 3 };
         let runs = if cfg.quick { 10 } else { 60 };
+        let topologies = zoo::standard_specs(scale);
+        let campaign_cfg = CampaignConfig { seed: cfg.seed, ..Default::default() };
+
+        // Random full bursts, `runs` seeds per topology.
+        let random = run_campaign(
+            &ScenarioMatrix::builder()
+                .topologies(topologies.clone())
+                .protocols([ProtocolKind::Ssme])
+                .daemons(["sync"])
+                .fault_bursts([0])
+                .seeds(0..runs)
+                .build(),
+            &campaign_cfg,
+        );
+        // The deterministic Theorem 4 witness (seed-independent: one cell
+        // per topology).
+        let witness = run_campaign(
+            &ScenarioMatrix::builder()
+                .topologies(topologies.clone())
+                .protocols([ProtocolKind::Ssme])
+                .daemons(["sync"])
+                .init_modes([InitMode::Witness])
+                .seeds(0..1)
+                .build(),
+            &campaign_cfg,
+        );
+
         let mut table = Table::new(
             "SSME under the synchronous daemon: measured worst stabilization vs ⌈diam/2⌉",
             &[
-                "graph", "n", "diam", "bound ⌈diam/2⌉", "max over random configs",
-                "witness (adversarial) config", "within bound",
+                "graph",
+                "n",
+                "diam",
+                "bound ⌈diam/2⌉",
+                "max over random configs",
+                "witness (adversarial) config",
+                "within bound",
             ],
         );
         let mut all_hold = true;
-        for g in zoo::standard(scale) {
-            let dm = DistanceMatrix::new(&g);
-            let diam = dm.diameter();
-            let bound = bounds::sync_stabilization_bound(diam) as usize;
-            let ssme = Ssme::for_graph(&g).expect("nonempty graph");
-            let horizon = analysis::ssme_sync_gamma1_bound(g.n(), diam) as usize + 16;
-            // Random initial configurations.
-            let mut max_random = 0usize;
-            for init in random_inits(&g, &ssme, runs, cfg.seed) {
-                let mut d = SynchronousDaemon::new();
-                let r = measure_ssme(&g, &ssme, &mut d, init, horizon);
-                max_random = max_random.max(r.stabilization_steps);
-            }
-            // The adversarial (Theorem 4) witness, when the diameter allows.
-            let witness_stab = if diam >= 1 {
-                let w = theorem4_witness(&ssme, &g, &dm).expect("diam >= 1");
-                let outcome = verify_witness(&ssme, &g, &w, horizon);
-                outcome.measured_stabilization
-            } else {
-                0
-            };
-            let within = max_random <= bound && witness_stab <= bound;
+        for spec in &topologies {
+            let rg = random
+                .groups
+                .iter()
+                .find(|g| &g.topology == spec)
+                .expect("random group per topology");
+            let wg = witness
+                .groups
+                .iter()
+                .find(|g| &g.topology == spec)
+                .expect("witness group per topology");
+            // Degenerate-diameter topologies (complete graphs, stars with
+            // diam 1 still work; only diam = 0 errors) surface as cell
+            // errors; none are expected in the zoo.
+            let witness_stab = wg.stabilization.max() as usize;
+            let within =
+                rg.violations == 0 && wg.violations == 0 && rg.errors == 0 && wg.errors == 0;
             all_hold &= within;
             table.push_row(vec![
-                g.name().to_string(),
-                g.n().to_string(),
-                diam.to_string(),
-                bound.to_string(),
-                max_random.to_string(),
+                spec.clone(),
+                rg.n.to_string(),
+                rg.diam.to_string(),
+                rg.bound.map_or_else(|| "-".into(), |b| b.to_string()),
+                (rg.stabilization.max() as usize).to_string(),
                 witness_stab.to_string(),
                 within.to_string(),
             ]);
@@ -74,13 +101,15 @@ impl Experiment for E2 {
             title: self.title().into(),
             paper_artifact: self.paper_artifact().into(),
             tables: vec![table],
-            notes: vec![
+            notes: vec![format!(
                 "claim: no safety violation at or after step ⌈diam/2⌉ in any synchronous \
-                 execution; measured: max over sampled random configurations and the \
-                 constructed adversarial witness both stay within the bound (the witness \
-                 achieves it exactly — see e4)"
-                    .into(),
-            ],
+                     execution; measured on the campaign engine ({} random cells + {} witness \
+                     cells, {} threads): zero bound violations; the constructed adversarial \
+                     witness attains the bound exactly (see e4)",
+                random.cells.len(),
+                witness.cells.len(),
+                random.threads_used,
+            )],
             all_claims_hold: all_hold,
         }
     }

@@ -30,8 +30,15 @@ impl Experiment for E4 {
         let mut table = Table::new(
             "Theorem 4 witnesses: both u and v privileged at t = ⌈diam/2⌉ − 1",
             &[
-                "graph", "diam", "u", "v", "t", "both privileged at t",
-                "measured stabilization", "bound ⌈diam/2⌉", "tight",
+                "graph",
+                "diam",
+                "u",
+                "v",
+                "t",
+                "both privileged at t",
+                "measured stabilization",
+                "bound ⌈diam/2⌉",
+                "tight",
             ],
         );
         let mut all_hold = true;

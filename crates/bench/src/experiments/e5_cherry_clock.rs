@@ -96,12 +96,10 @@ impl Experiment for E5 {
             title: self.title().into(),
             paper_artifact: self.paper_artifact().into(),
             tables: vec![orbit, dk, facts],
-            notes: vec![
-                "regenerates Figure 1: the stem {-5..0} feeds the K=12 cycle; φ walks \
+            notes: vec!["regenerates Figure 1: the stem {-5..0} feeds the K=12 cycle; φ walks \
                  the stem once then cycles with period 12; a reset jumps any non-(-α) \
                  value back to -5"
-                    .into(),
-            ],
+                .into()],
             all_claims_hold: all_hold,
         }
     }

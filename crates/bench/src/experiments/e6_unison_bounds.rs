@@ -109,12 +109,10 @@ impl Experiment for E6 {
             title: self.title().into(),
             paper_artifact: self.paper_artifact().into(),
             tables: vec![unison_t, ssme_t],
-            notes: vec![
-                "claim ([3], used in Theorem 2 Case 3): synchronous unison reaches Γ1 \
+            notes: vec!["claim ([3], used in Theorem 2 Case 3): synchronous unison reaches Γ1 \
                  within α + lcp(g) + diam(g) steps, hence SSME within 2n + diam(g); \
                  measured maxima respect both bounds on every topology"
-                    .into(),
-            ],
+                .into()],
             all_claims_hold: all_hold,
         }
     }

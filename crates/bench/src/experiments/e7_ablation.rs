@@ -51,8 +51,8 @@ impl Experiment for E7 {
             let clock = CherryClock::new(alpha, 6).expect("valid clock");
             let unison = AsyncUnison::new(clock);
             let spec = SpecAu::new(clock);
-            let all = enumerate_all_configurations(&g, &unison, 2_000_000)
-                .expect("domain fits the cap");
+            let all =
+                enumerate_all_configurations(&g, &unison, 2_000_000).expect("domain fits the cap");
             let cg = build_config_graph(&g, &unison, &all, SearchDaemon::Central, 8_000_000)
                 .expect("state space fits");
             let verdict = match worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g)) {
@@ -86,8 +86,8 @@ impl Experiment for E7 {
             let unison = AsyncUnison::new(clock);
             let spec = SpecAu::new(clock);
             let sim = Simulator::new(&g4, &unison);
-            let all = enumerate_all_configurations(&g4, &unison, 2_000_000)
-                .expect("domain fits the cap");
+            let all =
+                enumerate_all_configurations(&g4, &unison, 2_000_000).expect("domain fits the cap");
             let deadlocks = all
                 .iter()
                 .filter(|c| spec.in_gamma_one(c, &g4) && sim.enabled_vertices(c).is_empty())

@@ -49,19 +49,15 @@ impl Experiment for E9 {
         for cap in [4u64, 8, 12, 16] {
             let p = NaiveSyncUnison::new(cap);
             let spec = LockstepSpec;
-            let all = enumerate_all_configurations(&g, &p, 10_000_000)
-                .expect("domain fits the cap");
+            let all =
+                enumerate_all_configurations(&g, &p, 10_000_000).expect("domain fits the cap");
             let cg = build_config_graph(&g, &p, &all, SearchDaemon::Central, 10_000_000)
                 .expect("state space fits");
-            let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g))
-                .expect("capped model converges");
+            let worst =
+                worst_steps_to(&cg, |c| spec.is_legitimate(c, &g)).expect("capped model converges");
             let max = u64::from(*worst.iter().max().expect("nonempty"));
             all_hold &= max == 3 * cap - 2;
-            naive_t.push_row(vec![
-                cap.to_string(),
-                max.to_string(),
-                (3 * cap - 2).to_string(),
-            ]);
+            naive_t.push_row(vec![cap.to_string(), max.to_string(), (3 * cap - 2).to_string()]);
         }
 
         // BPV unison: exact central worst case is K-independent.
@@ -74,8 +70,8 @@ impl Experiment for E9 {
             let clock = CherryClock::new(1, k).expect("valid clock");
             let unison = AsyncUnison::new(clock);
             let spec = SpecAu::new(clock);
-            let all = enumerate_all_configurations(&g, &unison, 10_000_000)
-                .expect("domain fits the cap");
+            let all =
+                enumerate_all_configurations(&g, &unison, 10_000_000).expect("domain fits the cap");
             let cg = build_config_graph(&g, &unison, &all, SearchDaemon::Central, 10_000_000)
                 .expect("state space fits");
             let worst = worst_steps_to(&cg, |c| spec.in_gamma_one(c, &g))
@@ -85,8 +81,8 @@ impl Experiment for E9 {
             bpv_t.push_row(vec![k.to_string(), max.to_string()]);
         }
         // K-independence: the worst case must not grow with K.
-        let spread = bpv_worsts.iter().max().expect("nonempty")
-            - bpv_worsts.iter().min().expect("nonempty");
+        let spread =
+            bpv_worsts.iter().max().expect("nonempty") - bpv_worsts.iter().min().expect("nonempty");
         all_hold &= spread <= 2;
 
         ExperimentResult {

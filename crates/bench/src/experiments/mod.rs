@@ -53,10 +53,8 @@ impl ExperimentResult {
     /// Renders the full result as text.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = format!(
-            "# {} — {}\nregenerates: {}\n\n",
-            self.id, self.title, self.paper_artifact
-        );
+        let mut out =
+            format!("# {} — {}\nregenerates: {}\n\n", self.id, self.title, self.paper_artifact);
         for t in &self.tables {
             out.push_str(&t.render());
             out.push('\n');

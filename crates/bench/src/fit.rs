@@ -59,10 +59,7 @@ pub fn ratio_stats(measured: &[f64], claimed: &[f64]) -> RatioStats {
 pub fn power_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     assert_eq!(xs.len(), ys.len(), "series length mismatch");
     assert!(xs.len() >= 2, "need at least two points");
-    assert!(
-        xs.iter().chain(ys).all(|&v| v > 0.0),
-        "power fit requires positive values"
-    );
+    assert!(xs.iter().chain(ys).all(|&v| v > 0.0), "power fit requires positive values");
     let n = xs.len() as f64;
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();

@@ -48,7 +48,7 @@ pub fn measure_with_spec<P, Sp>(
 ) -> StabilizationReport
 where
     P: Protocol,
-    Sp: Specification<P::State> + Clone + 'static,
+    Sp: Specification<P::State> + Clone + Send + 'static,
 {
     let s = spec.clone();
     let l = spec.clone();

@@ -78,7 +78,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }
@@ -147,7 +151,7 @@ mod tests {
     fn fnum_precision() {
         assert_eq!(fnum(0.0), "0");
         assert_eq!(fnum(1234.6), "1235");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(2.46913), "2.47");
         assert_eq!(fnum(0.034), "0.0340");
     }
 }

@@ -22,6 +22,25 @@ pub fn standard(scale: usize) -> Vec<Graph> {
     ]
 }
 
+/// The standard zoo as campaign topology specs (same instances as
+/// [`standard`], in the `specstab_topology::spec` grammar).
+#[must_use]
+pub fn standard_specs(scale: usize) -> Vec<String> {
+    let s = scale.max(1);
+    vec![
+        format!("ring:{}", 6 * s),
+        format!("ring:{}", 6 * s + 1),
+        format!("path:{}", 6 * s),
+        format!("star:{}", 4 * s + 1),
+        format!("grid:3x{}", 2 * s + 1),
+        format!("torus:3x{}", s + 3),
+        format!("complete:{}", s + 4),
+        format!("bintree:{}", 4 * s + 3),
+        "petersen".to_string(),
+        format!("er:{}:0.25", 5 * s + 5),
+    ]
+}
+
 /// Ring sweep for scaling experiments.
 #[must_use]
 pub fn ring_sweep(sizes: &[usize]) -> Vec<Graph> {

@@ -8,12 +8,7 @@ fn every_experiment_passes_in_quick_mode() {
     let cfg = RunConfig { quick: true, seed: 0xBEEF };
     for exp in all() {
         let result = exp.run(&cfg);
-        assert!(
-            result.all_claims_hold,
-            "{}: claims failed\n{}",
-            exp.id(),
-            result.render()
-        );
+        assert!(result.all_claims_hold, "{}: claims failed\n{}", exp.id(), result.render());
         assert!(!result.tables.is_empty(), "{}: no tables", exp.id());
         for t in &result.tables {
             assert!(!t.rows.is_empty(), "{}: empty table '{}'", exp.id(), t.title);

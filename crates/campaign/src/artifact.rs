@@ -1,0 +1,298 @@
+//! Campaign artifacts: deterministic JSON and CSV writers.
+//!
+//! No serde in this offline environment, so the writers are hand-rolled on
+//! a tiny ordered JSON value type. Determinism is a hard requirement
+//! (tested): serializing the same [`CampaignResult`] yields byte-identical
+//! output regardless of thread count, machine or run — which is why wall
+//! clock and host facts never enter the artifact.
+
+use crate::executor::{CampaignResult, CellResult, GroupSummary};
+use crate::stats::OnlineStats;
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer (serialized without decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Float (shortest round-trip formatting; NaN/∞ become `null`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object preserving insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serializes with two-space indentation and trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn stats_json(s: &OnlineStats) -> Json {
+    Json::Obj(vec![
+        ("count", Json::UInt(s.count())),
+        ("min", Json::Num(s.min())),
+        ("max", Json::Num(s.max())),
+        ("mean", Json::Num(s.mean())),
+        ("stddev", Json::Num(s.stddev())),
+        ("p50", Json::Num(s.p50())),
+        ("p90", Json::Num(s.p90())),
+        ("p99", Json::Num(s.p99())),
+    ])
+}
+
+fn group_json(g: &GroupSummary) -> Json {
+    Json::Obj(vec![
+        ("key", Json::Str(g.key.clone())),
+        ("topology", Json::Str(g.topology.clone())),
+        ("protocol", Json::Str(g.protocol.to_string())),
+        ("daemon", Json::Str(g.daemon.clone())),
+        ("daemon_class", Json::Str(g.class_str())),
+        ("init", Json::Str(g.init.to_string())),
+        ("n", Json::UInt(g.n as u64)),
+        ("diam", Json::UInt(u64::from(g.diam))),
+        ("runs", Json::UInt(g.runs)),
+        ("errors", Json::UInt(g.errors)),
+        ("converged", Json::UInt(g.converged)),
+        ("bound", g.bound.map_or(Json::Null, Json::UInt)),
+        ("violations", Json::UInt(g.violations)),
+        ("stabilization_steps", stats_json(&g.stabilization)),
+        ("legitimacy_entry", stats_json(&g.entry)),
+        ("moves", stats_json(&g.moves)),
+    ])
+}
+
+fn cell_json(c: &CellResult) -> Json {
+    let mut fields = vec![
+        ("topology", Json::Str(c.cell.topology.clone())),
+        ("protocol", Json::Str(c.cell.protocol.to_string())),
+        ("daemon", Json::Str(c.cell.daemon.clone())),
+        ("init", Json::Str(c.cell.init.to_string())),
+        ("seed_index", Json::UInt(c.cell.seed_index)),
+        ("cell_seed", Json::UInt(c.cell_seed)),
+        ("n", Json::UInt(c.n as u64)),
+        ("diam", Json::UInt(u64::from(c.diam))),
+    ];
+    match &c.outcome {
+        Ok(o) => {
+            fields.push(("steps_run", Json::UInt(o.steps_run as u64)));
+            fields.push(("stabilization_steps", Json::UInt(o.stabilization_steps as u64)));
+            fields.push(("legitimacy_entry", Json::UInt(o.legitimacy_entry as u64)));
+            fields.push(("moves", Json::UInt(o.moves)));
+            fields.push(("converged", Json::Bool(o.ended_legitimate)));
+            fields.push(("bound", o.bound.map_or(Json::Null, Json::UInt)));
+            fields.push(("violated_bound", Json::Bool(o.violated_bound)));
+        }
+        Err(e) => fields.push(("error", Json::Str(e.clone()))),
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes a campaign result to the v1 JSON artifact.
+///
+/// `include_cells` controls whether the (potentially large) per-cell
+/// section is embedded alongside the group aggregates.
+#[must_use]
+pub fn to_json(result: &CampaignResult, include_cells: bool) -> String {
+    let mut root = vec![
+        (
+            "campaign",
+            Json::Obj(vec![
+                ("schema", Json::Str("specstab-campaign/v1".into())),
+                ("seed", Json::UInt(result.config.seed)),
+                ("max_steps", Json::UInt(result.config.max_steps as u64)),
+                ("early_stop_margin", Json::UInt(result.config.early_stop_margin as u64)),
+                ("cells", Json::UInt(result.cells.len() as u64)),
+                ("groups", Json::UInt(result.groups.len() as u64)),
+                ("violations", Json::UInt(result.total_violations())),
+                ("errors", Json::UInt(result.total_errors())),
+            ]),
+        ),
+        ("groups", Json::Arr(result.groups.iter().map(group_json).collect())),
+    ];
+    if include_cells {
+        root.push(("cells", Json::Arr(result.cells.iter().map(cell_json).collect())));
+    }
+    Json::Obj(root).render()
+}
+
+/// Serializes the per-cell results as CSV (header + one row per cell).
+#[must_use]
+pub fn to_csv(result: &CampaignResult) -> String {
+    let mut out = String::from(
+        "topology,protocol,daemon,init,seed_index,cell_seed,n,diam,steps_run,\
+         stabilization_steps,legitimacy_entry,moves,converged,bound,violated_bound,error\n",
+    );
+    for c in &result.cells {
+        let (steps, stab, entry, moves, conv, bound, viol, err) = match &c.outcome {
+            Ok(o) => (
+                o.steps_run.to_string(),
+                o.stabilization_steps.to_string(),
+                o.legitimacy_entry.to_string(),
+                o.moves.to_string(),
+                o.ended_legitimate.to_string(),
+                o.bound.map_or(String::new(), |b| b.to_string()),
+                o.violated_bound.to_string(),
+                String::new(),
+            ),
+            Err(e) => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                csv_escape(e),
+            ),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{steps},{stab},{entry},{moves},{conv},{bound},{viol},{err}",
+            csv_escape(&c.cell.topology),
+            c.cell.protocol,
+            csv_escape(&c.cell.daemon),
+            c.cell.init,
+            c.cell.seed_index,
+            c.cell_seed,
+            c.n,
+            c.diam,
+        );
+    }
+    out
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_and_shapes() {
+        let j = Json::Obj(vec![
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("xs", Json::Arr(vec![Json::Int(-1), Json::UInt(2), Json::Num(1.5), Json::Null])),
+            ("empty", Json::Obj(vec![])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("1.5"));
+        assert!(s.contains("{}"));
+        assert!(s.contains("null"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,174 @@
+//! The `campaign` CLI: sweep scenario grids in parallel and render
+//! speculation profiles.
+//!
+//! ```text
+//! campaign                                   # the default 324-cell matrix
+//! campaign --topologies ring:12,torus:4x5 --daemons sync,central-rand,dist:0.5 \
+//!          --faults 0,2 --seeds 12 --json out.json --csv out.csv
+//! campaign --protocols ssme,dijkstra --topologies ring:9 --seeds 20 --threads 4
+//! ```
+
+use specstab_campaign::artifact::{to_csv, to_json};
+use specstab_campaign::executor::{run_campaign, CampaignConfig};
+use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::report::speculation_profile_table;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--topologies <spec,..>] [--protocols <ssme,dijkstra>] \
+         [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
+         [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] [--cells-in-json]\n\
+         \n\
+         defaults: topologies ring:12,torus:3x4,tree:12  protocols ssme  \n\
+         \x20         daemons sync,central-rand,dist:0.5  faults 0,2,witness  seeds 12\n\
+         topology specs: {}\n\
+         daemon specs:   sync | central-rr | central-rand | central-min | central-max \
+         | central-oldest | dist:<p> | kbounded:<k>[:<p>] \
+         | adversary-central | adversary-dist (greedy Γ1-disorder adversaries, ssme only)",
+        specstab_topology::spec::SPEC_GRAMMAR
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    topologies: Vec<String>,
+    protocols: Vec<ProtocolKind>,
+    daemons: Vec<String>,
+    faults: Vec<InitMode>,
+    seeds: u64,
+    threads: usize,
+    max_steps: usize,
+    seed: u64,
+    json: Option<String>,
+    csv: Option<String>,
+    cells_in_json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        topologies: vec!["ring:12".into(), "torus:3x4".into(), "tree:12".into()],
+        protocols: vec![ProtocolKind::Ssme],
+        daemons: vec!["sync".into(), "central-rand".into(), "dist:0.5".into()],
+        faults: vec![InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness],
+        seeds: 12,
+        threads: 0,
+        max_steps: 2_000_000,
+        seed: 0xC0FFEE,
+        json: None,
+        csv: None,
+        cells_in_json: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        if key == "--help" || key == "-h" {
+            usage();
+        }
+        if key == "--cells-in-json" {
+            args.cells_in_json = true;
+            i += 1;
+            continue;
+        }
+        let Some(val) = argv.get(i + 1).cloned() else { usage() };
+        match key {
+            "--topologies" => args.topologies = split_list(&val),
+            "--protocols" => {
+                args.protocols = split_list(&val)
+                    .iter()
+                    .map(|p| ProtocolKind::parse(p).unwrap_or_else(|e| fail(&e)))
+                    .collect();
+            }
+            "--daemons" => args.daemons = split_list(&val),
+            "--faults" => {
+                args.faults = split_list(&val)
+                    .iter()
+                    .map(|f| InitMode::parse(f).unwrap_or_else(|e| fail(&e)))
+                    .collect();
+            }
+            "--seeds" => args.seeds = val.parse().unwrap_or_else(|_| usage()),
+            "--threads" => args.threads = val.parse().unwrap_or_else(|_| usage()),
+            "--max-steps" => args.max_steps = val.parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = Some(val),
+            "--csv" => args.csv = Some(val),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if args.topologies.is_empty()
+        || args.protocols.is_empty()
+        || args.daemons.is_empty()
+        || args.faults.is_empty()
+        || args.seeds == 0
+    {
+        usage();
+    }
+    args
+}
+
+fn split_list(s: &str) -> Vec<String> {
+    s.split(',').filter(|p| !p.is_empty()).map(str::to_string).collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("campaign error: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let matrix = ScenarioMatrix::builder()
+        .topologies(args.topologies.clone())
+        .protocols(args.protocols.clone())
+        .daemons(args.daemons.clone())
+        .init_modes(args.faults.clone())
+        .seeds(0..args.seeds)
+        .build();
+    let config = CampaignConfig {
+        threads: args.threads,
+        max_steps: args.max_steps,
+        seed: args.seed,
+        early_stop_margin: 3,
+    };
+    eprintln!(
+        "campaign: {} cells ({} topologies x {} protocols x {} daemons x {} bursts x {} seeds)",
+        matrix.len(),
+        args.topologies.len(),
+        args.protocols.len(),
+        args.daemons.len(),
+        args.faults.len(),
+        args.seeds,
+    );
+    let result = run_campaign(&matrix, &config);
+    eprintln!(
+        "campaign: done in {:?} on {} threads ({:.0} cells/s)",
+        result.wall,
+        result.threads_used,
+        result.cells.len() as f64 / result.wall.as_secs_f64().max(1e-9),
+    );
+
+    print!("{}", speculation_profile_table(&result));
+
+    if let Some(path) = &args.json {
+        let body = to_json(&result, args.cells_in_json);
+        if let Err(e) = std::fs::write(path, body) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        eprintln!("campaign: JSON artifact -> {path}");
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, to_csv(&result)) {
+            fail(&format!("writing {path}: {e}"));
+        }
+        eprintln!("campaign: CSV artifact -> {path}");
+    }
+    if result.total_errors() > 0 {
+        eprintln!("campaign: {} cells errored", result.total_errors());
+        std::process::exit(1);
+    }
+    if result.total_violations() > 0 {
+        eprintln!("campaign: {} BOUND VIOLATIONS", result.total_violations());
+        std::process::exit(1);
+    }
+}

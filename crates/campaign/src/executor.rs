@@ -1,0 +1,593 @@
+//! The sharded campaign executor.
+//!
+//! Cells are distributed to worker threads through a shared atomic cursor
+//! (work-stealing by over-decomposition: each worker pulls the next
+//! unclaimed cell, so stragglers never idle the pool). Every cell derives
+//! its RNG stream purely from its coordinates ([`Cell::cell_seed`]), so
+//! results are bit-identical regardless of thread count or scheduling, and
+//! aggregation happens after the join in canonical cell order.
+
+use crate::matrix::{Cell, InitMode, ProtocolKind, ScenarioMatrix};
+use crate::stats::OnlineStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_core::bounds;
+use specstab_core::spec_me::SpecMe;
+use specstab_core::speculation::ssme_disorder_metric;
+use specstab_core::ssme::Ssme;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::{
+    parse_daemon_spec, AdversaryMoves, BoxedDaemon, DaemonClass, GreedyAdversary,
+};
+use specstab_kernel::engine::Simulator;
+use specstab_kernel::fault::inject_faults;
+use specstab_kernel::measure::MeasurementContext;
+use specstab_kernel::observer::ConfigPredicate;
+use specstab_kernel::protocol::{random_configuration, Protocol};
+use specstab_kernel::spec::Specification;
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_topology::spec::parse_spec;
+use specstab_topology::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Campaign-wide execution parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads; `0` = all available cores.
+    pub threads: usize,
+    /// Hard per-run step budget.
+    pub max_steps: usize,
+    /// Campaign base seed, mixed into every cell seed.
+    pub seed: u64,
+    /// Early-stop margin: a run ends once legitimacy has held for
+    /// `margin + 1` consecutive configurations.
+    pub early_stop_margin: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self { threads: 0, max_steps: 2_000_000, seed: 0xC0FFEE, early_stop_margin: 3 }
+    }
+}
+
+/// Numbers measured in one successfully executed cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOutcome {
+    /// Steps actually executed.
+    pub steps_run: usize,
+    /// Measured stabilization time w.r.t. safety (Definition 3, empirical).
+    pub stabilization_steps: usize,
+    /// Index from which legitimacy held for the rest of the run.
+    pub legitimacy_entry: usize,
+    /// Vertex activations executed.
+    pub moves: u64,
+    /// Whether the run ended inside the legitimate region.
+    pub ended_legitimate: bool,
+    /// The theorem bound this cell is checked against, when one applies
+    /// (synchronous daemon: Theorem 2's `⌈diam/2⌉` for SSME, the `2n − 3`
+    /// law for Dijkstra).
+    pub bound: Option<u64>,
+    /// Whether the measurement exceeded `bound`.
+    pub violated_bound: bool,
+}
+
+/// One cell plus its execution result.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// The cell coordinates.
+    pub cell: Cell,
+    /// Vertices of the parsed topology (0 when the topology failed to parse).
+    pub n: usize,
+    /// Diameter of the parsed topology.
+    pub diam: u32,
+    /// Taxonomy class of the daemon, when it parsed.
+    pub class: Option<DaemonClass>,
+    /// The cell's derived deterministic seed.
+    pub cell_seed: u64,
+    /// Measured outcome, or a description of why the cell failed.
+    pub outcome: Result<CellOutcome, String>,
+}
+
+/// Aggregated statistics for one scenario group (all cells sharing
+/// topology × protocol × daemon × fault burst, i.e. the seed axis).
+#[derive(Clone, Debug)]
+pub struct GroupSummary {
+    /// Canonical group key.
+    pub key: String,
+    /// Shared cell coordinates.
+    pub topology: String,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Daemon spec.
+    pub daemon: String,
+    /// Daemon taxonomy class, when it parsed.
+    pub class: Option<DaemonClass>,
+    /// Initial-configuration mode.
+    pub init: InitMode,
+    /// Vertices.
+    pub n: usize,
+    /// Diameter.
+    pub diam: u32,
+    /// Cells executed (including failed ones).
+    pub runs: u64,
+    /// Cells that errored.
+    pub errors: u64,
+    /// Cells that ended legitimate.
+    pub converged: u64,
+    /// Streaming stats over measured stabilization steps.
+    pub stabilization: OnlineStats,
+    /// Streaming stats over legitimacy entry.
+    pub entry: OnlineStats,
+    /// Streaming stats over moves.
+    pub moves: OnlineStats,
+    /// The applicable theorem bound, when the group has one.
+    pub bound: Option<u64>,
+    /// Cells whose measurement exceeded the bound.
+    pub violations: u64,
+}
+
+impl GroupSummary {
+    /// The daemon class as display text (empty when the daemon never
+    /// parsed).
+    #[must_use]
+    pub fn class_str(&self) -> String {
+        self.class.map_or_else(String::new, |c| c.to_string())
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Per-cell results in canonical matrix order.
+    pub cells: Vec<CellResult>,
+    /// Per-group aggregates, ordered by first appearance in the matrix.
+    pub groups: Vec<GroupSummary>,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+    /// Wall-clock duration of the sweep (excluded from artifacts so they
+    /// stay byte-identical across machines and thread counts).
+    pub wall: Duration,
+    /// The configuration the campaign ran with.
+    pub config: CampaignConfig,
+}
+
+impl CampaignResult {
+    /// Total bound violations across all groups.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.groups.iter().map(|g| g.violations).sum()
+    }
+
+    /// Total cell errors across all groups.
+    #[must_use]
+    pub fn total_errors(&self) -> u64 {
+        self.groups.iter().map(|g| g.errors).sum()
+    }
+}
+
+/// Runs every cell of `matrix` across a worker pool and aggregates.
+///
+/// Deterministic: the per-cell outcomes (and therefore the aggregate
+/// statistics and artifacts) depend only on the matrix and
+/// `config.seed` / `config.max_steps` — never on `config.threads`.
+#[must_use]
+pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignResult {
+    let started = Instant::now();
+    let cells = matrix.cells();
+    let threads = effective_threads(config.threads, cells.len());
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+
+    let mut slots: Vec<Option<CellResult>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || {
+                // Per-worker topology cache: matrices reuse few topologies
+                // across many cells, and BFS diameters are cell-invariant.
+                let mut topo_cache: HashMap<String, Result<(Graph, u32), String>> = HashMap::new();
+                loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= cells.len() {
+                        break;
+                    }
+                    let result = execute_cell(&cells[idx], config, &mut topo_cache);
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+        }
+    });
+
+    let cells: Vec<CellResult> =
+        slots.into_iter().map(|s| s.expect("every cell executed")).collect();
+    let groups = aggregate(&cells);
+    CampaignResult {
+        cells,
+        groups,
+        threads_used: threads,
+        wall: started.elapsed(),
+        config: config.clone(),
+    }
+}
+
+fn effective_threads(requested: usize, cells: usize) -> usize {
+    let available = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    available.clamp(1, cells.max(1))
+}
+
+/// Sequential reference executor: runs the cells one by one on the calling
+/// thread with identical per-cell seeding. Exists so tests can cross-check
+/// the parallel path; also handy in constrained environments.
+#[must_use]
+pub fn run_campaign_sequential(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignResult {
+    let started = Instant::now();
+    let mut topo_cache = HashMap::new();
+    let cells: Vec<CellResult> =
+        matrix.cells().iter().map(|cell| execute_cell(cell, config, &mut topo_cache)).collect();
+    let groups = aggregate(&cells);
+    CampaignResult {
+        cells,
+        groups,
+        threads_used: 1,
+        wall: started.elapsed(),
+        config: config.clone(),
+    }
+}
+
+fn execute_cell(
+    cell: &Cell,
+    config: &CampaignConfig,
+    topo_cache: &mut HashMap<String, Result<(Graph, u32), String>>,
+) -> CellResult {
+    let cell_seed = cell.cell_seed(config.seed);
+    let topo = topo_cache
+        .entry(cell.topology.clone())
+        .or_insert_with(|| {
+            parse_spec(&cell.topology).map_err(|e| e.to_string()).and_then(|g| {
+                if g.is_connected() {
+                    let diam = DistanceMatrix::new(&g).diameter();
+                    Ok((g, diam))
+                } else {
+                    Err(format!("'{}' is not connected", cell.topology))
+                }
+            })
+        })
+        .clone();
+    let (graph, diam) = match topo {
+        Ok(pair) => pair,
+        Err(e) => {
+            return CellResult {
+                cell: cell.clone(),
+                n: 0,
+                diam: 0,
+                class: None,
+                cell_seed,
+                outcome: Err(e),
+            }
+        }
+    };
+    let (class, outcome) = match cell.protocol {
+        ProtocolKind::Ssme => run_ssme_cell(cell, &graph, diam, cell_seed, config),
+        ProtocolKind::Dijkstra => run_dijkstra_cell(cell, &graph, cell_seed, config),
+    };
+    CellResult { cell: cell.clone(), n: graph.n(), diam, class, cell_seed, outcome }
+}
+
+/// Resolves a daemon spec for SSME cells: the shared kernel zoo plus the
+/// protocol-specific greedy adversaries (`adversary-central`,
+/// `adversary-dist`) driven by the Γ1 disorder metric.
+fn ssme_daemon(
+    spec: &str,
+    ssme: &Ssme,
+    seed: u64,
+) -> Result<BoxedDaemon<specstab_unison::clock::ClockValue>, String> {
+    match spec {
+        "adversary-central" => Ok(Box::new(GreedyAdversary::new(
+            ssme_disorder_metric(ssme),
+            AdversaryMoves::Singletons,
+            seed,
+        ))),
+        "adversary-dist" => Ok(Box::new(GreedyAdversary::new(
+            ssme_disorder_metric(ssme),
+            AdversaryMoves::SingletonsAndAll,
+            seed,
+        ))),
+        other => parse_daemon_spec(other, seed),
+    }
+}
+
+/// Builds the initial configuration for a burst-mode scenario: a full
+/// random burst when `faults == 0`, otherwise `faults` (clamped to `n`)
+/// corrupted vertices of `healthy`. Public so other frontends (e.g. the
+/// `simulate` CLI) share the exact partial-burst semantics.
+pub fn burst_configuration<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    healthy: Configuration<P::State>,
+    faults: usize,
+    rng: &mut StdRng,
+) -> Configuration<P::State> {
+    if faults == 0 {
+        random_configuration(graph, protocol, rng)
+    } else {
+        inject_faults(&healthy, graph, protocol, faults.min(graph.n()), rng).0
+    }
+}
+
+fn spec_predicates<S, Sp>(spec: &Sp) -> (ConfigPredicate<S>, ConfigPredicate<S>, ConfigPredicate<S>)
+where
+    Sp: Specification<S> + Clone + Send + 'static,
+{
+    let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
+    (
+        Box::new(move |c, g| s.is_safe(c, g)),
+        Box::new(move |c, g| l.is_legitimate(c, g)),
+        Box::new(move |c, g| st.is_legitimate(c, g)),
+    )
+}
+
+fn run_ssme_cell(
+    cell: &Cell,
+    graph: &Graph,
+    diam: u32,
+    cell_seed: u64,
+    config: &CampaignConfig,
+) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
+    let ssme = match Ssme::new(graph, diam, specstab_core::ssme::IdAssignment::identity(graph.n()))
+    {
+        Ok(p) => p,
+        Err(e) => return (None, Err(e.to_string())),
+    };
+    let spec = SpecMe::new(ssme.clone());
+    let mut daemon = match ssme_daemon(&cell.daemon, &ssme, mix(cell_seed, 0x000D_AE17)) {
+        Ok(d) => d,
+        Err(e) => return (None, Err(e)),
+    };
+    let class = Some(daemon.class());
+    let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
+    let init = match cell.init {
+        InitMode::Burst(faults) => {
+            // A legitimate resting point: every clock at the same
+            // stabilized value.
+            let healthy_value = match ssme.clock().value(0) {
+                Ok(v) => v,
+                Err(e) => return (class, Err(e.to_string())),
+            };
+            let healthy = Configuration::from_fn(graph.n(), |_| healthy_value);
+            burst_configuration(graph, &ssme, healthy, faults, &mut rng)
+        }
+        InitMode::Witness => {
+            let dm = DistanceMatrix::new(graph);
+            match specstab_core::lower_bound::theorem4_witness(&ssme, graph, &dm) {
+                Ok(w) => w.init,
+                Err(e) => return (class, Err(e.to_string())),
+            }
+        }
+    };
+    let (safe, legit, stop) = spec_predicates(&spec);
+    let sim = Simulator::new(graph, &ssme);
+    let report = MeasurementContext::new(safe, legit)
+        .with_early_stop(stop, config.early_stop_margin)
+        .run(&sim, daemon.as_mut(), init, config.max_steps);
+    let bound = (cell.daemon == "sync").then(|| bounds::sync_stabilization_bound(diam));
+    let violated = bound.is_some_and(|b| report.stabilization_steps as u64 > b);
+    (
+        class,
+        Ok(CellOutcome {
+            steps_run: report.steps_run,
+            stabilization_steps: report.stabilization_steps,
+            legitimacy_entry: report.legitimacy_entry,
+            moves: report.moves,
+            ended_legitimate: report.ended_legitimate,
+            bound,
+            violated_bound: violated,
+        }),
+    )
+}
+
+fn run_dijkstra_cell(
+    cell: &Cell,
+    graph: &Graph,
+    cell_seed: u64,
+    config: &CampaignConfig,
+) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
+    let proto = match specstab_protocols::dijkstra::DijkstraRing::new(graph, graph.n() as u64) {
+        Ok(p) => p,
+        Err(e) => return (None, Err(e.to_string())),
+    };
+    let spec = specstab_protocols::dijkstra::DijkstraSpec::new(proto.clone());
+    let mut daemon = match parse_daemon_spec(&cell.daemon, mix(cell_seed, 0x000D_AE17)) {
+        Ok(d) => d,
+        Err(e) => return (None, Err(e)),
+    };
+    let class = Some(daemon.class());
+    let InitMode::Burst(faults) = cell.init else {
+        return (class, Err("witness init is only defined for ssme".into()));
+    };
+    let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
+    // All counters equal: exactly the root privileged — legitimate.
+    let healthy = Configuration::from_fn(graph.n(), |_| 0u64);
+    let init = burst_configuration(graph, &proto, healthy, faults, &mut rng);
+    let (safe, legit, stop) = spec_predicates(&spec);
+    let sim = Simulator::new(graph, &proto);
+    let report = MeasurementContext::new(safe, legit)
+        .with_early_stop(stop, config.early_stop_margin)
+        .run(&sim, daemon.as_mut(), init, config.max_steps);
+    let bound = (cell.daemon == "sync").then(|| bounds::dijkstra_sync_entry_law(graph.n()));
+    let violated = bound.is_some_and(|b| report.legitimacy_entry as u64 > b);
+    (
+        class,
+        Ok(CellOutcome {
+            steps_run: report.steps_run,
+            stabilization_steps: report.stabilization_steps,
+            legitimacy_entry: report.legitimacy_entry,
+            moves: report.moves,
+            ended_legitimate: report.ended_legitimate,
+            bound,
+            violated_bound: violated,
+        }),
+    )
+}
+
+/// Mixes a stream label into a cell seed (SplitMix64 finalizer).
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn aggregate(cells: &[CellResult]) -> Vec<GroupSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_key: HashMap<String, GroupSummary> = HashMap::new();
+    for cr in cells {
+        let key = cr.cell.group_key();
+        let group = by_key.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            GroupSummary {
+                key,
+                topology: cr.cell.topology.clone(),
+                protocol: cr.cell.protocol,
+                daemon: cr.cell.daemon.clone(),
+                class: cr.class,
+                init: cr.cell.init,
+                n: cr.n,
+                diam: cr.diam,
+                runs: 0,
+                errors: 0,
+                converged: 0,
+                stabilization: OnlineStats::new(),
+                entry: OnlineStats::new(),
+                moves: OnlineStats::new(),
+                bound: None,
+                violations: 0,
+            }
+        });
+        group.runs += 1;
+        if group.class.is_none() {
+            group.class = cr.class;
+        }
+        match &cr.outcome {
+            Ok(o) => {
+                group.stabilization.push(o.stabilization_steps as f64);
+                group.entry.push(o.legitimacy_entry as f64);
+                group.moves.push(o.moves as f64);
+                group.converged += u64::from(o.ended_legitimate);
+                group.bound = group.bound.or(o.bound);
+                group.violations += u64::from(o.violated_bound);
+            }
+            Err(_) => group.errors += 1,
+        }
+    }
+    order.into_iter().map(|k| by_key.remove(&k).expect("group recorded")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::ScenarioMatrix;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix::builder()
+            .topologies(["ring:6", "path:5"])
+            .protocols([ProtocolKind::Ssme])
+            .daemons(["sync", "dist:0.5"])
+            .fault_bursts([0, 1])
+            .seeds(0..3)
+            .build()
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let m = tiny_matrix();
+        let cfg = CampaignConfig { threads: 4, max_steps: 100_000, ..Default::default() };
+        let par = run_campaign(&m, &cfg);
+        let seq = run_campaign_sequential(&m, &cfg);
+        assert_eq!(par.cells.len(), seq.cells.len());
+        for (a, b) in par.cells.iter().zip(seq.cells.iter()) {
+            assert_eq!(a.cell, b.cell);
+            assert_eq!(a.cell_seed, b.cell_seed);
+            assert_eq!(a.outcome.as_ref().ok(), b.outcome.as_ref().ok());
+            assert_eq!(a.outcome.is_err(), b.outcome.is_err());
+        }
+    }
+
+    #[test]
+    fn sync_cells_respect_theorem2_with_zero_violations() {
+        let m = ScenarioMatrix::builder()
+            .topologies(["ring:8", "torus:3x4"])
+            .protocols([ProtocolKind::Ssme])
+            .daemons(["sync"])
+            .fault_bursts([0, 2])
+            .seeds(0..5)
+            .build();
+        let r = run_campaign(&m, &CampaignConfig { max_steps: 200_000, ..Default::default() });
+        assert_eq!(r.total_errors(), 0);
+        assert_eq!(r.total_violations(), 0, "Theorem 2 must hold in every sync cell");
+        for g in &r.groups {
+            assert_eq!(g.converged, g.runs, "all sync runs converge");
+            assert!(g.bound.is_some());
+        }
+    }
+
+    #[test]
+    fn dijkstra_cells_only_work_on_rings() {
+        let m = ScenarioMatrix::builder()
+            .topologies(["ring:6", "path:5"])
+            .protocols([ProtocolKind::Dijkstra])
+            .daemons(["sync"])
+            .seeds(0..2)
+            .build();
+        let r = run_campaign(&m, &CampaignConfig::default());
+        let ring_group = &r.groups[0];
+        let path_group = &r.groups[1];
+        assert_eq!(ring_group.errors, 0);
+        assert_eq!(path_group.errors, path_group.runs, "non-ring cells fail cleanly");
+    }
+
+    #[test]
+    fn bad_specs_surface_as_cell_errors_not_panics() {
+        let m = ScenarioMatrix::builder()
+            .topologies(["mobius:9", "ring:6"])
+            .protocols([ProtocolKind::Ssme])
+            .daemons(["sync", "warp-drive"])
+            .seeds(0..2)
+            .build();
+        let r = run_campaign(&m, &CampaignConfig::default());
+        assert_eq!(r.cells.len(), 8);
+        let errors = r.cells.iter().filter(|c| c.outcome.is_err()).count();
+        assert_eq!(errors, 6, "2 bad-topology groups x2 + 1 bad-daemon group x2");
+    }
+
+    #[test]
+    fn partial_bursts_recover_faster_than_full_bursts_on_average() {
+        // The speculation story at cell granularity: small bursts sit
+        // closer to the legitimate region.
+        let m = ScenarioMatrix::builder()
+            .topologies(["ring:10"])
+            .protocols([ProtocolKind::Ssme])
+            .daemons(["sync"])
+            .fault_bursts([0, 1])
+            .seeds(0..8)
+            .build();
+        let r = run_campaign(&m, &CampaignConfig { max_steps: 200_000, ..Default::default() });
+        let full = &r.groups[0];
+        let burst1 = &r.groups[1];
+        assert!(full.entry.mean() >= burst1.entry.mean());
+    }
+}

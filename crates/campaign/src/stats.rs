@@ -1,0 +1,331 @@
+//! Streaming (single-pass, O(1)-memory) statistics for campaign cells.
+//!
+//! Campaign grids can hold millions of runs, so per-group statistics are
+//! accumulated online: count / min / max, mean and variance via Welford's
+//! algorithm, and approximate quantiles via the P² sketch of Jain & Chlamtac
+//! (CACM 1985). Accumulation is deterministic: feeding the same values in
+//! the same order always yields the same state, which the campaign artifact
+//! tests rely on.
+
+/// P² online estimator for a single quantile.
+///
+/// Keeps five markers; after the first five observations every update is
+/// O(1). Estimates are exact until five observations have been seen and
+/// approximate afterwards (error shrinks as the stream grows).
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the quantile curve).
+    q: [f64; 5],
+    /// Marker positions, 1-based as in the paper.
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments per observation.
+    dn: [f64; 5],
+    count: u64,
+    /// First observations, sorted lazily until the sketch initializes.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// A sketch for the `p`-quantile, `0 < p < 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not strictly between 0 and 1.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// The target quantile.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Observations seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(x);
+            self.warmup.sort_by(f64::total_cmp);
+            if self.count == 5 {
+                self.q.copy_from_slice(&self.warmup);
+            }
+            return;
+        }
+        // Find the cell containing x, stretching the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q is non-decreasing; the last i with q[i] <= x is in 0..=3.
+            (0..4).rev().find(|&i| self.q[i] <= x).unwrap_or(0)
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            let right = self.n[i + 1] - self.n[i];
+            let left = self.n[i - 1] - self.n[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let parabolic = self.q[i]
+                    + d / (self.n[i + 1] - self.n[i - 1])
+                        * ((self.n[i] - self.n[i - 1] + d) * (self.q[i + 1] - self.q[i])
+                            / (self.n[i + 1] - self.n[i])
+                            + (self.n[i + 1] - self.n[i] - d) * (self.q[i] - self.q[i - 1])
+                                / (self.n[i] - self.n[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    // Fall back to linear interpolation toward the neighbor.
+                    let j = if d > 0.0 { i + 1 } else { i - 1 };
+                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    /// The current quantile estimate (`None` before any observation).
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            // Exact while warming up: nearest-rank on the sorted prefix.
+            let rank = (self.p * self.warmup.len() as f64).ceil() as usize;
+            return Some(self.warmup[rank.clamp(1, self.warmup.len()) - 1]);
+        }
+        Some(self.q[2])
+    }
+}
+
+/// Streaming summary of one scalar metric: count, min/max, mean/variance
+/// (Welford) and p50/p90/p99 sketches.
+#[derive(Clone, Debug)]
+pub struct OnlineStats {
+    count: u64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+    p50: P2Quantile,
+    p90: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+            p50: P2Quantile::new(0.5),
+            p90: P2Quantile::new(0.9),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.p50.push(x);
+        self.p90.push(x);
+        self.p99.push(x);
+    }
+
+    /// Observations seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Arithmetic mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// P² estimate of the median.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.p50.estimate().unwrap_or(0.0)
+    }
+
+    /// P² estimate of the 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.p90.estimate().unwrap_or(0.0)
+    }
+
+    /// P² estimate of the 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.p99.estimate().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn welford_matches_naive_mean_and_variance() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - naive_mean).abs() < 1e-9);
+        assert!((s.variance() - naive_var).abs() < 1e-6);
+        assert_eq!(s.count(), 500);
+        let exact_min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let exact_max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.min(), exact_min);
+        assert_eq!(s.max(), exact_max);
+    }
+
+    #[test]
+    fn p2_is_exact_on_tiny_streams() {
+        let mut q = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            q.push(x);
+        }
+        assert_eq!(q.estimate(), Some(3.0));
+    }
+
+    #[test]
+    fn p2_tracks_quantiles_of_a_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p50 = P2Quantile::new(0.5);
+        let mut p90 = P2Quantile::new(0.9);
+        let mut xs = Vec::new();
+        for _ in 0..5000 {
+            let x = rng.gen_range(0.0..1.0);
+            xs.push(x);
+            p50.push(x);
+            p90.push(x);
+        }
+        xs.sort_by(f64::total_cmp);
+        let exact50 = xs[2499];
+        let exact90 = xs[4499];
+        assert!((p50.estimate().unwrap() - exact50).abs() < 0.03, "p50 drifted");
+        assert!((p90.estimate().unwrap() - exact90).abs() < 0.03, "p90 drifted");
+    }
+
+    #[test]
+    fn p2_on_integer_heavy_streams_stays_in_range() {
+        // Stabilization times are small integers with many ties — the
+        // estimate must stay inside the observed range.
+        let mut s = OnlineStats::new();
+        for i in 0..1000u32 {
+            s.push(f64::from(i % 7));
+        }
+        assert!(s.p50() >= 0.0 && s.p50() <= 6.0);
+        assert!(s.p90() >= s.p50());
+        assert!(s.p99() <= 6.0);
+    }
+
+    #[test]
+    fn deterministic_accumulation() {
+        let feed = || {
+            let mut s = OnlineStats::new();
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..256 {
+                s.push(rng.gen_range(0.0..50.0));
+            }
+            (s.mean(), s.variance(), s.p50(), s.p90(), s.p99())
+        };
+        assert_eq!(feed(), feed());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Campaign determinism contract: identical seeds produce byte-identical
+//! artifacts, independent of thread count and of the parallel/sequential
+//! execution path.
+
+use specstab_campaign::artifact::{to_csv, to_json};
+use specstab_campaign::executor::{run_campaign, run_campaign_sequential, CampaignConfig};
+use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+
+fn matrix() -> ScenarioMatrix {
+    ScenarioMatrix::builder()
+        .topologies(["ring:8", "torus:3x4", "tree:9", "path:6"])
+        .protocols([ProtocolKind::Ssme, ProtocolKind::Dijkstra])
+        .daemons(["sync", "central-rand", "dist:0.5"])
+        .init_modes([InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness])
+        .seeds(0..3)
+        .build()
+}
+
+fn config(threads: usize) -> CampaignConfig {
+    CampaignConfig { threads, max_steps: 500_000, seed: 0xFEED, early_stop_margin: 3 }
+}
+
+#[test]
+fn json_artifact_is_byte_identical_across_thread_counts() {
+    let m = matrix();
+    let one = run_campaign(&m, &config(1));
+    let four = run_campaign(&m, &config(4));
+    let seven = run_campaign(&m, &config(7));
+    let json_one = to_json(&one, true);
+    let json_four = to_json(&four, true);
+    let json_seven = to_json(&seven, true);
+    assert_eq!(json_one, json_four, "1 thread vs 4 threads");
+    assert_eq!(json_four, json_seven, "4 threads vs 7 threads");
+    assert_eq!(to_csv(&one), to_csv(&four));
+    assert_eq!(to_csv(&four), to_csv(&seven));
+}
+
+#[test]
+fn parallel_path_matches_sequential_reference_bytes() {
+    let m = matrix();
+    let par = run_campaign(&m, &config(4));
+    let seq = run_campaign_sequential(&m, &config(1));
+    assert_eq!(to_json(&par, true), to_json(&seq, true));
+}
+
+#[test]
+fn different_campaign_seeds_change_randomized_outcomes() {
+    let m = ScenarioMatrix::builder()
+        .topologies(["ring:10"])
+        .protocols([ProtocolKind::Ssme])
+        .daemons(["dist:0.5"])
+        .fault_bursts([0])
+        .seeds(0..6)
+        .build();
+    let a = run_campaign(&m, &CampaignConfig { seed: 1, ..config(2) });
+    let b = run_campaign(&m, &CampaignConfig { seed: 2, ..config(2) });
+    assert_ne!(to_json(&a, true), to_json(&b, true), "seed must matter");
+}
+
+#[test]
+fn rerunning_the_same_campaign_is_reproducible() {
+    let m = matrix();
+    let a = run_campaign(&m, &config(3));
+    let b = run_campaign(&m, &config(3));
+    assert_eq!(to_json(&a, true), to_json(&b, true));
+}

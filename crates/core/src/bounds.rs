@@ -24,6 +24,16 @@ pub fn dijkstra_sync_bound(n: usize) -> u64 {
     n as u64
 }
 
+/// The classical `2n − 3` worst-case law for full synchronous convergence
+/// (legitimacy entry) of Dijkstra's K-state ring: the token must drain to
+/// the root and sweep the ring once. This is the envelope the E8
+/// experiment and the campaign engine check measured legitimacy-entry
+/// times against.
+#[must_use]
+pub fn dijkstra_sync_entry_law(n: usize) -> u64 {
+    (2 * n).saturating_sub(3) as u64
+}
+
 /// The `Θ(n²)` unfair-daemon envelope used when reporting Dijkstra's
 /// measured worst cases (the constant is instance-dependent; the paper
 /// states the order).

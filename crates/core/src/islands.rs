@@ -51,13 +51,9 @@ pub fn islands(
     clock: CherryClock,
 ) -> Vec<Island> {
     let n = graph.n();
-    let stab: Vec<bool> = (0..n)
-        .map(|i| clock.is_stab(*config.get(VertexId::new(i))))
-        .collect();
+    let stab: Vec<bool> = (0..n).map(|i| clock.is_stab(*config.get(VertexId::new(i)))).collect();
     let correct_edge = |a: VertexId, b: VertexId| {
-        stab[a.index()]
-            && stab[b.index()]
-            && clock.d_k(*config.get(a), *config.get(b)) <= 1
+        stab[a.index()] && stab[b.index()] && clock.d_k(*config.get(a), *config.get(b)) <= 1
     };
     let mut component = vec![usize::MAX; n];
     let mut islands: Vec<Vec<VertexId>> = Vec::new();
@@ -117,8 +113,7 @@ pub fn islands(
                 }
                 max_d
             };
-            let is_zero_island =
-                members.iter().any(|&v| config.get(v).raw() == 0);
+            let is_zero_island = members.iter().any(|&v| config.get(v).raw() == 0);
             Island { vertices: members, border, depth, is_zero_island }
         })
         .collect()
@@ -210,7 +205,8 @@ mod tests {
         let sim = Simulator::new(&g, &ssme);
         let mut d = SynchronousDaemon::new();
         let mut tr = TraceRecorder::new();
-        let _ = sim.run(witness.init, &mut d, RunLimits::with_max_steps(witness.t + 1), &mut [&mut tr]);
+        let _ =
+            sim.run(witness.init, &mut d, RunLimits::with_max_steps(witness.t + 1), &mut [&mut tr]);
         let clock = ssme.clock();
         for step in 1..tr.configs().len() {
             let prev = islands(&tr.configs()[step - 1], &g, clock);
@@ -224,8 +220,7 @@ mod tests {
                     if let Some(pisl) = prev.iter().find(|i| i.contains(v)) {
                         if !pisl.is_zero_island && !pisl.border.is_empty() {
                             assert!(
-                                pisl.depth >= isl.depth.saturating_add(1)
-                                    || pisl.depth == u32::MAX,
+                                pisl.depth >= isl.depth.saturating_add(1) || pisl.depth == u32::MAX,
                                 "step {step}: island depth grew at {v}"
                             );
                         }

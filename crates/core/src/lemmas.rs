@@ -63,9 +63,7 @@ pub fn check_lemma1(ssme: &Ssme, trace: &SyncTrace<'_>) -> Option<LemmaViolation
                             lemma: 1,
                             step: j,
                             vertex: v,
-                            detail: format!(
-                                "privileged at γ_{i} but executed {rule} at step {j}"
-                            ),
+                            detail: format!("privileged at γ_{i} but executed {rule} at step {j}"),
                         });
                     }
                 }
@@ -78,11 +76,7 @@ pub fn check_lemma1(ssme: &Ssme, trace: &SyncTrace<'_>) -> Option<LemmaViolation
 /// Lemma 2: a vertex privileged in `γ_i` with `i < diam(g)` belonged to no
 /// zero-island in any configuration of `e_i`.
 #[must_use]
-pub fn check_lemma2(
-    ssme: &Ssme,
-    graph: &Graph,
-    trace: &SyncTrace<'_>,
-) -> Option<LemmaViolation> {
+pub fn check_lemma2(ssme: &Ssme, graph: &Graph, trace: &SyncTrace<'_>) -> Option<LemmaViolation> {
     let diam = usize::try_from(ssme.diam()).expect("diam fits usize");
     let clock = ssme.clock();
     let horizon = diam.min(trace.configs.len());
@@ -113,11 +107,7 @@ pub fn check_lemma2(
 /// `k` in `γ_i` (with a nonempty border), its island in `γ_{i-1}` was a
 /// zero-island or had depth ≥ `k + 1`.
 #[must_use]
-pub fn check_lemma3(
-    ssme: &Ssme,
-    graph: &Graph,
-    trace: &SyncTrace<'_>,
-) -> Option<LemmaViolation> {
+pub fn check_lemma3(ssme: &Ssme, graph: &Graph, trace: &SyncTrace<'_>) -> Option<LemmaViolation> {
     let diam = usize::try_from(ssme.diam()).expect("diam fits usize");
     let clock = ssme.clock();
     let horizon = diam.min(trace.configs.len());
@@ -158,28 +148,21 @@ pub fn check_lemma3(
 /// Lemma 4: if `γ_0 ∉ Γ1`, every register at `γ_diam` lies in
 /// `init_X ∪ {(2n−2)(diam+1)+3, .., K-1} ∪ {0, .., 2·diam − 1}`.
 #[must_use]
-pub fn check_lemma4(
-    ssme: &Ssme,
-    graph: &Graph,
-    trace: &SyncTrace<'_>,
-) -> Option<LemmaViolation> {
+pub fn check_lemma4(ssme: &Ssme, graph: &Graph, trace: &SyncTrace<'_>) -> Option<LemmaViolation> {
     let au = SpecAu::new(ssme.clock());
     if au.in_gamma_one(&trace.configs[0], graph) {
         return None; // premise not met
     }
     let diam = usize::try_from(ssme.diam()).expect("diam fits usize");
-    let Some(cfg) = trace.configs.get(diam) else {
-        return None;
-    };
+    let cfg = trace.configs.get(diam)?;
     let clock = ssme.clock();
     let n = i64::try_from(ssme.n()).expect("n fits i64");
     let d = ssme.diam();
     let low_wrap = (2 * n - 2) * (d + 1) + 3; // start of the wrapped band
     for (v, &r) in cfg.iter() {
         let raw = r.raw();
-        let ok = clock.is_init(r)
-            || (0..2 * d).contains(&raw)
-            || (low_wrap..clock.k()).contains(&raw);
+        let ok =
+            clock.is_init(r) || (0..2 * d).contains(&raw) || (low_wrap..clock.k()).contains(&raw);
         if !ok {
             return Some(LemmaViolation {
                 lemma: 4,
@@ -194,11 +177,7 @@ pub fn check_lemma4(
 
 /// Runs all four lemma checks on a trace; returns the first violation.
 #[must_use]
-pub fn check_all(
-    ssme: &Ssme,
-    graph: &Graph,
-    trace: &SyncTrace<'_>,
-) -> Option<LemmaViolation> {
+pub fn check_all(ssme: &Ssme, graph: &Graph, trace: &SyncTrace<'_>) -> Option<LemmaViolation> {
     check_lemma1(ssme, trace)
         .or_else(|| check_lemma2(ssme, graph, trace))
         .or_else(|| check_lemma3(ssme, graph, trace))
@@ -246,14 +225,8 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let init = random_configuration(&g, &ssme, &mut rng);
                 let tr = record(&g, &ssme, init, horizon);
-                let trace =
-                    SyncTrace { configs: tr.configs(), activations: tr.activations() };
-                assert_eq!(
-                    check_all(&ssme, &g, &trace),
-                    None,
-                    "{} seed {seed}",
-                    g.name()
-                );
+                let trace = SyncTrace { configs: tr.configs(), activations: tr.activations() };
+                assert_eq!(check_all(&ssme, &g, &trace), None, "{} seed {seed}", g.name());
             }
         }
     }
@@ -285,12 +258,8 @@ mod tests {
 
     #[test]
     fn violation_detail_is_informative() {
-        let v = LemmaViolation {
-            lemma: 1,
-            step: 3,
-            vertex: VertexId::new(2),
-            detail: "demo".into(),
-        };
+        let v =
+            LemmaViolation { lemma: 1, step: 3, vertex: VertexId::new(2), detail: "demo".into() };
         assert_eq!(v.lemma, 1);
         assert_eq!(v.vertex.index(), 2);
     }

@@ -145,9 +145,10 @@ pub fn verify_witness(
         &mut [&mut trace],
     );
     let spec = SpecMe::new(ssme.clone());
-    let both = trace.configs().get(witness.t).is_some_and(|c| {
-        ssme.is_privileged(witness.u, c) && ssme.is_privileged(witness.v, c)
-    });
+    let both = trace
+        .configs()
+        .get(witness.t)
+        .is_some_and(|c| ssme.is_privileged(witness.u, c) && ssme.is_privileged(witness.v, c));
     let last_violation = trace
         .configs()
         .iter()
@@ -239,9 +240,7 @@ mod tests {
         let g = generators::path(5).unwrap();
         let dm = DistanceMatrix::new(&g);
         let ssme = Ssme::for_graph(&g).unwrap();
-        let cfg = Configuration::from_fn(5, |v| {
-            ssme.clock().value(v.index() as i64).unwrap()
-        });
+        let cfg = Configuration::from_fn(5, |v| ssme.clock().value(v.index() as i64).unwrap());
         let local = k_local_state(&cfg, &dm, VertexId::new(2), 1);
         let verts: Vec<usize> = local.iter().map(|(v, _)| v.index()).collect();
         assert_eq!(verts, vec![1, 2, 3]);

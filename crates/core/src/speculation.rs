@@ -12,13 +12,32 @@
 //! checks Definition 4's requirements against empirical data and claimed
 //! bound functions.
 
+use crate::ssme::Ssme;
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{Daemon, DaemonClass};
+use specstab_kernel::daemon::{AdversaryMetric, Daemon, DaemonClass};
 use specstab_kernel::measure::{measure_with_early_stop, StabilizationReport};
 use specstab_kernel::observer::ConfigPredicate;
 use specstab_kernel::protocol::Protocol;
 use specstab_topology::Graph;
+use specstab_unison::clock::ClockValue;
+use specstab_unison::SpecAu;
 use std::fmt;
+
+/// The "distance to Γ1" disorder metric for an SSME instance: the number of
+/// vertices holding non-stabilized clock values plus the largest pairwise
+/// drift. Greedy adversaries maximize it to elicit near-worst-case
+/// stabilization times (the workhorse of experiment E3 and the campaign
+/// engine's `adversary-*` daemon specs).
+#[must_use]
+pub fn ssme_disorder_metric(ssme: &Ssme) -> AdversaryMetric<ClockValue> {
+    let clock = ssme.clock();
+    let au = SpecAu::new(clock);
+    Box::new(move |cfg, _graph| {
+        let bad = cfg.states().iter().filter(|&&r| !clock.is_stab(r)).count();
+        let drift = au.max_pairwise_drift(cfg).unwrap_or(i64::from(u16::MAX));
+        bad as f64 * 1000.0 + drift as f64
+    })
+}
 
 /// Measured stabilization behavior under one daemon.
 #[derive(Clone, Debug)]
@@ -64,7 +83,11 @@ impl fmt::Display for SpeculationProfile {
             writeln!(
                 f,
                 "  {:<28} [{}] max={} mean={:.2} ({}/{} converged)",
-                e.daemon, e.class, e.max_stabilization, e.mean_stabilization, e.converged_runs,
+                e.daemon,
+                e.class,
+                e.max_stabilization,
+                e.mean_stabilization,
+                e.converged_runs,
                 e.runs
             )?;
         }
@@ -132,8 +155,7 @@ pub fn profile<P: Protocol>(
         let mean = if reports.is_empty() {
             0.0
         } else {
-            reports.iter().map(|r| r.stabilization_steps as f64).sum::<f64>()
-                / reports.len() as f64
+            reports.iter().map(|r| r.stabilization_steps as f64).sum::<f64>() / reports.len() as f64
         };
         let converged = reports.iter().filter(|r| r.ended_legitimate).count();
         entries.push(ProfileEntry {
@@ -145,11 +167,7 @@ pub fn profile<P: Protocol>(
             converged_runs: converged,
         });
     }
-    SpeculationProfile {
-        protocol: protocol.name(),
-        graph: format!("{graph}"),
-        entries,
-    }
+    SpeculationProfile { protocol: protocol.name(), graph: format!("{graph}"), entries }
 }
 
 /// Checks Definition 4 against a measured profile:
@@ -261,11 +279,7 @@ mod tests {
 
     #[test]
     fn verdict_fails_for_unordered_daemons() {
-        let prof = SpeculationProfile {
-            protocol: "x".into(),
-            graph: "g".into(),
-            entries: vec![],
-        };
+        let prof = SpeculationProfile { protocol: "x".into(), graph: "g".into(), entries: vec![] };
         let v = check_definition4(
             &prof,
             DaemonClass::synchronous(),

@@ -163,11 +163,7 @@ impl Ssme {
     /// **arbitrary** clock. With an undersized `K` the privilege spacing
     /// argument breaks and safety can be violated inside `Γ1`.
     #[must_use]
-    pub fn with_custom_clock(
-        clock: CherryClock,
-        diam: u32,
-        ids: IdAssignment,
-    ) -> Self {
+    pub fn with_custom_clock(clock: CherryClock, diam: u32, ids: IdAssignment) -> Self {
         let n = ids.n();
         Self { unison: AsyncUnison::new(clock), ids, n, diam: i64::from(diam) }
     }
@@ -235,10 +231,7 @@ impl Ssme {
     /// All privileged vertices of `config`.
     #[must_use]
     pub fn privileged_vertices(&self, config: &Configuration<ClockValue>) -> Vec<VertexId> {
-        (0..self.n)
-            .map(VertexId::new)
-            .filter(|&v| self.is_privileged(v, config))
-            .collect()
+        (0..self.n).map(VertexId::new).filter(|&v| self.is_privileged(v, config)).collect()
     }
 }
 
@@ -297,10 +290,7 @@ mod tests {
         // privileged_{v_0} ≡ (r = 2n)
         assert_eq!(ssme.privilege_raw(VertexId::new(0)), 2 * n);
         // privileged_{v_{n-1}} ≡ (r = (2n − 2)(diam + 1) + 2)
-        assert_eq!(
-            ssme.privilege_raw(VertexId::new(5)),
-            (2 * n - 2) * (diam + 1) + 2
-        );
+        assert_eq!(ssme.privilege_raw(VertexId::new(5)), (2 * n - 2) * (diam + 1) + 2);
         // Slots are spaced 2·diam apart.
         for i in 0..5 {
             let a = ssme.privilege_raw(VertexId::new(i));
@@ -343,7 +333,8 @@ mod tests {
                 for &b in &slots[i + 1..] {
                     assert!(
                         clock.d_k(a, b) > ssme.diam(),
-                        "{}: slots {a} and {b} within diam", g.name()
+                        "{}: slots {a} and {b} within diam",
+                        g.name()
                     );
                 }
             }

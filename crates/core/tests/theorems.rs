@@ -38,13 +38,9 @@ fn zoo() -> Vec<Graph> {
     ]
 }
 
-fn spec_preds(
-    spec: &SpecMe,
-) -> (
-    Box<dyn Fn(&Configuration<ClockValue>, &Graph) -> bool>,
-    Box<dyn Fn(&Configuration<ClockValue>, &Graph) -> bool>,
-    Box<dyn Fn(&Configuration<ClockValue>, &Graph) -> bool>,
-) {
+type Pred = Box<dyn Fn(&Configuration<ClockValue>, &Graph) -> bool + Send>;
+
+fn spec_preds(spec: &SpecMe) -> (Pred, Pred, Pred) {
     let s = spec.clone();
     let l = spec.clone();
     let st = spec.clone();
@@ -135,9 +131,8 @@ fn theorem2_sync_bound_from_random_configurations() {
             let init = random_configuration(&g, &ssme, &mut rng);
             let mut d = SynchronousDaemon::new();
             let (safe, legit, stop) = spec_preds(&spec);
-            let report = measure_with_early_stop(
-                &g, &ssme, &mut d, init, safe, legit, stop, 200_000, 3,
-            );
+            let report =
+                measure_with_early_stop(&g, &ssme, &mut d, init, safe, legit, stop, 200_000, 3);
             assert!(report.ended_legitimate, "{} seed {seed}", g.name());
             assert!(
                 report.stabilization_steps <= bound,
@@ -164,9 +159,8 @@ fn theorem2_sync_bound_with_shuffled_ids() {
                 let init = random_configuration(&g, &ssme, &mut rng);
                 let mut d = SynchronousDaemon::new();
                 let (safe, legit, stop) = spec_preds(&spec);
-                let report = measure_with_early_stop(
-                    &g, &ssme, &mut d, init, safe, legit, stop, 200_000, 3,
-                );
+                let report =
+                    measure_with_early_stop(&g, &ssme, &mut d, init, safe, legit, stop, 200_000, 3);
                 assert!(report.stabilization_steps <= bound, "{}", g.name());
             }
         }
@@ -188,12 +182,7 @@ fn theorem4_witness_is_tight_on_zoo() {
         let outcome = verify_witness(&ssme, &g, &witness, horizon);
         let bound = bounds::sync_stabilization_bound(dm.diameter()) as usize;
         assert!(outcome.both_privileged_at_t, "{}", g.name());
-        assert_eq!(
-            outcome.measured_stabilization,
-            bound,
-            "{}: worst case not tight",
-            g.name()
-        );
+        assert_eq!(outcome.measured_stabilization, bound, "{}: worst case not tight", g.name());
     }
 }
 
@@ -269,12 +258,7 @@ fn liveness_under_unfair_schedules() {
     for seed in 0..5 {
         let mut d = RandomDistributedDaemon::new(0.35, seed);
         let mut cs = CsCounter::new(ssme.clone(), 10_000);
-        let _ = sim.run(
-            init.clone(),
-            &mut d,
-            RunLimits::with_max_steps(30_000),
-            &mut [&mut cs],
-        );
+        let _ = sim.run(init.clone(), &mut d, RunLimits::with_max_steps(30_000), &mut [&mut cs]);
         assert!(
             starved_vertices(&cs, &g).is_empty(),
             "seed {seed}: starved vertices {:?}",
@@ -308,8 +292,5 @@ fn theorem1_exact_no_divergence_on_triangle_central() {
     let all = enumerate_all_configurations(&g, &ssme, 200_000).unwrap();
     let cg = build_config_graph(&g, &ssme, &all, SearchDaemon::Central, 5_000_000).unwrap();
     let worst = worst_safety_stabilization(&cg, |c| spec.is_safe(c, &g));
-    assert!(
-        worst.is_ok(),
-        "central daemon must not cause unbounded specME violations: {worst:?}"
-    );
+    assert!(worst.is_ok(), "central daemon must not cause unbounded specME violations: {worst:?}");
 }

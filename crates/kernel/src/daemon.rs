@@ -457,8 +457,8 @@ impl<S> Daemon<S> for OldestFirstDaemon {
         for &v in ctx.enabled {
             is_enabled[v.index()] = true;
         }
-        for v in 0..ctx.graph.n() {
-            if !is_enabled[v] {
+        for (v, &enabled_now) in is_enabled.iter().enumerate() {
+            if !enabled_now {
                 self.enabled_since[v] = ctx.step + 1;
             }
         }
@@ -477,10 +477,58 @@ impl<S> Daemon<S> for OldestFirstDaemon {
     }
 }
 
+/// A heap-allocated daemon that can cross thread boundaries — the form the
+/// parallel campaign executor hands to its workers.
+pub type BoxedDaemon<S> = Box<dyn Daemon<S> + Send>;
+
+/// Parses a textual daemon spec into a daemon, deterministically derived
+/// from `seed` where the daemon is randomized:
+///
+/// * `sync` — the synchronous daemon `sd`;
+/// * `central-rr` / `central-rand` / `central-min` / `central-max` /
+///   `central-oldest` — central daemons;
+/// * `dist:<p>` — random distributed with inclusion probability `p`;
+/// * `kbounded:<k>[:<p>]` — the k-bounded daemon (default `p = 0.4`).
+///
+/// # Errors
+///
+/// Returns a description of the malformed spec.
+pub fn parse_daemon_spec<S: 'static>(spec: &str, seed: u64) -> Result<BoxedDaemon<S>, String> {
+    if let Some(p) = spec.strip_prefix("dist:") {
+        let p = p.parse::<f64>().map_err(|e| format!("bad probability '{p}': {e}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("inclusion probability {p} outside [0,1]"));
+        }
+        return Ok(Box::new(RandomDistributedDaemon::new(p, seed)));
+    }
+    if let Some(rest) = spec.strip_prefix("kbounded:") {
+        let (k_str, p_str) = rest.split_once(':').unwrap_or((rest, "0.4"));
+        let k = k_str.parse::<usize>().map_err(|e| format!("bad bound '{k_str}': {e}"))?;
+        let p = p_str.parse::<f64>().map_err(|e| format!("bad probability '{p_str}': {e}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("inclusion probability {p} outside [0,1]"));
+        }
+        return Ok(Box::new(KBoundedDaemon::new(k, p, seed)));
+    }
+    match spec {
+        "sync" => Ok(Box::new(SynchronousDaemon::new())),
+        "central-rr" => Ok(Box::new(CentralDaemon::new(CentralStrategy::RoundRobin))),
+        "central-rand" => Ok(Box::new(CentralDaemon::new(CentralStrategy::Random(seed)))),
+        "central-min" => Ok(Box::new(CentralDaemon::new(CentralStrategy::MinId))),
+        "central-max" => Ok(Box::new(CentralDaemon::new(CentralStrategy::MaxId))),
+        "central-oldest" => Ok(Box::new(OldestFirstDaemon::new())),
+        other => Err(format!(
+            "unknown daemon '{other}' (expected sync | central-rr | central-rand | central-min \
+             | central-max | central-oldest | dist:<p> | kbounded:<k>[:<p>])"
+        )),
+    }
+}
+
 /// Scoring function for [`GreedyAdversary`]: **lower scores are better for
 /// the protocol**, so the adversary picks the action whose successor
-/// configuration has the *highest* score (least progress).
-pub type AdversaryMetric<S> = Box<dyn Fn(&Configuration<S>, &Graph) -> f64>;
+/// configuration has the *highest* score (least progress). `Send` so
+/// adversaries can run inside campaign worker threads.
+pub type AdversaryMetric<S> = Box<dyn Fn(&Configuration<S>, &Graph) -> f64 + Send>;
 
 /// Which candidate activation sets a [`GreedyAdversary`] considers.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -510,7 +558,6 @@ impl<S> GreedyAdversary<S> {
     pub fn new(metric: AdversaryMetric<S>, moves: AdversaryMoves, seed: u64) -> Self {
         Self { metric, moves, tie_rng: StdRng::seed_from_u64(seed), seed }
     }
-
 }
 
 /// Convenience adversary maximizing the *number of enabled vertices* after
@@ -522,7 +569,7 @@ pub fn max_enabled_adversary<P>(
     seed: u64,
 ) -> GreedyAdversary<P::State>
 where
-    P: crate::protocol::Protocol + 'static,
+    P: crate::protocol::Protocol + Send + Sync + 'static,
 {
     let metric: AdversaryMetric<P::State> = Box::new(move |cfg, graph| {
         let mut count = 0usize;
@@ -627,7 +674,10 @@ mod tests {
 
     #[test]
     fn class_display() {
-        assert_eq!(DaemonClass::unfair_distributed().to_string(), "distributed/asynchronous/unfair");
+        assert_eq!(
+            DaemonClass::unfair_distributed().to_string(),
+            "distributed/asynchronous/unfair"
+        );
     }
 
     #[test]
@@ -742,22 +792,23 @@ mod tests {
         let preview = |_: &[VertexId]| c.clone();
         let k = 3;
         let mut d = KBoundedDaemon::new(k, 0.2, 5);
-        let mut since_selected = vec![0usize; 6];
+        let mut since_selected = [0usize; 6];
         for step in 0..200 {
-            let ctx =
-                SelectionContext { enabled: &enabled, config: &c, graph: &g, step, preview: &preview };
+            let ctx = SelectionContext {
+                enabled: &enabled,
+                config: &c,
+                graph: &g,
+                step,
+                preview: &preview,
+            };
             let sel = d.select(&ctx);
             assert!(!sel.is_empty());
-            for v in 0..6 {
+            for (v, waited) in since_selected.iter_mut().enumerate() {
                 if sel.contains(&VertexId::new(v)) {
-                    since_selected[v] = 0;
+                    *waited = 0;
                 } else {
-                    since_selected[v] += 1;
-                    assert!(
-                        since_selected[v] <= k + 1,
-                        "vertex {v} passed over {} times",
-                        since_selected[v]
-                    );
+                    *waited += 1;
+                    assert!(*waited <= k + 1, "vertex {v} passed over {waited} times");
                 }
             }
         }
@@ -781,7 +832,13 @@ mod tests {
         // selected vertex goes to the back of the seniority order.
         let mut picks = Vec::new();
         for step in 0..8 {
-            let ctx = SelectionContext { enabled: &enabled, config: &c, graph: &g, step, preview: &preview };
+            let ctx = SelectionContext {
+                enabled: &enabled,
+                config: &c,
+                graph: &g,
+                step,
+                preview: &preview,
+            };
             picks.push(d.select(&ctx)[0].index());
         }
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3], "round-robin-like fairness");
@@ -802,11 +859,15 @@ mod tests {
         let preview = |_: &[VertexId]| c.clone();
         let mut d = CentralDaemon::new(CentralStrategy::Random(3));
         let first: Vec<usize> = (0..5)
-            .map(|_| Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
+            .map(|_| {
+                Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index()
+            })
             .collect();
         Daemon::<u8>::reset(&mut d);
         let second: Vec<usize> = (0..5)
-            .map(|_| Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
+            .map(|_| {
+                Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index()
+            })
             .collect();
         assert_eq!(first, second);
     }

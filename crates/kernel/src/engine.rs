@@ -327,6 +327,11 @@ mod tests {
         let g = generators::ring(4).unwrap();
         let sim = Simulator::new(&g, &MaxProto);
         let mut d = SynchronousDaemon::new();
-        let _ = sim.run(Configuration::new(vec![0u32; 3]), &mut d, RunLimits::with_max_steps(1), &mut []);
+        let _ = sim.run(
+            Configuration::new(vec![0u32; 3]),
+            &mut d,
+            RunLimits::with_max_steps(1),
+            &mut [],
+        );
     }
 }

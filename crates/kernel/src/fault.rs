@@ -77,11 +77,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (faulty, victims) = inject_faults(&healthy, &g, &Const, 3, &mut rng);
         assert_eq!(victims.len(), 3);
-        let changed: Vec<VertexId> = faulty
-            .iter()
-            .filter(|(_, &s)| s != 0)
-            .map(|(v, _)| v)
-            .collect();
+        let changed: Vec<VertexId> =
+            faulty.iter().filter(|(_, &s)| s != 0).map(|(v, _)| v).collect();
         assert_eq!(changed, victims);
     }
 

@@ -57,6 +57,71 @@ impl MeasureSettings {
     }
 }
 
+/// The reusable per-run measurement context: safety + legitimacy monitors,
+/// move accounting and optional early stopping, bundled so every caller
+/// (the `measure_*` helpers here, the campaign executor's workers, ad-hoc
+/// tools) assembles identical [`StabilizationReport`]s.
+///
+/// A context is one-shot: build, [`MeasurementContext::run`], read the
+/// report. It is `Send`, so whole measured runs can be dispatched to worker
+/// threads.
+pub struct MeasurementContext<S> {
+    safety_mon: SafetyMonitor<S>,
+    legit_mon: LegitimacyMonitor<S>,
+    moves: MoveCounter,
+    stopper: Option<StopAfterStable<S>>,
+}
+
+impl<S> MeasurementContext<S> {
+    /// A context measuring the given safety and legitimacy predicates.
+    #[must_use]
+    pub fn new(safety: ConfigPredicate<S>, legitimacy: ConfigPredicate<S>) -> Self {
+        Self {
+            safety_mon: SafetyMonitor::new(safety),
+            legit_mon: LegitimacyMonitor::new(legitimacy),
+            moves: MoveCounter::new(),
+            stopper: None,
+        }
+    }
+
+    /// Additionally stops the run once `stop_pred` (expected closed) has
+    /// held for `margin + 1` consecutive configurations.
+    #[must_use]
+    pub fn with_early_stop(mut self, stop_pred: ConfigPredicate<S>, margin: usize) -> Self {
+        self.stopper = Some(StopAfterStable::new(stop_pred, margin));
+        self
+    }
+
+    /// Executes one measured run on `sim` and assembles the report.
+    pub fn run<P: Protocol<State = S>>(
+        mut self,
+        sim: &Simulator<'_, P>,
+        daemon: &mut dyn Daemon<S>,
+        init: Configuration<S>,
+        max_steps: usize,
+    ) -> StabilizationReport {
+        let summary = {
+            let mut observers: Vec<&mut dyn Observer<S>> =
+                vec![&mut self.safety_mon, &mut self.legit_mon, &mut self.moves];
+            if let Some(stopper) = self.stopper.as_mut() {
+                observers.push(stopper);
+            }
+            sim.run(init, daemon, RunLimits::with_max_steps(max_steps), &mut observers)
+        };
+        StabilizationReport {
+            steps_run: summary.steps,
+            moves: summary.moves,
+            stop: summary.stop,
+            last_violation: self.safety_mon.last_violation(),
+            violation_count: self.safety_mon.violations(),
+            stabilization_steps: self.safety_mon.measured_stabilization(),
+            first_legitimate: self.legit_mon.first_legitimate(),
+            legitimacy_entry: self.legit_mon.entry_index(),
+            ended_legitimate: self.legit_mon.currently_legitimate(),
+        }
+    }
+}
+
 /// Runs `protocol` from `init` under `daemon`, measuring safety violations
 /// and legitimacy entry. The run uses the full step budget (or stops at a
 /// terminal configuration); use [`measure_with_early_stop`] to cut runs
@@ -71,24 +136,7 @@ pub fn measure_stabilization<P: Protocol>(
     settings: &MeasureSettings,
 ) -> StabilizationReport {
     let sim = Simulator::new(graph, protocol);
-    let mut safety_mon = SafetyMonitor::new(safety);
-    let mut legit_mon = LegitimacyMonitor::new(legitimacy);
-    let mut moves = MoveCounter::new();
-    let mut observers: [&mut dyn Observer<P::State>; 3] =
-        [&mut safety_mon, &mut legit_mon, &mut moves];
-    let summary =
-        sim.run(init, daemon, RunLimits::with_max_steps(settings.max_steps), &mut observers);
-    StabilizationReport {
-        steps_run: summary.steps,
-        moves: summary.moves,
-        stop: summary.stop,
-        last_violation: safety_mon.last_violation(),
-        violation_count: safety_mon.violations(),
-        stabilization_steps: safety_mon.measured_stabilization(),
-        first_legitimate: legit_mon.first_legitimate(),
-        legitimacy_entry: legit_mon.entry_index(),
-        ended_legitimate: legit_mon.currently_legitimate(),
-    }
+    MeasurementContext::new(safety, legitimacy).run(&sim, daemon, init, settings.max_steps)
 }
 
 /// Runs [`measure_stabilization`] repeatedly (fresh daemon state per run via
@@ -123,6 +171,7 @@ pub fn max_over_runs(reports: &[StabilizationReport]) -> usize {
 ///
 /// Because legitimacy is closed, stopping early cannot hide later safety
 /// violations: the execution suffix stays legitimate (hence safe) forever.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_with_early_stop<P: Protocol>(
     graph: &Graph,
     protocol: &P,
@@ -135,24 +184,9 @@ pub fn measure_with_early_stop<P: Protocol>(
     margin: usize,
 ) -> StabilizationReport {
     let sim = Simulator::new(graph, protocol);
-    let mut safety_mon = SafetyMonitor::new(safety);
-    let mut legit_mon = LegitimacyMonitor::new(legitimacy);
-    let mut moves = MoveCounter::new();
-    let mut stopper = StopAfterStable::new(stop_pred, margin);
-    let mut observers: [&mut dyn Observer<P::State>; 4] =
-        [&mut safety_mon, &mut legit_mon, &mut moves, &mut stopper];
-    let summary = sim.run(init, daemon, RunLimits::with_max_steps(max_steps), &mut observers);
-    StabilizationReport {
-        steps_run: summary.steps,
-        moves: summary.moves,
-        stop: summary.stop,
-        last_violation: safety_mon.last_violation(),
-        violation_count: safety_mon.violations(),
-        stabilization_steps: safety_mon.measured_stabilization(),
-        first_legitimate: legit_mon.first_legitimate(),
-        legitimacy_entry: legit_mon.entry_index(),
-        ended_legitimate: legit_mon.currently_legitimate(),
-    }
+    MeasurementContext::new(safety, legitimacy)
+        .with_early_stop(stop_pred, margin)
+        .run(&sim, daemon, init, max_steps)
 }
 
 #[cfg(test)]

@@ -44,7 +44,10 @@ pub trait Observer<S> {
 }
 
 /// Predicate over configurations, with graph context.
-pub type ConfigPredicate<S> = Box<dyn Fn(&Configuration<S>, &Graph) -> bool>;
+///
+/// `Send` so monitors (and the runs built on them) can move across worker
+/// threads — e.g. the campaign executor's sharded cells.
+pub type ConfigPredicate<S> = Box<dyn Fn(&Configuration<S>, &Graph) -> bool + Send>;
 
 /// Tracks violations of a safety predicate across the whole execution.
 ///
@@ -288,16 +291,12 @@ impl<S> Observer<S> for RoundCounter {
             self.pending = event.activated.iter().map(|&(v, _)| v).collect();
         }
         let moved: Vec<VertexId> = event.activated.iter().map(|&(v, _)| v).collect();
-        self.pending.retain(|v| {
-            !moved.contains(v) && event.enabled_after.binary_search(v).is_ok()
-        });
+        self.pending.retain(|v| !moved.contains(v) && event.enabled_after.binary_search(v).is_ok());
         if self.pending.is_empty() {
             self.rounds += 1;
+            // Terminal configuration: the pending set stays empty and
+            // no new round starts.
             self.pending = event.enabled_after.to_vec();
-            if self.pending.is_empty() {
-                // Terminal configuration: no new round starts.
-                return;
-            }
         }
     }
 }

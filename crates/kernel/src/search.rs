@@ -113,12 +113,7 @@ impl<S> ConfigGraph<S> {
 fn nonempty_subsets(items: &[VertexId]) -> impl Iterator<Item = Vec<VertexId>> + '_ {
     let k = items.len();
     (1u64..(1u64 << k)).map(move |mask| {
-        items
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| mask >> i & 1 == 1)
-            .map(|(_, &v)| v)
-            .collect()
+        items.iter().enumerate().filter(|(i, _)| mask >> i & 1 == 1).map(|(_, &v)| v).collect()
     })
 }
 
@@ -261,7 +256,7 @@ pub fn worst_steps_to<S>(
     target: impl Fn(&Configuration<S>) -> bool,
 ) -> Result<Vec<u32>, SearchError> {
     let n = cg.nodes.len();
-    let in_target: Vec<bool> = cg.nodes.iter().map(|c| target(c)).collect();
+    let in_target: Vec<bool> = cg.nodes.iter().map(&target).collect();
     let mut value = vec![0u32; n];
     // Iterative DFS with tri-color marking over non-target nodes.
     #[derive(Copy, Clone, PartialEq)]
@@ -510,8 +505,7 @@ mod tests {
         let g = generators::path(4).unwrap();
         let all = enumerate_all_configurations(&g, &Sweep, 1000).unwrap();
         let cg = build_config_graph(&g, &Sweep, &all, SearchDaemon::Central, 10_000).unwrap();
-        let safe =
-            |c: &Configuration<bool>| c.states()[..3].iter().filter(|&&d| d).count() <= 1;
+        let safe = |c: &Configuration<bool>| c.states()[..3].iter().filter(|&&d| d).count() <= 1;
         let worst = worst_safety_stabilization(&cg, safe).unwrap();
         // Worst initial config: all three interior dirty; the daemon cleans
         // one at a time; configs stay unsafe while >= 2 dirty. Indices:
@@ -577,8 +571,7 @@ mod tests {
         let g = generators::path(3).unwrap();
         let all = enumerate_all_configurations(&g, &PingPong, 100).unwrap();
         let cg = build_config_graph(&g, &PingPong, &all, SearchDaemon::Central, 1000).unwrap();
-        let uniform =
-            |c: &Configuration<bool>| c.states().windows(2).all(|w| w[0] == w[1]);
+        let uniform = |c: &Configuration<bool>| c.states().windows(2).all(|w| w[0] == w[1]);
         assert_eq!(worst_steps_to(&cg, uniform).unwrap_err(), SearchError::Divergent);
         let safe = |c: &Configuration<bool>| c.states().windows(2).all(|w| w[0] == w[1]);
         assert_eq!(worst_safety_stabilization(&cg, safe).unwrap_err(), SearchError::Divergent);

@@ -58,9 +58,7 @@ pub fn legitimacy_implies_safety_violation<S, Sp: Specification<S> + ?Sized>(
     configs: &[Configuration<S>],
     graph: &Graph,
 ) -> Option<usize> {
-    configs
-        .iter()
-        .position(|c| spec.is_legitimate(c, graph) && !spec.is_safe(c, graph))
+    configs.iter().position(|c| spec.is_legitimate(c, graph) && !spec.is_safe(c, graph))
 }
 
 #[cfg(test)]

@@ -32,9 +32,7 @@ impl Protocol for Coloring {
     }
     fn enabled_rule(&self, view: &View<'_, u8>) -> Option<RuleId> {
         let me = *view.state();
-        let conflict = view
-            .neighbor_states()
-            .any(|(u, &s)| u < view.vertex() && s == me);
+        let conflict = view.neighbor_states().any(|(u, &s)| u < view.vertex() && s == me);
         conflict.then_some(RuleId::new(0))
     }
     fn apply(&self, view: &View<'_, u8>, _rule: RuleId) -> u8 {

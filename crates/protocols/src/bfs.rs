@@ -63,22 +63,14 @@ impl MinPlusOneBfs {
     /// Reads off the BFS tree: `parent[v]` is the smallest-index neighbor
     /// with minimal level (`None` for the root).
     #[must_use]
-    pub fn parents(
-        &self,
-        config: &Configuration<u32>,
-        graph: &Graph,
-    ) -> Vec<Option<VertexId>> {
+    pub fn parents(&self, config: &Configuration<u32>, graph: &Graph) -> Vec<Option<VertexId>> {
         graph
             .vertices()
             .map(|v| {
                 if v == self.root {
                     None
                 } else {
-                    graph
-                        .neighbors(v)
-                        .iter()
-                        .copied()
-                        .min_by_key(|&u| (*config.get(u), u))
+                    graph.neighbors(v).iter().copied().min_by_key(|&u| (*config.get(u), u))
                 }
             })
             .collect()

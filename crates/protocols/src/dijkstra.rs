@@ -130,10 +130,7 @@ impl DijkstraRing {
     /// All privileged machines of `config`.
     #[must_use]
     pub fn privileged_vertices(&self, config: &Configuration<u64>) -> Vec<VertexId> {
-        (0..self.n)
-            .map(VertexId::new)
-            .filter(|&v| self.is_privileged(v, config))
-            .collect()
+        (0..self.n).map(VertexId::new).filter(|&v| self.is_privileged(v, config)).collect()
     }
 }
 
@@ -204,6 +201,7 @@ impl Specification<u64> for DijkstraSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
     use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
     use specstab_kernel::engine::{RunLimits, Simulator};
     use specstab_kernel::measure::measure_with_early_stop;
@@ -211,7 +209,6 @@ mod tests {
     use specstab_kernel::search::{
         build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
     };
-    use rand::SeedableRng;
     use specstab_topology::generators;
 
     fn ring_proto(n: usize) -> (Graph, DijkstraRing) {
@@ -224,10 +221,7 @@ mod tests {
     fn constructor_validates() {
         let g = generators::ring(5).unwrap();
         assert!(DijkstraRing::new(&g, 5).is_ok());
-        assert_eq!(
-            DijkstraRing::new(&g, 4).unwrap_err(),
-            DijkstraError::KTooSmall { k: 4, n: 5 }
-        );
+        assert_eq!(DijkstraRing::new(&g, 4).unwrap_err(), DijkstraError::KTooSmall { k: 4, n: 5 });
         let not_ring = generators::path(5).unwrap();
         assert_eq!(DijkstraRing::new(&not_ring, 5).unwrap_err(), DijkstraError::NotARing);
         let star = generators::star(5).unwrap();

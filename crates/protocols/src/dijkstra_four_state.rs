@@ -204,10 +204,7 @@ impl Protocol for DijkstraFourState {
     }
 
     fn random_state(&self, v: VertexId, rng: &mut StdRng) -> FourState {
-        self.canonical(
-            v.index(),
-            FourState { x: rng.gen_bool(0.5), up: rng.gen_bool(0.5) },
-        )
+        self.canonical(v.index(), FourState { x: rng.gen_bool(0.5), up: rng.gen_bool(0.5) })
     }
 
     fn state_domain(&self, v: VertexId) -> Option<Vec<FourState>> {

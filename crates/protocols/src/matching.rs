@@ -76,9 +76,7 @@ impl MaximalMatching {
     /// Creates the protocol for `graph`.
     #[must_use]
     pub fn new(graph: &Graph) -> Self {
-        Self {
-            adjacency: graph.vertices().map(|v| graph.neighbors(v).to_vec()).collect(),
-        }
+        Self { adjacency: graph.vertices().map(|v| graph.neighbors(v).to_vec()).collect() }
     }
 
     /// `PRmarried(v)` in `config`.
@@ -140,9 +138,8 @@ impl Protocol for MaximalMatching {
                 if view.neighbor_states().any(|(_, s)| s.pointer == Some(v)) {
                     return Some(rules::MARRIAGE);
                 }
-                let candidate = view
-                    .neighbor_states()
-                    .any(|(u, s)| s.pointer.is_none() && !s.married && u > v);
+                let candidate =
+                    view.neighbor_states().any(|(u, s)| s.pointer.is_none() && !s.married && u > v);
                 if candidate {
                     return Some(rules::SEDUCTION);
                 }
@@ -226,11 +223,7 @@ impl MatchingSpec {
 
     /// Whether the matched pairs of `config` form a *maximal* matching.
     #[must_use]
-    pub fn is_maximal_matching(
-        &self,
-        config: &Configuration<MatchState>,
-        graph: &Graph,
-    ) -> bool {
+    pub fn is_maximal_matching(&self, config: &Configuration<MatchState>, graph: &Graph) -> bool {
         graph.edges().iter().all(|&(u, v)| {
             self.protocol.pr_married(u, config) || self.protocol.pr_married(v, config)
         })

@@ -31,9 +31,8 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let init = random_configuration(&g, &ssme, &mut rng);
     let mut daemon = SynchronousDaemon::new();
-    let healthy = sim
-        .run(init, &mut daemon, RunLimits::with_max_steps(horizon), &mut [])
-        .final_config;
+    let healthy =
+        sim.run(init, &mut daemon, RunLimits::with_max_steps(horizon), &mut []).final_config;
     assert!(spec.is_legitimate(&healthy, &g), "phase 1 must stabilize");
     println!("phase 1: stabilized (Γ1 reached)");
 
@@ -63,12 +62,12 @@ fn main() {
             legit.entry_index(),
             analysis::ssme_sync_gamma1_bound(g.n(), diam),
         );
-        assert!(
-            safety.measured_stabilization() as u64 <= bounds::sync_stabilization_bound(diam)
-        );
+        assert!(safety.measured_stabilization() as u64 <= bounds::sync_stabilization_bound(diam));
         assert!(legit.currently_legitimate());
     }
     println!();
-    println!("recovery verified for every fault extent — self-stabilization means never \
-              having to say you're sorry about state corruption");
+    println!(
+        "recovery verified for every fault extent — self-stabilization means never \
+              having to say you're sorry about state corruption"
+    );
 }

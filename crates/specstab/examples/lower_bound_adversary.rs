@@ -59,10 +59,7 @@ fn main() {
     println!();
 
     let outcome = verify_witness(&ssme, &g, &witness, 200);
-    println!(
-        "both u and v privileged at γ_{}: {}",
-        witness.t, outcome.both_privileged_at_t
-    );
+    println!("both u and v privileged at γ_{}: {}", witness.t, outcome.both_privileged_at_t);
     println!(
         "last safety violation at step {:?} → measured stabilization {} = ceil(diam/2) = {}",
         outcome.last_violation,

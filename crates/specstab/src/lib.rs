@@ -15,7 +15,11 @@
 //!   `specME`, speculation profiles (Definitions 3–4), the Theorem 2/3
 //!   bounds and the constructive Theorem 4 lower bound;
 //! * [`protocols`] — the Section 3 baselines (Dijkstra's token ring, min+1
-//!   BFS, maximal matching).
+//!   BFS, maximal matching);
+//! * [`campaign`] — the parallel Monte-Carlo campaign engine: scenario
+//!   matrices (topology × protocol × daemon × fault burst × seed), a
+//!   sharded deterministic executor, streaming statistics and
+//!   speculation-profile artifacts.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use specstab_campaign as campaign;
 pub use specstab_core as core;
 pub use specstab_kernel as kernel;
 pub use specstab_protocols as protocols;
@@ -56,6 +61,13 @@ pub use specstab_unison as unison;
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use rand::SeedableRng;
+    pub use specstab_campaign::artifact::{to_csv, to_json};
+    pub use specstab_campaign::executor::{
+        run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult,
+    };
+    pub use specstab_campaign::matrix::{Cell, InitMode, ProtocolKind, ScenarioMatrix};
+    pub use specstab_campaign::report::{speculation_profile_table, to_speculation_profile};
+    pub use specstab_campaign::stats::{OnlineStats, P2Quantile};
     pub use specstab_core::bounds;
     pub use specstab_core::lower_bound::{theorem4_witness, verify_witness};
     pub use specstab_core::spec_me::{starved_vertices, CsCounter, SpecMe};
@@ -63,13 +75,14 @@ pub mod prelude {
     pub use specstab_core::ssme::{IdAssignment, Ssme};
     pub use specstab_kernel::config::Configuration;
     pub use specstab_kernel::daemon::{
-        CentralDaemon, CentralStrategy, Daemon, DaemonClass, GreedyAdversary, KBoundedDaemon,
-        OldestFirstDaemon, RandomDistributedDaemon, SynchronousDaemon,
+        parse_daemon_spec, BoxedDaemon, CentralDaemon, CentralStrategy, Daemon, DaemonClass,
+        GreedyAdversary, KBoundedDaemon, OldestFirstDaemon, RandomDistributedDaemon,
+        SynchronousDaemon,
     };
     pub use specstab_kernel::engine::{RunLimits, RunSummary, Simulator, StopReason};
     pub use specstab_kernel::fault::inject_faults;
     pub use specstab_kernel::measure::{
-        measure_stabilization, measure_with_early_stop, MeasureSettings,
+        measure_stabilization, measure_with_early_stop, MeasureSettings, MeasurementContext,
     };
     pub use specstab_kernel::observer::{
         LegitimacyMonitor, MoveCounter, Observer, SafetyMonitor, TraceRecorder,
@@ -81,6 +94,7 @@ pub mod prelude {
     pub use specstab_protocols::matching::{MatchingSpec, MaximalMatching};
     pub use specstab_topology::generators;
     pub use specstab_topology::metrics::DistanceMatrix;
+    pub use specstab_topology::spec::parse_spec;
     pub use specstab_topology::{Graph, GraphBuilder, VertexId};
     pub use specstab_unison::clock::{CherryClock, ClockValue};
     pub use specstab_unison::{analysis, AsyncUnison, SpecAu};

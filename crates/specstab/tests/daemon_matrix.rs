@@ -60,12 +60,7 @@ fn min_and_max_id_daemons_are_valid_unfair_schedules() {
     for strategy in [CentralStrategy::MinId, CentralStrategy::MaxId] {
         let mut d = CentralDaemon::new(strategy);
         let mut cs = CsCounter::new(ssme.clone(), 1_000);
-        let _ = sim.run(
-            init.clone(),
-            &mut d,
-            RunLimits::with_max_steps(20_000),
-            &mut [&mut cs],
-        );
+        let _ = sim.run(init.clone(), &mut d, RunLimits::with_max_steps(20_000), &mut [&mut cs]);
         assert!(
             starved_vertices(&cs, &g).is_empty(),
             "unfair central schedule starved someone — unison must forbid that"

@@ -28,12 +28,7 @@ fn recovery_within_theorem2_bound_for_any_fault_extent() {
         let ssme = Ssme::for_graph(&g).expect("nonempty");
         let spec = SpecMe::new(ssme.clone());
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-        let healthy = stabilize(
-            &g,
-            &ssme,
-            random_configuration(&g, &ssme, &mut rng),
-            horizon,
-        );
+        let healthy = stabilize(&g, &ssme, random_configuration(&g, &ssme, &mut rng), horizon);
         assert!(spec.is_legitimate(&healthy, &g), "{}", g.name());
         for k in [1usize, g.n() / 2, g.n()] {
             let (faulty, victims) = inject_faults(&healthy, &g, &ssme, k, &mut rng);

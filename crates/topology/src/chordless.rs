@@ -130,7 +130,11 @@ impl<'a> Dfs<'a> {
     /// Longest chordless cycle through minimal vertex `start`, restricted to
     /// vertices `> start` (so each cycle is explored from its minimum
     /// vertex only). Updates `best` in place.
-    fn cycles_from(&mut self, start: usize, best: &mut Option<usize>) -> Result<(), BudgetExceeded> {
+    fn cycles_from(
+        &mut self,
+        start: usize,
+        best: &mut Option<usize>,
+    ) -> Result<(), BudgetExceeded> {
         let last = *self.path.last().expect("path never empty");
         // Iterate over indices to appease the borrow checker cheaply.
         for i in 0..self.g.neighbors(VertexId::new(last)).len() {
@@ -148,7 +152,7 @@ impl<'a> Dfs<'a> {
                 // on the path: a chordless cycle of |path| + 1 vertices.
                 if self.path.len() >= 2 {
                     let len = self.path.len() + 1;
-                    if best.map_or(true, |b| len > b) {
+                    if best.is_none_or(|b| len > b) {
                         *best = Some(len);
                     }
                 }

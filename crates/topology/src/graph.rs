@@ -232,7 +232,7 @@ impl Graph {
     pub fn has_cycle(&self) -> bool {
         // Union-find over edges; a repeated component merge reveals a cycle.
         let mut parent: Vec<usize> = (0..self.n()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];

@@ -85,15 +85,12 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseError> {
         }
         let mut parts = line.split_whitespace();
         let (a, b) = (parts.next(), parts.next());
-        match (a.and_then(|x| x.parse::<usize>().ok()), b.and_then(|x| x.parse::<usize>().ok()))
-        {
+        match (a.and_then(|x| x.parse::<usize>().ok()), b.and_then(|x| x.parse::<usize>().ok())) {
             (Some(u), Some(v)) if parts.next().is_none() => {
                 max_vertex = max_vertex.max(u).max(v);
                 edges.push((u, v));
             }
-            _ => {
-                return Err(ParseError::Malformed { line: idx + 1, content: raw.to_string() })
-            }
+            _ => return Err(ParseError::Malformed { line: idx + 1, content: raw.to_string() }),
         }
     }
     let n = declared_n.unwrap_or(if edges.is_empty() { 0 } else { max_vertex + 1 });
@@ -168,11 +165,9 @@ mod tests {
 
     #[test]
     fn round_trips_generated_graphs() {
-        for g in [
-            generators::ring(7).unwrap(),
-            generators::petersen(),
-            generators::grid(3, 4).unwrap(),
-        ] {
+        for g in
+            [generators::ring(7).unwrap(), generators::petersen(), generators::grid(3, 4).unwrap()]
+        {
             let text = to_edge_list(&g);
             let back = parse_edge_list(&text).unwrap();
             assert_eq!(back, g, "{}", g.name());

@@ -37,5 +37,7 @@ pub mod generators;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod spec;
 
 pub use graph::{Graph, GraphBuilder, GraphError, VertexId};
+pub use spec::{parse_spec, SpecError};

@@ -63,8 +63,7 @@ impl DistanceMatrix {
         for v in g.vertices() {
             let row = bfs_distances(g, v);
             for (u, d) in row.into_iter().enumerate() {
-                dist[v.index() * n + u] =
-                    d.expect("DistanceMatrix requires a connected graph");
+                dist[v.index() * n + u] = d.expect("DistanceMatrix requires a connected graph");
             }
         }
         Self { n, dist }
@@ -132,10 +131,7 @@ impl DistanceMatrix {
     /// All vertices within distance `r` of `center` (the closed ball).
     #[must_use]
     pub fn ball(&self, center: VertexId, r: u32) -> Vec<VertexId> {
-        (0..self.n)
-            .map(VertexId::new)
-            .filter(|&u| self.dist(center, u) <= r)
-            .collect()
+        (0..self.n).map(VertexId::new).filter(|&u| self.dist(center, u) <= r).collect()
     }
 }
 

@@ -1,0 +1,193 @@
+//! Textual topology specs: `"ring:12"`, `"torus:4x5"`, `"er:16:0.3"`, ...
+//!
+//! One compact, `FromStr`-friendly syntax shared by every CLI and by the
+//! campaign engine's scenario matrices (previously each binary hand-rolled
+//! its own parser). A spec is `kind[:arg[:arg2]]`:
+//!
+//! | spec | graph |
+//! |------|-------|
+//! | `ring:<n>` | cycle on `n` vertices |
+//! | `path:<n>` | path on `n` vertices |
+//! | `star:<n>` | star on `n` vertices |
+//! | `complete:<n>` | complete graph |
+//! | `grid:<r>x<c>` / `torus:<r>x<c>` | 2-D grid / torus |
+//! | `hypercube:<d>` | `d`-dimensional hypercube |
+//! | `tree:<n>[:seed]` | uniform random tree (default seed 42) |
+//! | `bintree:<n>` | complete binary tree shape |
+//! | `caterpillar:<spine>x<legs>` | caterpillar tree |
+//! | `wheel:<n>` | wheel graph |
+//! | `lollipop:<k>x<p>` / `barbell:<k>x<p>` | clique + path hybrids |
+//! | `petersen` | the Petersen graph |
+//! | `er:<n>:<p>[:seed]` | connected Erdős–Rényi sample (default seed 42) |
+//! | `file:<path>` | edge list parsed by [`crate::io::parse_edge_list`] |
+
+use crate::generators;
+use crate::graph::Graph;
+use crate::io;
+use std::fmt;
+
+/// Why a topology spec failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError(String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology spec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(msg: impl Into<String>) -> SpecError {
+    SpecError(msg.into())
+}
+
+fn parse_n(s: &str) -> Result<usize, SpecError> {
+    s.parse::<usize>().map_err(|e| err(format!("bad size '{s}': {e}")))
+}
+
+fn parse_pair(arg: &str) -> Result<(usize, usize), SpecError> {
+    let (a, b) =
+        arg.split_once('x').ok_or_else(|| err(format!("expected <a>x<b>, got '{arg}'")))?;
+    Ok((parse_n(a)?, parse_n(b)?))
+}
+
+fn parse_seed(s: &str) -> Result<u64, SpecError> {
+    if s.is_empty() {
+        Ok(42)
+    } else {
+        s.parse::<u64>().map_err(|e| err(format!("bad seed '{s}': {e}")))
+    }
+}
+
+/// The spec grammar accepted by [`parse_spec`], for usage strings.
+pub const SPEC_GRAMMAR: &str = "ring:<n>  path:<n>  star:<n>  complete:<n>  grid:<r>x<c>  \
+torus:<r>x<c>  hypercube:<d>  tree:<n>[:seed]  bintree:<n>  caterpillar:<s>x<l>  wheel:<n>  \
+lollipop:<k>x<p>  barbell:<k>x<p>  petersen  er:<n>:<p>[:seed]  file:<path>";
+
+/// Parses a topology spec into a graph.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on unknown kinds, malformed arguments, or
+/// generator rejections (e.g. `ring:2`).
+pub fn parse_spec(spec: &str) -> Result<Graph, SpecError> {
+    let ge = |e: crate::graph::GraphError| err(e.to_string());
+    if let Some(path) = spec.strip_prefix("file:") {
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("{path}: {e}")))?;
+        return io::parse_edge_list(&text).map_err(|e| err(e.to_string()));
+    }
+    let parts: Vec<&str> = spec.split(':').collect();
+    let kind = parts[0];
+    let max_segments = match kind {
+        "er" => 4,
+        "tree" => 3,
+        "petersen" => 1,
+        _ => 2,
+    };
+    if parts.len() > max_segments {
+        return Err(err(format!("too many ':' segments in '{spec}'")));
+    }
+    let arg = parts.get(1).copied().unwrap_or("");
+    let arg2 = parts.get(2).copied().unwrap_or("");
+    match kind {
+        "ring" => generators::ring(parse_n(arg)?).map_err(ge),
+        "path" => generators::path(parse_n(arg)?).map_err(ge),
+        "star" => generators::star(parse_n(arg)?).map_err(ge),
+        "complete" => generators::complete(parse_n(arg)?).map_err(ge),
+        "wheel" => generators::wheel(parse_n(arg)?).map_err(ge),
+        "bintree" => generators::binary_tree(parse_n(arg)?).map_err(ge),
+        "hypercube" => {
+            let d = arg.parse::<u32>().map_err(|e| err(format!("bad dimension '{arg}': {e}")))?;
+            generators::hypercube(d).map_err(ge)
+        }
+        "tree" => generators::random_tree(parse_n(arg)?, parse_seed(arg2)?).map_err(ge),
+        "petersen" => Ok(generators::petersen()),
+        "grid" => {
+            let (r, c) = parse_pair(arg)?;
+            generators::grid(r, c).map_err(ge)
+        }
+        "torus" => {
+            let (r, c) = parse_pair(arg)?;
+            generators::torus(r, c).map_err(ge)
+        }
+        "caterpillar" => {
+            let (s, l) = parse_pair(arg)?;
+            generators::caterpillar(s, l).map_err(ge)
+        }
+        "lollipop" => {
+            let (k, p) = parse_pair(arg)?;
+            generators::lollipop(k, p).map_err(ge)
+        }
+        "barbell" => {
+            let (k, p) = parse_pair(arg)?;
+            generators::barbell(k, p).map_err(ge)
+        }
+        "er" => {
+            let n = parse_n(arg)?;
+            let p = arg2.parse::<f64>().map_err(|e| err(format!("bad probability: {e}")))?;
+            let seed = parse_seed(parts.get(3).copied().unwrap_or(""))?;
+            generators::erdos_renyi_connected(n, p, seed).map_err(ge)
+        }
+        other => Err(err(format!("unknown topology kind '{other}' (grammar: {SPEC_GRAMMAR})"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_zoo() {
+        for (spec, n) in [
+            ("ring:12", 12),
+            ("path:5", 5),
+            ("star:7", 7),
+            ("complete:4", 4),
+            ("grid:3x4", 12),
+            ("torus:4x5", 20),
+            ("hypercube:3", 8),
+            ("tree:9", 9),
+            ("tree:9:7", 9),
+            ("bintree:10", 10),
+            ("caterpillar:4x2", 12),
+            ("wheel:6", 6),
+            ("lollipop:4x3", 7),
+            ("barbell:3x2", 8),
+            ("petersen", 10),
+            ("er:8:0.4", 8),
+        ] {
+            let g = parse_spec(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(g.n(), n, "vertex count of {spec}");
+            assert!(g.is_connected(), "{spec} must be connected");
+        }
+    }
+
+    #[test]
+    fn tree_seed_changes_shape_deterministically() {
+        let a = parse_spec("tree:12:1").unwrap();
+        let b = parse_spec("tree:12:1").unwrap();
+        let c = parse_spec("tree:12:2").unwrap();
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "ring", "ring:x", "grid:3", "grid:3y4", "mobius:5", "er:8", "ring:5:9:2"] {
+            assert!(parse_spec(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn file_specs_round_trip() {
+        let g = generators::ring(6).unwrap();
+        let dir = std::env::temp_dir().join("specstab-spec-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ring6.edges");
+        std::fs::write(&path, io::to_edge_list(&g)).unwrap();
+        let parsed = parse_spec(&format!("file:{}", path.display())).unwrap();
+        assert_eq!(parsed.n(), 6);
+        assert_eq!(parsed.edges(), g.edges());
+    }
+}

@@ -308,10 +308,7 @@ mod tests {
             c = x.phi(c);
             seen.push(c.raw());
         }
-        assert_eq!(
-            seen,
-            vec![-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0]
-        );
+        assert_eq!(seen, vec![-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0]);
     }
 
     #[test]

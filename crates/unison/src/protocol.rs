@@ -79,8 +79,7 @@ impl AsyncUnison {
     #[must_use]
     pub fn normal_step(&self, view: &View<'_, ClockValue>) -> bool {
         let rv = *view.state();
-        self.all_correct(view)
-            && view.neighbor_states().all(|(_, &ru)| self.clock.le_local(rv, ru))
+        self.all_correct(view) && view.neighbor_states().all(|(_, &ru)| self.clock.le_local(rv, ru))
     }
 
     /// `convergeStep_v` over a view.
@@ -169,10 +168,7 @@ mod tests {
                         let n = usize::from(p.normal_step(&view));
                         let ca = usize::from(p.converge_step(&view));
                         let ra = usize::from(p.reset_init(&view));
-                        assert!(
-                            n + ca + ra <= 1,
-                            "guards overlap at {v} in [{a}, {b}, {c}]"
-                        );
+                        assert!(n + ca + ra <= 1, "guards overlap at {v} in [{a}, {b}, {c}]");
                     }
                 }
             }
@@ -198,10 +194,8 @@ mod tests {
         let p = AsyncUnison::new(x);
         let g = generators::path(3).unwrap();
         let conf = cfg(&x, &[3, 2, 3]);
-        let views: Vec<Option<RuleId>> = g
-            .vertices()
-            .map(|v| p.enabled_rule(&View::new(v, &g, &conf)))
-            .collect();
+        let views: Vec<Option<RuleId>> =
+            g.vertices().map(|v| p.enabled_rule(&View::new(v, &g, &conf))).collect();
         assert_eq!(views, vec![None, Some(rules::NA), None]);
     }
 
@@ -239,10 +233,7 @@ mod tests {
         // v0 = 5 (stab*), v1 = -2 (init*): not correct → v0 resets. v1 has a
         // non-init neighbor → CA guard false; its value is init → RA false.
         let conf = cfg(&x, &[5, -2]);
-        assert_eq!(
-            p.enabled_rule(&View::new(VertexId::new(0), &g, &conf)),
-            Some(rules::RA)
-        );
+        assert_eq!(p.enabled_rule(&View::new(VertexId::new(0), &g, &conf)), Some(rules::RA));
         assert_eq!(p.enabled_rule(&View::new(VertexId::new(1), &g, &conf)), None);
     }
 

@@ -41,10 +41,7 @@ impl SpecAu {
     /// `d_K(r_u, r_v) ≤ dist(u, v) ≤ diam(g)`. Checked explicitly by tests;
     /// exposed for the SSME safety argument.
     #[must_use]
-    pub fn max_pairwise_drift(
-        &self,
-        config: &Configuration<ClockValue>,
-    ) -> Option<i64> {
+    pub fn max_pairwise_drift(&self, config: &Configuration<ClockValue>) -> Option<i64> {
         let stab = config.states().iter().all(|&r| self.clock.is_stab(r));
         if !stab {
             return None;

@@ -104,9 +104,7 @@ impl Specification<u64> for LockstepSpec {
         self.is_legitimate(config, graph)
     }
     fn is_legitimate(&self, config: &Configuration<u64>, graph: &Graph) -> bool {
-        graph.edges().iter().all(|&(u, v)| {
-            config.get(u).abs_diff(*config.get(v)) <= 1
-        })
+        graph.edges().iter().all(|&(u, v)| config.get(u).abs_diff(*config.get(v)) <= 1)
     }
 }
 
@@ -118,8 +116,7 @@ mod tests {
     use specstab_kernel::engine::{RunLimits, Simulator};
     use specstab_kernel::protocol::random_configuration;
     use specstab_kernel::search::{
-        build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
-        SearchError,
+        build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon, SearchError,
     };
     use specstab_topology::generators;
     use specstab_topology::metrics::DistanceMatrix;
@@ -189,8 +186,7 @@ mod tests {
         for cap in [4u64, 8, 12] {
             let p = NaiveSyncUnison::new(cap);
             let all = enumerate_all_configurations(&g, &p, 10_000_000).unwrap();
-            let cg =
-                build_config_graph(&g, &p, &all, SearchDaemon::Central, 10_000_000).unwrap();
+            let cg = build_config_graph(&g, &p, &all, SearchDaemon::Central, 10_000_000).unwrap();
             let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g)).unwrap();
             let max = u64::from(*worst.iter().max().unwrap());
             assert_eq!(max, 3 * cap - 2, "cap={cap}");

@@ -10,12 +10,12 @@ use specstab_kernel::daemon::{
 };
 use specstab_kernel::engine::{RunLimits, Simulator, StopReason};
 use specstab_kernel::measure::measure_with_early_stop;
+use specstab_kernel::observer::TraceRecorder;
 use specstab_kernel::protocol::random_configuration;
 use specstab_kernel::search::{
     build_config_graph, enumerate_all_configurations, worst_steps_to, SearchDaemon,
 };
 use specstab_kernel::spec::{closure_violation, Specification};
-use specstab_kernel::observer::TraceRecorder;
 use specstab_topology::chordless::{self, SearchBudget};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::{generators, Graph};
@@ -149,17 +149,9 @@ fn liveness_every_vertex_increments_after_stabilization() {
     assert!(spec.in_gamma_one(&init, &g));
     let mut d = RandomDistributedDaemon::new(0.4, 9);
     let mut counter = IncrementCounter::new();
-    let s = sim.run(
-        init,
-        &mut d,
-        RunLimits::with_max_steps(20_000),
-        &mut [&mut counter],
-    );
+    let s = sim.run(init, &mut d, RunLimits::with_max_steps(20_000), &mut [&mut counter]);
     assert_eq!(s.stop, StopReason::MaxSteps);
-    assert!(
-        counter.min_increments() > 0,
-        "some vertex never incremented in 20k steps"
-    );
+    assert!(counter.min_increments() > 0, "some vertex never incremented in 20k steps");
 }
 
 #[test]

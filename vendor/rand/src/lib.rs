@@ -1,0 +1,295 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface the simulator actually uses: a seedable
+//! deterministic generator ([`rngs::StdRng`], xoshiro256++ seeded through
+//! SplitMix64), the [`Rng`] extension methods `gen_range` / `gen_bool`, and
+//! the [`seq::SliceRandom`] helpers `shuffle` / `choose`.
+//!
+//! Determinism is part of the contract: every generator in this crate is a
+//! pure function of its `seed_from_u64` seed, on every platform. (The
+//! streams differ from the real `rand` crate's `StdRng`; nothing in this
+//! workspace depends on the exact stream, only on seed-determinism.)
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators constructible from a small seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability must be in [0,1]");
+        // 53 high bits -> uniform in [0, 1); strict `<` gives exactly
+        // p = 0 -> never and p = 1 -> always.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Uniform range sampling.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a random `u64` onto `0..span` without noticeable bias
+    /// (fixed-point multiply; span is tiny relative to 2^64 here).
+    #[inline]
+    pub(crate) fn index_below(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = index_below(rng, span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let off = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                    (start as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        // `$bits` = mantissa precision, so `unit` is exactly representable
+        // and strictly below 1.0 for each type.
+        ($(($t:ty, $bits:expr)),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                        * (1.0 / (1u64 << $bits) as $t);
+                    let x = self.start + unit * (self.end - self.start);
+                    // Rounding in `start + unit * span` can still land on
+                    // `end` for very narrow ranges; keep the half-open
+                    // contract.
+                    if x >= self.end {
+                        self.end.next_down().max(self.start)
+                    } else {
+                        x
+                    }
+                }
+            }
+        )*};
+    }
+    impl_float_range!((f32, 24), (f64, 53));
+}
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator seeded via SplitMix64 — the
+    /// stand-in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random helpers on slices.
+pub mod seq {
+    use super::distributions::index_below;
+    use super::RngCore;
+
+    /// Shuffling and random selection on slices.
+    pub trait SliceRandom {
+        /// Slice element type.
+        type Item;
+        /// Uniform random permutation in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = index_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[index_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let seq = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..8).map(|_| r.gen_range(0u32..1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(1), seq(1));
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn float_gen_range_stays_strictly_below_end() {
+        // f32 has a 24-bit mantissa: a 53-bit unit would round to 1.0 about
+        // every 2^25 draws. The per-type precision keeps the range half-open.
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..200_000 {
+            let x = r.gen_range(0.0f32..1.0);
+            assert!((0.0..1.0).contains(&x), "f32 sample {x} escaped [0,1)");
+        }
+        // Denormal-narrow f64 range: rounding must not land on `end`.
+        let (a, b) = (1.0f64, 1.0f64 + f64::EPSILON);
+        for _ in 0..1000 {
+            let x = r.gen_range(a..b);
+            assert!(x >= a && x < b, "narrow-range sample {x} escaped");
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 hit {hits}/10000");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn choose_handles_empty_and_picks_members() {
+        let mut r = StdRng::seed_from_u64(9);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let v = [10u8, 20, 30];
+        for _ in 0..20 {
+            assert!(v.contains(v.choose(&mut r).unwrap()));
+        }
+    }
+}
