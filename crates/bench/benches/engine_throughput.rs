@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::SynchronousDaemon;
-use specstab_kernel::engine::{RunLimits, Simulator};
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::engine::{RunLimits, Simulator, StepScratch};
 use specstab_topology::generators;
 use specstab_unison::clock::CherryClock;
 use specstab_unison::AsyncUnison;
@@ -26,9 +26,40 @@ fn bench_engine(c: &mut Criterion) {
             &g,
             |b, g| {
                 let sim = Simulator::new(g, &unison);
+                let mut scratch = StepScratch::new();
                 b.iter(|| {
                     let mut d = SynchronousDaemon::new();
-                    sim.run(init.clone(), &mut d, RunLimits::with_max_steps(STEPS), &mut []).moves
+                    sim.run_with_scratch(
+                        init.clone(),
+                        &mut d,
+                        RunLimits::with_max_steps(STEPS),
+                        &mut [],
+                        &mut scratch,
+                    )
+                    .moves
+                });
+            },
+        );
+        // Central round-robin: one move per step, so the incremental
+        // enabled-set maintenance (O(degree) per step instead of O(n))
+        // dominates the measurement.
+        group.throughput(Throughput::Elements(STEPS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("central_rr_unison_steps", format!("torus-{rows}x{cols}")),
+            &g,
+            |b, g| {
+                let sim = Simulator::new(g, &unison);
+                let mut scratch = StepScratch::new();
+                b.iter(|| {
+                    let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+                    sim.run_with_scratch(
+                        init.clone(),
+                        &mut d,
+                        RunLimits::with_max_steps(STEPS),
+                        &mut [],
+                        &mut scratch,
+                    )
+                    .moves
                 });
             },
         );

@@ -1,11 +1,21 @@
 //! The sharded campaign executor.
 //!
-//! Cells are distributed to worker threads through a shared atomic cursor
-//! (work-stealing by over-decomposition: each worker pulls the next
-//! unclaimed cell, so stragglers never idle the pool). Every cell derives
-//! its RNG stream purely from its coordinates ([`Cell::cell_seed`]), so
-//! results are bit-identical regardless of thread count or scheduling, and
-//! aggregation happens after the join in canonical cell order.
+//! The unit of work is a contiguous chunk of one **scenario group** — the
+//! run of cells sharing topology × protocol × daemon × init (the seed axis
+//! varies fastest in the canonical matrix order), split at
+//! `MAX_RUN_CELLS` so seed-heavy groups still spread across the pool.
+//! Workers claim chunks through a shared atomic cursor (work-stealing by
+//! over-decomposition: each worker pulls the next unclaimed chunk, so
+//! stragglers never idle the pool), execute the chunk's cells in canonical
+//! order, and aggregate statistics **in-worker** while running — there is
+//! no post-join pass over all cells. The main thread only reassembles the
+//! partials in canonical order, folding same-group chunks with
+//! [`GroupSummary::merge`].
+//!
+//! Every cell derives its RNG stream purely from its coordinates
+//! ([`Cell::cell_seed`]), and each group's statistics are fed in canonical
+//! cell order regardless of scheduling, so results are bit-identical
+//! regardless of thread count.
 
 use crate::matrix::{Cell, InitMode, ProtocolKind, ScenarioMatrix};
 use crate::stats::OnlineStats;
@@ -20,7 +30,7 @@ use specstab_kernel::daemon::{
     parse_daemon_spec, AdversaryMoves, BoxedDaemon, DaemonClass, GreedyAdversary,
 };
 use specstab_kernel::engine::Simulator;
-use specstab_kernel::fault::inject_faults;
+use specstab_kernel::fault::inject_faults_in_place;
 use specstab_kernel::measure::MeasurementContext;
 use specstab_kernel::observer::ConfigPredicate;
 use specstab_kernel::protocol::{random_configuration, Protocol};
@@ -136,6 +146,73 @@ impl GroupSummary {
     pub fn class_str(&self) -> String {
         self.class.map_or_else(String::new, |c| c.to_string())
     }
+
+    /// An empty summary seeded from the first cell of a group.
+    fn seeded_from(cr: &CellResult) -> Self {
+        Self {
+            key: cr.cell.group_key(),
+            topology: cr.cell.topology.clone(),
+            protocol: cr.cell.protocol,
+            daemon: cr.cell.daemon.clone(),
+            class: cr.class,
+            init: cr.cell.init,
+            n: cr.n,
+            diam: cr.diam,
+            runs: 0,
+            errors: 0,
+            converged: 0,
+            stabilization: OnlineStats::new(),
+            entry: OnlineStats::new(),
+            moves: OnlineStats::new(),
+            bound: None,
+            violations: 0,
+        }
+    }
+
+    /// Feeds one cell result into the streaming aggregates.
+    fn record(&mut self, cr: &CellResult) {
+        self.runs += 1;
+        if self.class.is_none() {
+            self.class = cr.class;
+        }
+        match &cr.outcome {
+            Ok(o) => {
+                self.stabilization.push(o.stabilization_steps as f64);
+                self.entry.push(o.legitimacy_entry as f64);
+                self.moves.push(o.moves as f64);
+                self.converged += u64::from(o.ended_legitimate);
+                self.bound = self.bound.or(o.bound);
+                self.violations += u64::from(o.violated_bound);
+            }
+            Err(_) => self.errors += 1,
+        }
+    }
+
+    /// Merges another partial summary **of the same group** into this one,
+    /// as if `other`'s cells had been fed after `self`'s. Counters merge
+    /// exactly; streaming statistics merge via [`OnlineStats::merge`]
+    /// (exact when `self` is empty, approximate for the quantile sketches
+    /// otherwise). This is also the building block for combining campaign
+    /// artifacts across processes (each process sweeping a slice of the
+    /// seed axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two summaries describe different groups.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.key, other.key, "merging different groups");
+        self.runs += other.runs;
+        self.errors += other.errors;
+        self.converged += other.converged;
+        self.violations += other.violations;
+        if self.class.is_none() {
+            self.class = other.class;
+        }
+        self.bound = self.bound.or(other.bound);
+        self.stabilization.merge(&other.stabilization);
+        self.entry.merge(&other.entry);
+        self.moves.merge(&other.moves);
+    }
 }
 
 /// Everything a campaign produced.
@@ -168,7 +245,76 @@ impl CampaignResult {
     }
 }
 
-/// Runs every cell of `matrix` across a worker pool and aggregates.
+/// Cap on cells per work unit. Groups at or below this size are aggregated
+/// in one piece — their statistics are **bit-identical** to a sequential
+/// canonical-order feed (the common case: every shipped matrix and the
+/// golden artifact use ≤ 32 seeds per group). Larger groups are split into
+/// deterministic, thread-count-independent chunks so seed-heavy campaigns
+/// (one group × thousands of seeds) still parallelize; their chunk partials
+/// are folded with [`GroupSummary::merge`], which keeps count/min/max and
+/// the violation counters exact and merges mean/variance/quantiles with
+/// the documented parallel-combination accuracy.
+const MAX_RUN_CELLS: usize = 32;
+
+/// Splits the canonical cell order into contiguous runs sharing a group
+/// key — the executor's unit of work — chunking oversized groups at
+/// [`MAX_RUN_CELLS`]. Chunk boundaries depend only on the matrix, never on
+/// thread count or scheduling.
+fn group_runs(cells: &[Cell]) -> Vec<std::ops::Range<usize>> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=cells.len() {
+        if i == cells.len() || cells[i].group_key() != cells[start].group_key() {
+            let mut lo = start;
+            while lo < i {
+                let hi = (lo + MAX_RUN_CELLS).min(i);
+                runs.push(lo..hi);
+                lo = hi;
+            }
+            start = i;
+        }
+    }
+    runs
+}
+
+/// Executes one contiguous group run in canonical cell order, aggregating
+/// its statistics while running (per-worker partial aggregation).
+fn execute_group_run(
+    cells: &[Cell],
+    config: &CampaignConfig,
+    topo_cache: &mut HashMap<String, Result<(Graph, u32), String>>,
+) -> (Vec<CellResult>, GroupSummary) {
+    let mut results = Vec::with_capacity(cells.len());
+    let mut summary: Option<GroupSummary> = None;
+    for cell in cells {
+        let cr = execute_cell(cell, config, topo_cache);
+        summary.get_or_insert_with(|| GroupSummary::seeded_from(&cr)).record(&cr);
+        results.push(cr);
+    }
+    (results, summary.expect("group runs are nonempty"))
+}
+
+/// Folds per-run partial summaries (in canonical run order) into the final
+/// group list, merging duplicates with [`GroupSummary::merge`]. For
+/// canonical matrices every group is one contiguous run, so the fold is a
+/// pure reordering and the statistics are bit-identical to sequential
+/// accumulation.
+fn fold_groups(partials: Vec<GroupSummary>) -> Vec<GroupSummary> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_key: HashMap<String, GroupSummary> = HashMap::new();
+    for partial in partials {
+        if let Some(existing) = by_key.get_mut(&partial.key) {
+            existing.merge(&partial);
+        } else {
+            order.push(partial.key.clone());
+            by_key.insert(partial.key.clone(), partial);
+        }
+    }
+    order.into_iter().map(|k| by_key.remove(&k).expect("group recorded")).collect()
+}
+
+/// Runs every cell of `matrix` across a worker pool, aggregating group
+/// statistics inside the workers.
 ///
 /// Deterministic: the per-cell outcomes (and therefore the aggregate
 /// statistics and artifacts) depend only on the matrix and
@@ -177,72 +323,85 @@ impl CampaignResult {
 pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignResult {
     let started = Instant::now();
     let cells = matrix.cells();
-    let threads = effective_threads(config.threads, cells.len());
+    let runs = group_runs(cells);
+    let threads = effective_threads(config.threads, runs.len());
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, CellResult)>();
+    type RunOutput = (Vec<CellResult>, GroupSummary);
+    let (tx, rx) = mpsc::channel::<(usize, RunOutput)>();
 
-    let mut slots: Vec<Option<CellResult>> = Vec::new();
-    slots.resize_with(cells.len(), || None);
+    let mut slots: Vec<Option<RunOutput>> = Vec::new();
+    slots.resize_with(runs.len(), || None);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
+            let runs = &runs;
             scope.spawn(move || {
                 // Per-worker topology cache: matrices reuse few topologies
                 // across many cells, and BFS diameters are cell-invariant.
                 let mut topo_cache: HashMap<String, Result<(Graph, u32), String>> = HashMap::new();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                    if idx >= cells.len() {
+                    if idx >= runs.len() {
                         break;
                     }
-                    let result = execute_cell(&cells[idx], config, &mut topo_cache);
-                    if tx.send((idx, result)).is_err() {
+                    let out = execute_group_run(&cells[runs[idx].clone()], config, &mut topo_cache);
+                    if tx.send((idx, out)).is_err() {
                         break;
                     }
                 }
             });
         }
         drop(tx);
-        for (idx, result) in rx {
-            slots[idx] = Some(result);
+        for (idx, out) in rx {
+            slots[idx] = Some(out);
         }
     });
 
-    let cells: Vec<CellResult> =
-        slots.into_iter().map(|s| s.expect("every cell executed")).collect();
-    let groups = aggregate(&cells);
+    let mut all_cells = Vec::with_capacity(cells.len());
+    let mut partials = Vec::with_capacity(runs.len());
+    for slot in slots {
+        let (results, summary) = slot.expect("every group run executed");
+        all_cells.extend(results);
+        partials.push(summary);
+    }
     CampaignResult {
-        cells,
-        groups,
+        cells: all_cells,
+        groups: fold_groups(partials),
         threads_used: threads,
         wall: started.elapsed(),
         config: config.clone(),
     }
 }
 
-fn effective_threads(requested: usize, cells: usize) -> usize {
+fn effective_threads(requested: usize, work_units: usize) -> usize {
     let available = if requested == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         requested
     };
-    available.clamp(1, cells.max(1))
+    available.clamp(1, work_units.max(1))
 }
 
-/// Sequential reference executor: runs the cells one by one on the calling
-/// thread with identical per-cell seeding. Exists so tests can cross-check
-/// the parallel path; also handy in constrained environments.
+/// Sequential reference executor: runs the group runs one by one on the
+/// calling thread with identical per-cell seeding and the same in-run
+/// aggregation. Exists so tests can cross-check the parallel path; also
+/// handy in constrained environments.
 #[must_use]
 pub fn run_campaign_sequential(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignResult {
     let started = Instant::now();
+    let cells = matrix.cells();
     let mut topo_cache = HashMap::new();
-    let cells: Vec<CellResult> =
-        matrix.cells().iter().map(|cell| execute_cell(cell, config, &mut topo_cache)).collect();
-    let groups = aggregate(&cells);
+    let mut all_cells = Vec::with_capacity(cells.len());
+    let mut partials = Vec::new();
+    for run in group_runs(cells) {
+        let (results, summary) = execute_group_run(&cells[run], config, &mut topo_cache);
+        all_cells.extend(results);
+        partials.push(summary);
+    }
     CampaignResult {
-        cells,
-        groups,
+        cells: all_cells,
+        groups: fold_groups(partials),
         threads_used: 1,
         wall: started.elapsed(),
         config: config.clone(),
@@ -318,14 +477,15 @@ fn ssme_daemon(
 pub fn burst_configuration<P: Protocol>(
     graph: &Graph,
     protocol: &P,
-    healthy: Configuration<P::State>,
+    mut healthy: Configuration<P::State>,
     faults: usize,
     rng: &mut StdRng,
 ) -> Configuration<P::State> {
     if faults == 0 {
         random_configuration(graph, protocol, rng)
     } else {
-        inject_faults(&healthy, graph, protocol, faults.min(graph.n()), rng).0
+        let _ = inject_faults_in_place(&mut healthy, graph, protocol, faults.min(graph.n()), rng);
+        healthy
     }
 }
 
@@ -452,51 +612,6 @@ fn mix(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn aggregate(cells: &[CellResult]) -> Vec<GroupSummary> {
-    let mut order: Vec<String> = Vec::new();
-    let mut by_key: HashMap<String, GroupSummary> = HashMap::new();
-    for cr in cells {
-        let key = cr.cell.group_key();
-        let group = by_key.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            GroupSummary {
-                key,
-                topology: cr.cell.topology.clone(),
-                protocol: cr.cell.protocol,
-                daemon: cr.cell.daemon.clone(),
-                class: cr.class,
-                init: cr.cell.init,
-                n: cr.n,
-                diam: cr.diam,
-                runs: 0,
-                errors: 0,
-                converged: 0,
-                stabilization: OnlineStats::new(),
-                entry: OnlineStats::new(),
-                moves: OnlineStats::new(),
-                bound: None,
-                violations: 0,
-            }
-        });
-        group.runs += 1;
-        if group.class.is_none() {
-            group.class = cr.class;
-        }
-        match &cr.outcome {
-            Ok(o) => {
-                group.stabilization.push(o.stabilization_steps as f64);
-                group.entry.push(o.legitimacy_entry as f64);
-                group.moves.push(o.moves as f64);
-                group.converged += u64::from(o.ended_legitimate);
-                group.bound = group.bound.or(o.bound);
-                group.violations += u64::from(o.violated_bound);
-            }
-            Err(_) => group.errors += 1,
-        }
-    }
-    order.into_iter().map(|k| by_key.remove(&k).expect("group recorded")).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +687,71 @@ mod tests {
         assert_eq!(r.cells.len(), 8);
         let errors = r.cells.iter().filter(|c| c.outcome.is_err()).count();
         assert_eq!(errors, 6, "2 bad-topology groups x2 + 1 bad-daemon group x2");
+    }
+
+    #[test]
+    fn oversized_groups_chunk_without_losing_determinism() {
+        // One group x 80 seeds: split into three work units (so seed-heavy
+        // campaigns parallelize), yet parallel and sequential execution
+        // still agree byte-for-byte because chunk boundaries are fixed.
+        let m = ScenarioMatrix::builder()
+            .topologies(["ring:8"])
+            .protocols([ProtocolKind::Ssme])
+            .daemons(["sync"])
+            .fault_bursts([0])
+            .seeds(0..80)
+            .build();
+        assert_eq!(super::group_runs(m.cells()).len(), 3);
+        let cfg = CampaignConfig { threads: 4, max_steps: 100_000, ..Default::default() };
+        let par = run_campaign(&m, &cfg);
+        let seq = run_campaign_sequential(&m, &cfg);
+        assert_eq!(par.groups.len(), 1);
+        let g = &par.groups[0];
+        assert_eq!(g.runs, 80);
+        assert_eq!(g.errors, 0);
+        assert_eq!(g.converged, 80);
+        assert_eq!(g.stabilization.count(), 80);
+        assert_eq!(
+            crate::artifact::to_json(&par, true),
+            crate::artifact::to_json(&seq, true),
+            "chunked aggregation must stay thread-count invariant"
+        );
+        // Independent reference for the chunk-merge path: recompute the
+        // group statistics naively from the per-cell outcomes (both
+        // executors share group_runs/merge, so the par==seq check alone
+        // cannot catch a merge bug).
+        let entries: Vec<f64> = par
+            .cells
+            .iter()
+            .map(|c| c.outcome.as_ref().expect("no errors").legitimacy_entry as f64)
+            .collect();
+        let naive_mean = entries.iter().sum::<f64>() / entries.len() as f64;
+        let naive_var =
+            entries.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / entries.len() as f64;
+        assert_eq!(g.entry.count(), 80);
+        assert_eq!(g.entry.min(), entries.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(g.entry.max(), entries.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        assert!((g.entry.mean() - naive_mean).abs() < 1e-9, "merged mean drifted");
+        assert!((g.entry.variance() - naive_var).abs() < 1e-6, "merged variance drifted");
+        let mut sorted = entries;
+        sorted.sort_by(f64::total_cmp);
+        let exact_p50 = sorted[sorted.len() / 2];
+        let spread = (g.entry.max() - g.entry.min()).max(1.0);
+        assert!(
+            (g.entry.p50() - exact_p50).abs() <= spread * 0.5,
+            "merged p50 {} too far from exact {exact_p50}",
+            g.entry.p50()
+        );
+        assert!(g.entry.p50() >= g.entry.min() && g.entry.p50() <= g.entry.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "merging different groups")]
+    fn merge_rejects_mismatched_groups() {
+        let m = tiny_matrix();
+        let r = run_campaign_sequential(&m, &CampaignConfig::default());
+        let mut a = r.groups[0].clone();
+        a.merge(&r.groups[1]);
     }
 
     #[test]

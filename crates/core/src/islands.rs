@@ -208,9 +208,10 @@ mod tests {
         let _ =
             sim.run(witness.init, &mut d, RunLimits::with_max_steps(witness.t + 1), &mut [&mut tr]);
         let clock = ssme.clock();
-        for step in 1..tr.configs().len() {
-            let prev = islands(&tr.configs()[step - 1], &g, clock);
-            let cur = islands(&tr.configs()[step], &g, clock);
+        let configs = tr.configs();
+        for step in 1..configs.len() {
+            let prev = islands(&configs[step - 1], &g, clock);
+            let cur = islands(&configs[step], &g, clock);
             for isl in &cur {
                 if isl.is_zero_island || isl.border.is_empty() {
                     continue;

@@ -225,7 +225,8 @@ mod tests {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let init = random_configuration(&g, &ssme, &mut rng);
                 let tr = record(&g, &ssme, init, horizon);
-                let trace = SyncTrace { configs: tr.configs(), activations: tr.activations() };
+                let configs = tr.configs();
+                let trace = SyncTrace { configs: &configs, activations: tr.activations() };
                 assert_eq!(check_all(&ssme, &g, &trace), None, "{} seed {seed}", g.name());
             }
         }
@@ -241,7 +242,8 @@ mod tests {
             let w = theorem4_witness(&ssme, &g, &dm).unwrap();
             let horizon = analysis::ssme_sync_gamma1_bound(g.n(), dm.diameter()) as usize + 8;
             let tr = record(&g, &ssme, w.init, horizon);
-            let trace = SyncTrace { configs: tr.configs(), activations: tr.activations() };
+            let configs = tr.configs();
+            let trace = SyncTrace { configs: &configs, activations: tr.activations() };
             assert_eq!(check_all(&ssme, &g, &trace), None, "{}", g.name());
         }
     }
@@ -252,7 +254,8 @@ mod tests {
         let ssme = Ssme::for_graph(&g).unwrap();
         let init = Configuration::from_fn(g.n(), |_| ssme.clock().value(0).unwrap());
         let tr = record(&g, &ssme, init, 20);
-        let trace = SyncTrace { configs: tr.configs(), activations: tr.activations() };
+        let configs = tr.configs();
+        let trace = SyncTrace { configs: &configs, activations: tr.activations() };
         assert_eq!(check_lemma4(&ssme, &g, &trace), None);
     }
 

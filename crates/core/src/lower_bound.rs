@@ -145,12 +145,11 @@ pub fn verify_witness(
         &mut [&mut trace],
     );
     let spec = SpecMe::new(ssme.clone());
-    let both = trace
-        .configs()
+    let configs = trace.configs();
+    let both = configs
         .get(witness.t)
         .is_some_and(|c| ssme.is_privileged(witness.u, c) && ssme.is_privileged(witness.v, c));
-    let last_violation = trace
-        .configs()
+    let last_violation = configs
         .iter()
         .enumerate()
         .filter(|(_, c)| !spec.is_safe(c, graph))

@@ -107,8 +107,9 @@ fn theorem1_closure_and_safety_inside_gamma_one() {
             let mut d = RandomDistributedDaemon::new(0.5, seed);
             let mut tr = TraceRecorder::new();
             let _ = sim.run(init, &mut d, RunLimits::with_max_steps(60_000), &mut [&mut tr]);
-            assert_eq!(closure_violation(&spec, tr.configs(), &g), None);
-            for c in tr.configs() {
+            let configs = tr.configs();
+            assert_eq!(closure_violation(&spec, &configs, &g), None);
+            for c in &configs {
                 if spec.is_legitimate(c, &g) {
                     assert!(spec.is_safe(c, &g), "{}: legitimate but unsafe", g.name());
                 }

@@ -2,6 +2,25 @@
 
 use specstab_topology::VertexId;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of full [`Configuration`] clones (see
+/// [`clone_count`]).
+static CLONE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full `Configuration::clone` calls executed by this process so
+/// far.
+///
+/// The zero-allocation stepping core promises **zero configuration clones
+/// per steady-state step**; this counter is the instrument that proves it.
+/// Buffer-reusing copies via [`Clone::clone_from`] are *not* counted — they
+/// are exactly the allocation-free path the engine is supposed to take.
+/// The counter is monotonically increasing and process-global: tests should
+/// compare deltas, not absolute values.
+#[must_use]
+pub fn clone_count() -> u64 {
+    CLONE_COUNT.load(Ordering::Relaxed)
+}
 
 /// An assignment of values to all variables of the graph — one state per
 /// vertex (the paper's `γ ∈ Γ`).
@@ -18,9 +37,23 @@ use std::fmt;
 /// c.set(VertexId::new(2), 7);
 /// assert_eq!(c.states(), &[0, 1, 7]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 pub struct Configuration<S> {
     states: Vec<S>,
+}
+
+impl<S: Clone> Clone for Configuration<S> {
+    fn clone(&self) -> Self {
+        CLONE_COUNT.fetch_add(1, Ordering::Relaxed);
+        Self { states: self.states.clone() }
+    }
+
+    /// Copies `source` into `self`, reusing the existing allocation when the
+    /// capacity suffices. This is the engine's hot path: a steady-state step
+    /// performs `clone_from` into a double buffer and never a full clone.
+    fn clone_from(&mut self, source: &Self) {
+        self.states.clone_from(&source.states);
+    }
 }
 
 impl<S> Configuration<S> {

@@ -172,16 +172,55 @@ pub struct SelectionContext<'a, S> {
     pub graph: &'a Graph,
     /// Zero-based index of the action about to be taken.
     pub step: usize,
-    /// One-step lookahead: the configuration that would result from
-    /// activating the given subset of enabled vertices. Adversarial daemons
-    /// use this to pick the most damaging action.
-    pub preview: &'a dyn Fn(&[VertexId]) -> Configuration<S>,
+    /// Writes the successor of `config` under a candidate activation set
+    /// into a caller-supplied buffer (see [`SelectionContext::preview`]).
+    apply_into: &'a dyn Fn(&[VertexId], &mut Configuration<S>),
+}
+
+impl<'a, S: Clone> SelectionContext<'a, S> {
+    /// Builds a selection context. `apply_into` must overwrite its output
+    /// buffer with the successor of `config` under the given activation set
+    /// (the engine passes a buffer-reusing `apply_action_into` closure).
+    #[must_use]
+    pub fn new(
+        enabled: &'a [VertexId],
+        config: &'a Configuration<S>,
+        graph: &'a Graph,
+        step: usize,
+        apply_into: &'a dyn Fn(&[VertexId], &mut Configuration<S>),
+    ) -> Self {
+        Self { enabled, config, graph, step, apply_into }
+    }
+
+    /// One-step lookahead without cloning: writes the configuration that
+    /// would result from activating `set` into `scratch` (reusing its
+    /// allocation) and returns it. Adversarial daemons keep a per-daemon
+    /// scratch configuration and call this once per candidate, so steady
+    /// state previews perform zero heap allocations.
+    pub fn preview<'b>(
+        &self,
+        set: &[VertexId],
+        scratch: &'b mut Configuration<S>,
+    ) -> &'b Configuration<S> {
+        (self.apply_into)(set, scratch);
+        scratch
+    }
+
+    /// Clone-returning preview, retained for callers that want an owned
+    /// successor (allocates; prefer [`SelectionContext::preview`] on hot
+    /// paths).
+    #[must_use]
+    pub fn preview_cloned(&self, set: &[VertexId]) -> Configuration<S> {
+        let mut next = self.config.clone();
+        (self.apply_into)(set, &mut next);
+        next
+    }
 }
 
 /// A daemon: picks a nonempty subset of the enabled vertices each step.
 ///
 /// The engine guarantees `ctx.enabled` is nonempty and validates the
-/// returned set (nonempty, subset of enabled, deduplicated).
+/// selection (nonempty, subset of enabled, deduplicated).
 pub trait Daemon<S> {
     /// Name for reports (e.g. `"synchronous"`).
     fn name(&self) -> String;
@@ -189,8 +228,11 @@ pub trait Daemon<S> {
     /// Taxonomy coordinates of this daemon.
     fn class(&self) -> DaemonClass;
 
-    /// Chooses the activation set for this step.
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId>;
+    /// Chooses the activation set for this step, writing it into
+    /// `selection` (cleared by the engine before the call). Writing into an
+    /// engine-owned scratch buffer instead of returning a fresh `Vec` keeps
+    /// the steady-state step loop allocation-free.
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>);
 
     /// Called once when an execution starts, so stateful daemons
     /// (round-robin cursors, RNGs with per-run reseeding) can reset.
@@ -216,8 +258,8 @@ impl<S> Daemon<S> for SynchronousDaemon {
     fn class(&self) -> DaemonClass {
         DaemonClass::synchronous()
     }
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
-        ctx.enabled.to_vec()
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
+        selection.extend_from_slice(ctx.enabled);
     }
 }
 
@@ -274,7 +316,7 @@ impl<S> Daemon<S> for CentralDaemon {
         }
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
         let pick = match &self.strategy {
             CentralStrategy::MinId => ctx.enabled[0],
             CentralStrategy::MaxId => *ctx.enabled.last().expect("enabled nonempty"),
@@ -296,7 +338,7 @@ impl<S> Daemon<S> for CentralDaemon {
                 pick
             }
         };
-        vec![pick]
+        selection.push(pick);
     }
 
     fn reset(&mut self) {
@@ -336,13 +378,11 @@ impl<S> Daemon<S> for RandomDistributedDaemon {
     fn class(&self) -> DaemonClass {
         DaemonClass::unfair_distributed()
     }
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
-        let mut set: Vec<VertexId> =
-            ctx.enabled.iter().copied().filter(|_| self.rng.gen_bool(self.p)).collect();
-        if set.is_empty() {
-            set.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
+        selection.extend(ctx.enabled.iter().copied().filter(|_| self.rng.gen_bool(self.p)));
+        if selection.is_empty() {
+            selection.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
         }
-        set
     }
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
@@ -357,6 +397,9 @@ pub struct KBoundedDaemon {
     k: usize,
     p: f64,
     passes: Vec<usize>,
+    /// Reused per-step scratch masks (selection / enablement by index).
+    in_set: Vec<bool>,
+    enabled_now: Vec<bool>,
     rng: StdRng,
     seed: u64,
 }
@@ -370,7 +413,15 @@ impl KBoundedDaemon {
     #[must_use]
     pub fn new(k: usize, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "inclusion probability must be in [0,1]");
-        Self { k, p, passes: Vec::new(), rng: StdRng::seed_from_u64(seed), seed }
+        Self {
+            k,
+            p,
+            passes: Vec::new(),
+            in_set: Vec::new(),
+            enabled_now: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 }
 
@@ -385,35 +436,36 @@ impl<S> Daemon<S> for KBoundedDaemon {
             fairness: Fairness::WeaklyFair,
         }
     }
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
-        if self.passes.len() != ctx.graph.n() {
-            self.passes = vec![0; ctx.graph.n()];
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
+        let n = ctx.graph.n();
+        if self.passes.len() != n {
+            self.passes = vec![0; n];
         }
-        let mut set: Vec<VertexId> = ctx
-            .enabled
-            .iter()
-            .copied()
-            .filter(|v| self.passes[v.index()] >= self.k || self.rng.gen_bool(self.p))
-            .collect();
-        if set.is_empty() {
-            set.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
+        let passes = &self.passes;
+        let (k, p, rng) = (self.k, self.p, &mut self.rng);
+        selection.extend(
+            ctx.enabled.iter().copied().filter(|v| passes[v.index()] >= k || rng.gen_bool(p)),
+        );
+        if selection.is_empty() {
+            selection.push(*ctx.enabled.choose(&mut self.rng).expect("enabled nonempty"));
         }
-        let mut in_set = vec![false; ctx.graph.n()];
-        for &v in &set {
-            in_set[v.index()] = true;
+        self.in_set.clear();
+        self.in_set.resize(n, false);
+        for &v in selection.iter() {
+            self.in_set[v.index()] = true;
         }
-        let mut enabled_mask = vec![false; ctx.graph.n()];
+        self.enabled_now.clear();
+        self.enabled_now.resize(n, false);
         for &v in ctx.enabled {
-            enabled_mask[v.index()] = true;
+            self.enabled_now[v.index()] = true;
         }
-        for i in 0..ctx.graph.n() {
-            if enabled_mask[i] && !in_set[i] {
+        for i in 0..n {
+            if self.enabled_now[i] && !self.in_set[i] {
                 self.passes[i] += 1;
             } else {
                 self.passes[i] = 0;
             }
         }
-        set
     }
     fn reset(&mut self) {
         self.passes.clear();
@@ -429,6 +481,8 @@ impl<S> Daemon<S> for KBoundedDaemon {
 pub struct OldestFirstDaemon {
     /// Step at which each vertex most recently became enabled.
     enabled_since: Vec<usize>,
+    /// Reused per-step enablement mask.
+    is_enabled: Vec<bool>,
 }
 
 impl OldestFirstDaemon {
@@ -446,18 +500,19 @@ impl<S> Daemon<S> for OldestFirstDaemon {
     fn class(&self) -> DaemonClass {
         DaemonClass::central_weakly_fair()
     }
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
         if self.enabled_since.len() != ctx.graph.n() {
             self.enabled_since = vec![0; ctx.graph.n()];
         }
         // Vertices no longer enabled restart their seniority the next time
         // they become enabled: record "not enabled now" as becoming enabled
         // at the *next* step.
-        let mut is_enabled = vec![false; ctx.graph.n()];
+        self.is_enabled.clear();
+        self.is_enabled.resize(ctx.graph.n(), false);
         for &v in ctx.enabled {
-            is_enabled[v.index()] = true;
+            self.is_enabled[v.index()] = true;
         }
-        for (v, &enabled_now) in is_enabled.iter().enumerate() {
+        for (v, &enabled_now) in self.is_enabled.iter().enumerate() {
             if !enabled_now {
                 self.enabled_since[v] = ctx.step + 1;
             }
@@ -470,7 +525,7 @@ impl<S> Daemon<S> for OldestFirstDaemon {
             .expect("enabled nonempty");
         // The chosen vertex's seniority resets (it moves now).
         self.enabled_since[pick.index()] = ctx.step + 1;
-        vec![pick]
+        selection.push(pick);
     }
     fn reset(&mut self) {
         self.enabled_since.clear();
@@ -550,13 +605,25 @@ pub struct GreedyAdversary<S> {
     moves: AdversaryMoves,
     tie_rng: StdRng,
     seed: u64,
+    /// Per-daemon preview scratch: candidate successors are written here
+    /// (reusing the allocation) instead of cloning per candidate.
+    scratch: Configuration<S>,
+    /// Reused buffer holding the best candidate set found so far.
+    best: Vec<VertexId>,
 }
 
 impl<S> GreedyAdversary<S> {
     /// Creates the adversary with the given disorder metric.
     #[must_use]
     pub fn new(metric: AdversaryMetric<S>, moves: AdversaryMoves, seed: u64) -> Self {
-        Self { metric, moves, tie_rng: StdRng::seed_from_u64(seed), seed }
+        Self {
+            metric,
+            moves,
+            tie_rng: StdRng::seed_from_u64(seed),
+            seed,
+            scratch: Configuration::new(Vec::new()),
+            best: Vec::new(),
+        }
     }
 }
 
@@ -593,7 +660,7 @@ impl<S> fmt::Debug for GreedyAdversary<S> {
     }
 }
 
-impl<S> Daemon<S> for GreedyAdversary<S> {
+impl<S: Clone> Daemon<S> for GreedyAdversary<S> {
     fn name(&self) -> String {
         match self.moves {
             AdversaryMoves::Singletons => "adversary-central".into(),
@@ -608,29 +675,36 @@ impl<S> Daemon<S> for GreedyAdversary<S> {
         }
     }
 
-    fn select(&mut self, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
-        let mut best: Option<(f64, Vec<VertexId>)> = None;
-        let mut consider = |set: Vec<VertexId>, rng: &mut StdRng| {
-            let next = (ctx.preview)(&set);
-            let score = (self.metric)(&next, ctx.graph);
-            match &mut best {
-                None => best = Some((score, set)),
-                Some((b, bs)) => {
+    fn select(&mut self, ctx: &SelectionContext<'_, S>, selection: &mut Vec<VertexId>) {
+        let Self { metric, tie_rng, scratch, best, .. } = self;
+        let mut best_score: Option<f64> = None;
+        let mut consider = |set: &[VertexId]| {
+            let next = ctx.preview(set, scratch);
+            let score = (metric)(next, ctx.graph);
+            match best_score {
+                None => {
+                    best_score = Some(score);
+                    best.clear();
+                    best.extend_from_slice(set);
+                }
+                Some(b) => {
                     // Strictly better, or coin-flip on ties to diversify runs.
-                    if score > *b || (score == *b && rng.gen_bool(0.5)) {
-                        *b = score;
-                        *bs = set;
+                    if score > b || (score == b && tie_rng.gen_bool(0.5)) {
+                        best_score = Some(score);
+                        best.clear();
+                        best.extend_from_slice(set);
                     }
                 }
             }
         };
         for &v in ctx.enabled {
-            consider(vec![v], &mut self.tie_rng);
+            consider(std::slice::from_ref(&v));
         }
         if self.moves == AdversaryMoves::SingletonsAndAll && ctx.enabled.len() > 1 {
-            consider(ctx.enabled.to_vec(), &mut self.tie_rng);
+            consider(ctx.enabled);
         }
-        best.expect("enabled nonempty").1
+        assert!(best_score.is_some(), "enabled nonempty");
+        selection.extend_from_slice(&self.best);
     }
 
     fn reset(&mut self) {
@@ -648,9 +722,16 @@ mod tests {
         enabled: &'a [VertexId],
         config: &'a Configuration<u8>,
         graph: &'a Graph,
-        preview: &'a dyn Fn(&[VertexId]) -> Configuration<u8>,
+        apply_into: &'a dyn Fn(&[VertexId], &mut Configuration<u8>),
     ) -> SelectionContext<'a, u8> {
-        SelectionContext { enabled, config, graph, step: 0, preview }
+        SelectionContext::new(enabled, config, graph, 0, apply_into)
+    }
+
+    /// Runs `select` through a fresh buffer, mirroring the engine's calls.
+    fn select_into<S, D: Daemon<S>>(d: &mut D, ctx: &SelectionContext<'_, S>) -> Vec<VertexId> {
+        let mut sel = Vec::new();
+        d.select(ctx, &mut sel);
+        sel
     }
 
     #[test]
@@ -685,9 +766,9 @@ mod tests {
         let g = generators::ring(4).unwrap();
         let c = Configuration::new(vec![0u8; 4]);
         let enabled = vec![VertexId::new(0), VertexId::new(2)];
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut d = SynchronousDaemon::new();
-        let sel = Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
+        let sel = select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
         assert_eq!(sel, enabled);
     }
 
@@ -696,15 +777,15 @@ mod tests {
         let g = generators::ring(5).unwrap();
         let c = Configuration::new(vec![0u8; 5]);
         let enabled = vec![VertexId::new(1), VertexId::new(3), VertexId::new(4)];
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut dmin = CentralDaemon::new(CentralStrategy::MinId);
         let mut dmax = CentralDaemon::new(CentralStrategy::MaxId);
         assert_eq!(
-            Daemon::<u8>::select(&mut dmin, &ctx_fixture(&enabled, &c, &g, &preview)),
+            select_into(&mut dmin, &ctx_fixture(&enabled, &c, &g, &preview)),
             vec![VertexId::new(1)]
         );
         assert_eq!(
-            Daemon::<u8>::select(&mut dmax, &ctx_fixture(&enabled, &c, &g, &preview)),
+            select_into(&mut dmax, &ctx_fixture(&enabled, &c, &g, &preview)),
             vec![VertexId::new(4)]
         );
     }
@@ -714,11 +795,11 @@ mod tests {
         let g = generators::ring(4).unwrap();
         let c = Configuration::new(vec![0u8; 4]);
         let enabled: Vec<VertexId> = (0..4).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
         let mut picks = Vec::new();
         for _ in 0..4 {
-            let sel = Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
+            let sel = select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
             picks.push(sel[0].index());
         }
         assert_eq!(picks, vec![0, 1, 2, 3]);
@@ -729,14 +810,11 @@ mod tests {
         let g = generators::ring(8).unwrap();
         let c = Configuration::new(vec![0u8; 8]);
         let enabled: Vec<VertexId> = (0..8).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let run = |seed| {
             let mut d = CentralDaemon::new(CentralStrategy::Random(seed));
             (0..10)
-                .map(|_| {
-                    Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0]
-                        .index()
-                })
+                .map(|_| select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
@@ -748,10 +826,10 @@ mod tests {
         let g = generators::ring(6).unwrap();
         let c = Configuration::new(vec![0u8; 6]);
         let enabled: Vec<VertexId> = (0..6).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut d = RandomDistributedDaemon::new(0.3, 11);
         for _ in 0..50 {
-            let sel = d.select(&ctx_fixture(&enabled, &c, &g, &preview));
+            let sel = select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
             assert!(!sel.is_empty());
             assert!(sel.iter().all(|v| enabled.contains(v)));
         }
@@ -769,18 +847,17 @@ mod tests {
         let c = Configuration::new(vec![0u8, 0, 0]);
         let enabled = vec![VertexId::new(0), VertexId::new(2)];
         // Preview: activating vertex 2 flips its state to 9.
-        let preview = |set: &[VertexId]| {
-            let mut next = Configuration::new(vec![0u8, 0, 0]);
+        let preview = |set: &[VertexId], out: &mut Configuration<u8>| {
+            out.clone_from(&Configuration::new(vec![0u8, 0, 0]));
             for &v in set {
-                next.set(v, if v.index() == 2 { 9 } else { 1 });
+                out.set(v, if v.index() == 2 { 9 } else { 1 });
             }
-            next
         };
         // Metric: total state sum — adversary should pick vertex 2.
         let metric: AdversaryMetric<u8> =
             Box::new(|cfg, _| cfg.states().iter().map(|&s| s as f64).sum());
         let mut d = GreedyAdversary::new(metric, AdversaryMoves::Singletons, 0);
-        let sel = d.select(&ctx_fixture(&enabled, &c, &g, &preview));
+        let sel = select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview));
         assert_eq!(sel, vec![VertexId::new(2)]);
     }
 
@@ -789,19 +866,13 @@ mod tests {
         let g = generators::ring(6).unwrap();
         let c = Configuration::new(vec![0u8; 6]);
         let enabled: Vec<VertexId> = (0..6).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let k = 3;
         let mut d = KBoundedDaemon::new(k, 0.2, 5);
         let mut since_selected = [0usize; 6];
         for step in 0..200 {
-            let ctx = SelectionContext {
-                enabled: &enabled,
-                config: &c,
-                graph: &g,
-                step,
-                preview: &preview,
-            };
-            let sel = d.select(&ctx);
+            let ctx = SelectionContext::new(&enabled, &c, &g, step, &preview);
+            let sel = select_into(&mut d, &ctx);
             assert!(!sel.is_empty());
             for (v, waited) in since_selected.iter_mut().enumerate() {
                 if sel.contains(&VertexId::new(v)) {
@@ -826,20 +897,14 @@ mod tests {
         let g = generators::ring(4).unwrap();
         let c = Configuration::new(vec![0u8; 4]);
         let enabled: Vec<VertexId> = (0..4).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut d = OldestFirstDaemon::new();
         // All become enabled at step 0; ties break by index, and each
         // selected vertex goes to the back of the seniority order.
         let mut picks = Vec::new();
         for step in 0..8 {
-            let ctx = SelectionContext {
-                enabled: &enabled,
-                config: &c,
-                graph: &g,
-                step,
-                preview: &preview,
-            };
-            picks.push(d.select(&ctx)[0].index());
+            let ctx = SelectionContext::new(&enabled, &c, &g, step, &preview);
+            picks.push(select_into(&mut d, &ctx)[0].index());
         }
         assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3], "round-robin-like fairness");
     }
@@ -856,18 +921,14 @@ mod tests {
         let g = generators::ring(8).unwrap();
         let c = Configuration::new(vec![0u8; 8]);
         let enabled: Vec<VertexId> = (0..8).map(VertexId::new).collect();
-        let preview = |_: &[VertexId]| c.clone();
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
         let mut d = CentralDaemon::new(CentralStrategy::Random(3));
         let first: Vec<usize> = (0..5)
-            .map(|_| {
-                Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index()
-            })
+            .map(|_| select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
             .collect();
         Daemon::<u8>::reset(&mut d);
         let second: Vec<usize> = (0..5)
-            .map(|_| {
-                Daemon::<u8>::select(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index()
-            })
+            .map(|_| select_into(&mut d, &ctx_fixture(&enabled, &c, &g, &preview))[0].index())
             .collect();
         assert_eq!(first, second);
     }

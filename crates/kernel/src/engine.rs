@@ -4,6 +4,32 @@
 //! `(γ, γ')`: the daemon selects a nonempty subset of the enabled vertices,
 //! each of which atomically computes its next state from `γ`. The engine
 //! additionally counts **moves** (individual vertex activations).
+//!
+//! # Zero-allocation stepping
+//!
+//! Speculation profiles are estimated by simulating millions of steps, so
+//! the steady-state step loop performs **zero heap allocations and zero
+//! configuration clones** (measured by [`crate::config::clone_count`]):
+//!
+//! * configurations are **double-buffered** — [`Simulator::apply_action_into`]
+//!   writes the successor into a reused buffer which is swapped with the
+//!   current configuration and then *repaired* from the step's delta
+//!   (`O(|activated|)` instead of an `O(n)` copy);
+//! * the sorted enabled list and its bitmask are maintained
+//!   **incrementally** from the touched set (activated vertices plus their
+//!   neighbors) by a two-pointer merge — no per-step rescan of all
+//!   vertices;
+//! * daemons write their selection into a reused scratch buffer and preview
+//!   candidate actions into a per-daemon scratch configuration
+//!   ([`crate::daemon::SelectionContext::preview`]);
+//! * observers receive the step's `(vertex, before, after)` **delta**
+//!   alongside borrowed before/after configurations, so monitors never need
+//!   to clone.
+//!
+//! All reusable buffers live in [`StepScratch`]; [`Simulator::run`] creates
+//! one per run, and [`Simulator::run_with_scratch`] lets batch drivers reuse
+//! buffers across runs. The clone-based original loop is retained as
+//! [`Simulator::run_reference`] for differential testing.
 
 use crate::config::Configuration;
 use crate::daemon::{Daemon, SelectionContext};
@@ -50,6 +76,53 @@ pub struct RunSummary<S> {
     pub stop: StopReason,
 }
 
+/// Reusable scratch buffers for the zero-allocation step loop.
+///
+/// One `StepScratch` holds every buffer a run mutates per step: the
+/// double-buffered successor configuration, the daemon's selection, the
+/// touched set (activated vertices + neighbors), the fired `(vertex, rule)`
+/// pairs, the step delta, and the incrementally maintained enabled
+/// list/bitmask. After warm-up (first step sizes the buffers) a steady-state
+/// step allocates nothing.
+///
+/// [`Simulator::run`] creates one internally; batch drivers that execute
+/// many runs back to back can hold one and call
+/// [`Simulator::run_with_scratch`] to reuse the buffers across runs.
+#[derive(Clone, Debug)]
+pub struct StepScratch<S> {
+    next: Configuration<S>,
+    selection: Vec<VertexId>,
+    touched: Vec<VertexId>,
+    fired: Vec<(VertexId, RuleId)>,
+    deltas: Vec<(VertexId, S, S)>,
+    enabled: Vec<VertexId>,
+    next_enabled: Vec<VertexId>,
+    enabled_mask: Vec<bool>,
+}
+
+impl<S> StepScratch<S> {
+    /// Creates empty scratch buffers (sized lazily by the first run).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            next: Configuration::new(Vec::new()),
+            selection: Vec::new(),
+            touched: Vec::new(),
+            fired: Vec::new(),
+            deltas: Vec::new(),
+            enabled: Vec::new(),
+            next_enabled: Vec::new(),
+            enabled_mask: Vec::new(),
+        }
+    }
+}
+
+impl<S> Default for StepScratch<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Simulator binding a protocol to a communication graph.
 ///
 /// See the crate-level example for a full usage walk-through.
@@ -94,6 +167,9 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     /// (which must all be enabled). Returns the successor configuration and
     /// the `(vertex, rule)` pairs that fired.
     ///
+    /// Thin allocating wrapper over [`Simulator::apply_action_into`]; batch
+    /// callers should prefer the buffer-reusing variant.
+    ///
     /// # Panics
     ///
     /// Panics if some vertex in `activate` is not enabled in `config`.
@@ -103,26 +179,80 @@ impl<'a, P: Protocol> Simulator<'a, P> {
         config: &Configuration<P::State>,
         activate: &[VertexId],
     ) -> (Configuration<P::State>, Vec<(VertexId, RuleId)>) {
-        let mut next = config.clone();
+        let mut next = Configuration::new(Vec::new());
         let mut fired = Vec::with_capacity(activate.len());
+        self.apply_action_into(config, activate, &mut next, &mut fired);
+        (next, fired)
+    }
+
+    /// Applies one action activating exactly the vertices in `activate`
+    /// (which must all be enabled), overwriting `next` with the successor
+    /// configuration (reusing its allocation) and `fired` with the
+    /// `(vertex, rule)` pairs that fired. This is the engine's
+    /// zero-allocation hot path: with warm buffers it performs no heap
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some vertex in `activate` is not enabled in `config`.
+    pub fn apply_action_into(
+        &self,
+        config: &Configuration<P::State>,
+        activate: &[VertexId],
+        next: &mut Configuration<P::State>,
+        fired: &mut Vec<(VertexId, RuleId)>,
+    ) {
+        next.clone_from(config);
+        fired.clear();
         for &v in activate {
-            let view = View::new(v, self.graph, config);
-            let rule = self
-                .protocol
-                .enabled_rule(&view)
-                .unwrap_or_else(|| panic!("daemon activated disabled vertex {v}"));
-            let state = self.protocol.apply(&view, rule);
+            let (rule, state) = self.fire_rule(config, v);
             next.set(v, state);
             fired.push((v, rule));
         }
-        (next, fired)
+    }
+
+    /// Evaluates and executes the enabled rule of `v` in `config` — the one
+    /// shared body behind every action applier (`apply_action_into`,
+    /// previews, the hot loop), so the activation semantics cannot diverge
+    /// between paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not enabled in `config`.
+    #[inline]
+    fn fire_rule(&self, config: &Configuration<P::State>, v: VertexId) -> (RuleId, P::State) {
+        let view = View::new(v, self.graph, config);
+        let rule = self
+            .protocol
+            .enabled_rule(&view)
+            .unwrap_or_else(|| panic!("daemon activated disabled vertex {v}"));
+        let state = self.protocol.apply(&view, rule);
+        (rule, state)
+    }
+
+    /// Fired-free variant of [`Simulator::apply_action_into`], used for
+    /// daemon previews (no rule bookkeeping, no allocation at all).
+    fn apply_set_into(
+        &self,
+        config: &Configuration<P::State>,
+        activate: &[VertexId],
+        next: &mut Configuration<P::State>,
+    ) {
+        next.clone_from(config);
+        for &v in activate {
+            let (_, state) = self.fire_rule(config, v);
+            next.set(v, state);
+        }
     }
 
     /// Runs the protocol from `init` under `daemon` until a terminal
     /// configuration, the step limit, or an observer's stop request.
     ///
     /// Observers see the initial configuration (`on_start`) and every
-    /// transition (`on_step`).
+    /// transition (`on_step`). Steady-state steps perform zero heap
+    /// allocations and zero configuration clones (see the module docs);
+    /// the per-run scratch buffers are created here — use
+    /// [`Simulator::run_with_scratch`] to reuse them across runs.
     pub fn run(
         &self,
         init: Configuration<P::State>,
@@ -130,13 +260,45 @@ impl<'a, P: Protocol> Simulator<'a, P> {
         limits: RunLimits,
         observers: &mut [&mut dyn Observer<P::State>],
     ) -> RunSummary<P::State> {
+        let mut scratch = StepScratch::new();
+        self.run_with_scratch(init, daemon, limits, observers, &mut scratch)
+    }
+
+    /// [`Simulator::run`] with caller-supplied scratch buffers, so batch
+    /// drivers executing many runs amortize even the per-run buffer setup.
+    pub fn run_with_scratch(
+        &self,
+        init: Configuration<P::State>,
+        daemon: &mut dyn Daemon<P::State>,
+        limits: RunLimits,
+        observers: &mut [&mut dyn Observer<P::State>],
+        scratch: &mut StepScratch<P::State>,
+    ) -> RunSummary<P::State> {
         assert_eq!(init.len(), self.graph.n(), "configuration size must match graph");
         daemon.reset();
+        let n = self.graph.n();
         let mut config = init;
-        let mut enabled = self.enabled_vertices(&config);
-        let mut enabled_mask = vec![false; self.graph.n()];
-        for &v in &enabled {
-            enabled_mask[v.index()] = true;
+        let StepScratch {
+            next,
+            selection,
+            touched,
+            fired,
+            deltas,
+            enabled,
+            next_enabled,
+            enabled_mask,
+        } = scratch;
+        // (Re)initialize the buffers: one full scan and one full copy per
+        // run; never again per step.
+        next.clone_from(&config);
+        enabled.clear();
+        enabled_mask.clear();
+        enabled_mask.resize(n, false);
+        for v in self.graph.vertices() {
+            if self.enabled_rule(&config, v).is_some() {
+                enabled.push(v);
+                enabled_mask[v.index()] = true;
+            }
         }
         for obs in observers.iter_mut() {
             obs.on_start(&config, self.graph);
@@ -153,15 +315,14 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             if observers.iter().any(|o| o.should_stop()) {
                 break StopReason::ObserverRequest;
             }
-            let preview = |set: &[VertexId]| self.apply_action(&config, set).0;
-            let ctx = SelectionContext {
-                enabled: &enabled,
-                config: &config,
-                graph: self.graph,
-                step: steps,
-                preview: &preview,
-            };
-            let mut selection = daemon.select(&ctx);
+            selection.clear();
+            {
+                let apply_into = |set: &[VertexId], out: &mut Configuration<P::State>| {
+                    self.apply_set_into(&config, set, out);
+                };
+                let ctx = SelectionContext::new(enabled, &config, self.graph, steps, &apply_into);
+                daemon.select(&ctx, selection);
+            }
             selection.sort_unstable();
             selection.dedup();
             assert!(!selection.is_empty(), "daemon must activate at least one vertex");
@@ -169,21 +330,134 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 selection.iter().all(|v| enabled_mask[v.index()]),
                 "daemon selection must be a subset of the enabled vertices"
             );
-            let (next, fired) = self.apply_action(&config, &selection);
+            // Apply into the double buffer. Loop invariant: `next == config`
+            // here, so only the activated vertices need writing.
+            fired.clear();
+            deltas.clear();
+            for &v in selection.iter() {
+                let (rule, state) = self.fire_rule(&config, v);
+                deltas.push((v, config.get(v).clone(), state.clone()));
+                next.set(v, state);
+                fired.push((v, rule));
+            }
             // Incremental enablement update: only activated vertices and
             // their neighbors can change status.
-            let mut touched: Vec<VertexId> = Vec::with_capacity(selection.len() * 3);
-            for &v in &selection {
+            touched.clear();
+            for &v in selection.iter() {
                 touched.push(v);
                 touched.extend_from_slice(self.graph.neighbors(v));
             }
             touched.sort_unstable();
             touched.dedup();
-            for &v in &touched {
-                enabled_mask[v.index()] = self.enabled_rule(&next, v).is_some();
+            for &v in touched.iter() {
+                enabled_mask[v.index()] = self.enabled_rule(next, v).is_some();
             }
-            let next_enabled: Vec<VertexId> =
-                self.graph.vertices().filter(|v| enabled_mask[v.index()]).collect();
+            // Merge the surviving old enabled list with the re-evaluated
+            // touched set (both sorted): untouched vertices keep their
+            // status, touched ones take the fresh mask bit.
+            next_enabled.clear();
+            {
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < enabled.len() && j < touched.len() {
+                    let (e, t) = (enabled[i], touched[j]);
+                    if e < t {
+                        next_enabled.push(e);
+                        i += 1;
+                    } else {
+                        if enabled_mask[t.index()] {
+                            next_enabled.push(t);
+                        }
+                        j += 1;
+                        if e == t {
+                            i += 1;
+                        }
+                    }
+                }
+                next_enabled.extend_from_slice(&enabled[i..]);
+                for &t in &touched[j..] {
+                    if enabled_mask[t.index()] {
+                        next_enabled.push(t);
+                    }
+                }
+            }
+            steps += 1;
+            moves += fired.len() as u64;
+            let event = StepEvent {
+                step: steps,
+                before: &config,
+                after: next,
+                activated: fired,
+                delta: deltas,
+                enabled_after: next_enabled,
+                graph: self.graph,
+            };
+            for obs in observers.iter_mut() {
+                obs.on_step(&event);
+            }
+            // Swap the double buffer, then repair the (now stale) back
+            // buffer from the delta so the `next == config` invariant holds
+            // again — O(|activated|), not O(n).
+            std::mem::swap(&mut config, next);
+            std::mem::swap(enabled, next_enabled);
+            for (v, _, after) in deltas.iter() {
+                next.set(*v, after.clone());
+            }
+        };
+        RunSummary { final_config: config, steps, moves, stop }
+    }
+
+    /// The original clone-based step loop, retained verbatim in behavior as
+    /// the reference implementation for differential testing: it re-scans
+    /// all vertices for enablement every step and allocates fresh
+    /// configurations throughout. Byte-for-byte equivalent results
+    /// (`RunSummary`, observer events, daemon RNG streams) to
+    /// [`Simulator::run`] are asserted by the `engine_differential` test
+    /// suite.
+    pub fn run_reference(
+        &self,
+        init: Configuration<P::State>,
+        daemon: &mut dyn Daemon<P::State>,
+        limits: RunLimits,
+        observers: &mut [&mut dyn Observer<P::State>],
+    ) -> RunSummary<P::State> {
+        assert_eq!(init.len(), self.graph.n(), "configuration size must match graph");
+        daemon.reset();
+        let mut config = init;
+        let mut enabled = self.enabled_vertices(&config);
+        for obs in observers.iter_mut() {
+            obs.on_start(&config, self.graph);
+        }
+        let mut steps = 0usize;
+        let mut moves = 0u64;
+        let stop = loop {
+            if enabled.is_empty() {
+                break StopReason::Terminal;
+            }
+            if steps >= limits.max_steps {
+                break StopReason::MaxSteps;
+            }
+            if observers.iter().any(|o| o.should_stop()) {
+                break StopReason::ObserverRequest;
+            }
+            let apply_into = |set: &[VertexId], out: &mut Configuration<P::State>| {
+                *out = self.apply_action(&config, set).0;
+            };
+            let ctx = SelectionContext::new(&enabled, &config, self.graph, steps, &apply_into);
+            let mut selection = Vec::new();
+            daemon.select(&ctx, &mut selection);
+            selection.sort_unstable();
+            selection.dedup();
+            assert!(!selection.is_empty(), "daemon must activate at least one vertex");
+            assert!(
+                selection.iter().all(|v| enabled.binary_search(v).is_ok()),
+                "daemon selection must be a subset of the enabled vertices"
+            );
+            let (next, fired) = self.apply_action(&config, &selection);
+            let deltas: Vec<(VertexId, P::State, P::State)> = fired
+                .iter()
+                .map(|&(v, _)| (v, config.get(v).clone(), next.get(v).clone()))
+                .collect();
+            let next_enabled = self.enabled_vertices(&next);
             steps += 1;
             moves += fired.len() as u64;
             let event = StepEvent {
@@ -191,6 +465,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 before: &config,
                 after: &next,
                 activated: &fired,
+                delta: &deltas,
                 enabled_after: &next_enabled,
                 graph: self.graph,
             };

@@ -19,6 +19,8 @@ use specstab_topology::{Graph, VertexId};
 /// Corrupts `k` distinct uniformly-chosen vertices of `config` with
 /// arbitrary states. Returns the faulty configuration and the vertices hit.
 ///
+/// Allocating wrapper over [`inject_faults_in_place`].
+///
 /// # Panics
 ///
 /// Panics if `k > graph.n()`.
@@ -30,16 +32,35 @@ pub fn inject_faults<P: Protocol>(
     k: usize,
     rng: &mut StdRng,
 ) -> (Configuration<P::State>, Vec<VertexId>) {
+    let mut faulty = config.clone();
+    let victims = inject_faults_in_place(&mut faulty, graph, protocol, k, rng);
+    (faulty, victims)
+}
+
+/// Corrupts `k` distinct uniformly-chosen vertices of `config` **in
+/// place** with arbitrary states, returning the vertices hit (sorted).
+/// Callers that already own the healthy configuration (e.g. the campaign
+/// executor building burst scenarios) avoid the clone of [`inject_faults`].
+///
+/// # Panics
+///
+/// Panics if `k > graph.n()`.
+pub fn inject_faults_in_place<P: Protocol>(
+    config: &mut Configuration<P::State>,
+    graph: &Graph,
+    protocol: &P,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<VertexId> {
     assert!(k <= graph.n(), "cannot corrupt more vertices than the graph has");
     let mut victims: Vec<VertexId> = graph.vertices().collect();
     victims.shuffle(rng);
     victims.truncate(k);
     victims.sort_unstable();
-    let mut faulty = config.clone();
     for &v in &victims {
-        faulty.set(v, protocol.random_state(v, rng));
+        config.set(v, protocol.random_state(v, rng));
     }
-    (faulty, victims)
+    victims
 }
 
 #[cfg(test)]

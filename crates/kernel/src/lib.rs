@@ -73,5 +73,5 @@ pub mod spec;
 
 pub use config::Configuration;
 pub use daemon::{Daemon, DaemonClass};
-pub use engine::{RunLimits, RunSummary, Simulator};
+pub use engine::{RunLimits, RunSummary, Simulator, StepScratch};
 pub use protocol::{Protocol, RuleId, RuleInfo, View};

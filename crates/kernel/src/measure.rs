@@ -62,6 +62,10 @@ impl MeasureSettings {
 /// (the `measure_*` helpers here, the campaign executor's workers, ad-hoc
 /// tools) assembles identical [`StabilizationReport`]s.
 ///
+/// All four monitors observe borrowed configurations and the step delta —
+/// none of them clones, so a measured run keeps the engine's
+/// zero-allocation steady state (see [`crate::engine`]).
+///
 /// A context is one-shot: build, [`MeasurementContext::run`], read the
 /// report. It is `Send`, so whole measured runs can be dispatched to worker
 /// threads.

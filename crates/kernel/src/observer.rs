@@ -3,8 +3,14 @@
 //! Observers receive the initial configuration and every transition. They
 //! power stabilization measurement ([`SafetyMonitor`],
 //! [`LegitimacyMonitor`]), accounting ([`MoveCounter`], [`RoundCounter`]),
-//! trace capture ([`TraceRecorder`]) and early stopping
+//! trace capture ([`ConfigTrace`]) and early stopping
 //! ([`StopAfterStable`]).
+//!
+//! Every [`StepEvent`] carries the step's `(vertex, before, after)` state
+//! **delta** alongside borrowed before/after configurations, so observers
+//! that persist execution history (like [`ConfigTrace`]) store the deltas —
+//! `O(moves)` memory — instead of cloning the full configuration twice per
+//! step.
 
 use crate::config::Configuration;
 use crate::protocol::RuleId;
@@ -21,6 +27,10 @@ pub struct StepEvent<'a, S> {
     pub after: &'a Configuration<S>,
     /// `(vertex, rule)` pairs that fired during the action.
     pub activated: &'a [(VertexId, RuleId)],
+    /// Per-activated-vertex state delta `(vertex, state before, state
+    /// after)`, in the same order as `activated`. `before` and `after` may
+    /// be equal when a rule rewrites a state to itself.
+    pub delta: &'a [(VertexId, S, S)],
     /// Vertices enabled in `after` (sorted).
     pub enabled_after: &'a [VertexId],
     /// The communication graph.
@@ -301,27 +311,94 @@ impl<S> Observer<S> for RoundCounter {
     }
 }
 
-/// Records the full execution: every configuration and every activation.
+/// Records the full execution as the start configuration plus per-step
+/// state deltas, reconstructing configurations on demand.
 ///
-/// Memory grows linearly with the run; intended for short executions
-/// (debugging, the lower-bound constructions, spec liveness checks).
+/// The former `TraceRecorder` cloned the full configuration on `on_start`
+/// *and* on every `on_step` — `O(steps · n)` memory and two clones per
+/// step. `ConfigTrace` stores the start configuration once and `O(moves)`
+/// deltas; [`ConfigTrace::configs`] replays them forward when a caller
+/// actually needs materialized configurations. Intended for short
+/// executions (debugging, the lower-bound constructions, spec liveness
+/// checks).
 #[derive(Clone, Debug)]
-pub struct TraceRecorder<S> {
-    configs: Vec<Configuration<S>>,
+pub struct ConfigTrace<S> {
+    start: Option<Configuration<S>>,
+    deltas: Vec<Vec<(VertexId, S, S)>>,
     activations: Vec<Vec<(VertexId, RuleId)>>,
 }
 
-impl<S: Clone> TraceRecorder<S> {
-    /// Creates an empty recorder.
+/// Backwards-compatible name for [`ConfigTrace`].
+pub type TraceRecorder<S> = ConfigTrace<S>;
+
+impl<S: Clone> ConfigTrace<S> {
+    /// Creates an empty trace.
     #[must_use]
     pub fn new() -> Self {
-        Self { configs: Vec::new(), activations: Vec::new() }
+        Self { start: None, deltas: Vec::new(), activations: Vec::new() }
     }
 
-    /// The recorded configurations, `configs()[i]` being `γ_i`.
+    /// Number of recorded configurations (`steps + 1`, or 0 before any
+    /// run started).
     #[must_use]
-    pub fn configs(&self) -> &[Configuration<S>] {
-        &self.configs
+    pub fn len(&self) -> usize {
+        match self.start {
+            Some(_) => self.deltas.len() + 1,
+            None => 0,
+        }
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start.is_none()
+    }
+
+    /// The initial configuration `γ_0`, if a run has started.
+    #[must_use]
+    pub fn start(&self) -> Option<&Configuration<S>> {
+        self.start.as_ref()
+    }
+
+    /// The per-step `(vertex, before, after)` deltas, `deltas()[i]` being
+    /// the transition `γ_i → γ_{i+1}`.
+    #[must_use]
+    pub fn deltas(&self) -> &[Vec<(VertexId, S, S)>] {
+        &self.deltas
+    }
+
+    /// Reconstructs configuration `γ_i` by replaying deltas from the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was recorded or `i >= len()`.
+    #[must_use]
+    pub fn config_at(&self, i: usize) -> Configuration<S> {
+        assert!(i < self.len(), "trace index {i} out of range (len {})", self.len());
+        let mut c = self.start.as_ref().expect("trace recorded").clone();
+        for step in &self.deltas[..i] {
+            for (v, _, after) in step {
+                c.set(*v, after.clone());
+            }
+        }
+        c
+    }
+
+    /// Reconstructs all configurations `γ_0 ..= γ_steps` in one forward
+    /// replay (allocates; the trace itself only stores deltas).
+    #[must_use]
+    pub fn configs(&self) -> Vec<Configuration<S>> {
+        let Some(start) = &self.start else { return Vec::new() };
+        let mut out = Vec::with_capacity(self.deltas.len() + 1);
+        out.push(start.clone());
+        for step in &self.deltas {
+            let mut c = out.last().expect("nonempty").clone();
+            for (v, _, after) in step {
+                c.set(*v, after.clone());
+            }
+            out.push(c);
+        }
+        out
     }
 
     /// Activations of action `i` (the transition `γ_i → γ_{i+1}`).
@@ -331,27 +408,38 @@ impl<S: Clone> TraceRecorder<S> {
     }
 
     /// Restriction of the recorded execution to vertex `v` (Definition 8 of
-    /// the paper): the sequence of `v`'s states.
+    /// the paper): the sequence of `v`'s states. Replays only `v`'s deltas,
+    /// so this is `O(steps)` — no configuration materialization.
     #[must_use]
     pub fn restriction(&self, v: VertexId) -> Vec<S> {
-        self.configs.iter().map(|c| c.get(v).clone()).collect()
+        let Some(start) = &self.start else { return Vec::new() };
+        let mut out = Vec::with_capacity(self.deltas.len() + 1);
+        let mut cur = start.get(v).clone();
+        out.push(cur.clone());
+        for step in &self.deltas {
+            if let Some((_, _, after)) = step.iter().find(|(u, _, _)| *u == v) {
+                cur = after.clone();
+            }
+            out.push(cur.clone());
+        }
+        out
     }
 }
 
-impl<S: Clone> Default for TraceRecorder<S> {
+impl<S: Clone> Default for ConfigTrace<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S: Clone> Observer<S> for TraceRecorder<S> {
+impl<S: Clone> Observer<S> for ConfigTrace<S> {
     fn on_start(&mut self, config: &Configuration<S>, _graph: &Graph) {
-        self.configs.clear();
+        self.deltas.clear();
         self.activations.clear();
-        self.configs.push(config.clone());
+        self.start = Some(config.clone());
     }
     fn on_step(&mut self, event: &StepEvent<'_, S>) {
-        self.configs.push(event.after.clone());
+        self.deltas.push(event.delta.to_vec());
         self.activations.push(event.activated.to_vec());
     }
 }

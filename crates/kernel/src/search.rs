@@ -138,13 +138,17 @@ pub fn build_config_graph<P: Protocol>(
     let mut succ: Vec<Vec<u32>> = Vec::new();
     let mut work: Vec<u32> = Vec::new();
     let mut initial_ids = Vec::with_capacity(initial.len());
+    // Reused successor/fired buffers: revisited configurations (the common
+    // case on dense game graphs) cost zero allocations to intern.
+    let mut next = Configuration::new(Vec::new());
+    let mut fired = Vec::new();
 
-    let mut intern = |cfg: Configuration<P::State>,
+    let mut intern = |cfg: &Configuration<P::State>,
                       nodes: &mut Vec<Configuration<P::State>>,
                       succ: &mut Vec<Vec<u32>>,
                       work: &mut Vec<u32>|
      -> Result<u32, SearchError> {
-        if let Some(&id) = index.get(&cfg) {
+        if let Some(&id) = index.get(cfg) {
             return Ok(id);
         }
         if nodes.len() >= max_nodes {
@@ -152,14 +156,14 @@ pub fn build_config_graph<P: Protocol>(
         }
         let id = u32::try_from(nodes.len()).expect("node count fits u32");
         index.insert(cfg.clone(), id);
-        nodes.push(cfg);
+        nodes.push(cfg.clone());
         succ.push(Vec::new());
         work.push(id);
         Ok(id)
     };
 
     for cfg in initial {
-        let id = intern(cfg.clone(), &mut nodes, &mut succ, &mut work)?;
+        let id = intern(cfg, &mut nodes, &mut succ, &mut work)?;
         initial_ids.push(id);
     }
 
@@ -172,13 +176,13 @@ pub fn build_config_graph<P: Protocol>(
         let mut next_ids = Vec::new();
         match daemon {
             SearchDaemon::Synchronous => {
-                let (next, _) = sim.apply_action(&cfg, &enabled);
-                next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+                sim.apply_action_into(&cfg, &enabled, &mut next, &mut fired);
+                next_ids.push(intern(&next, &mut nodes, &mut succ, &mut work)?);
             }
             SearchDaemon::Central => {
                 for &v in &enabled {
-                    let (next, _) = sim.apply_action(&cfg, &[v]);
-                    next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+                    sim.apply_action_into(&cfg, std::slice::from_ref(&v), &mut next, &mut fired);
+                    next_ids.push(intern(&next, &mut nodes, &mut succ, &mut work)?);
                 }
             }
             SearchDaemon::Distributed { max_enabled } => {
@@ -186,8 +190,8 @@ pub fn build_config_graph<P: Protocol>(
                     return Err(SearchError::TooManySubsets { enabled: enabled.len() });
                 }
                 for subset in nonempty_subsets(&enabled) {
-                    let (next, _) = sim.apply_action(&cfg, &subset);
-                    next_ids.push(intern(next, &mut nodes, &mut succ, &mut work)?);
+                    sim.apply_action_into(&cfg, &subset, &mut next, &mut fired);
+                    next_ids.push(intern(&next, &mut nodes, &mut succ, &mut work)?);
                 }
             }
         }

@@ -1,0 +1,102 @@
+//! Acceptance test for the zero-allocation stepping core: steady-state
+//! steps perform **zero configuration clones**, proven by the process-wide
+//! instrumented clone counter ([`specstab_kernel::config::clone_count`]).
+//!
+//! The counter is process-global, so everything here lives in one `#[test]`
+//! (this file is its own test binary — no other test pollutes the deltas).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use specstab_kernel::config::{clone_count, Configuration};
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::engine::{RunLimits, Simulator, StepScratch, StopReason};
+use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
+use specstab_topology::{generators, VertexId};
+
+/// Unison-like toy: every vertex increments its clock modulo `m` while it
+/// is not ahead of the minimum of its closed neighborhood — never
+/// terminates, so every step is steady state.
+struct SpinProto {
+    m: u32,
+}
+
+impl Protocol for SpinProto {
+    type State = u32;
+    fn name(&self) -> String {
+        "spin".into()
+    }
+    fn rules(&self) -> Vec<RuleInfo> {
+        vec![RuleInfo::new("TICK")]
+    }
+    fn enabled_rule(&self, view: &View<'_, u32>) -> Option<RuleId> {
+        let me = *view.state();
+        let min = view.neighbor_states().map(|(_, &s)| s).min().unwrap_or(me).min(me);
+        (me == min).then_some(RuleId::new(0))
+    }
+    fn apply(&self, view: &View<'_, u32>, _rule: RuleId) -> u32 {
+        (*view.state() + 1) % self.m
+    }
+    fn random_state(&self, _v: VertexId, rng: &mut StdRng) -> u32 {
+        rng.gen_range(0..self.m)
+    }
+}
+
+#[test]
+fn steady_state_steps_perform_zero_configuration_clones() {
+    let g = generators::torus(6, 6).expect("valid torus");
+    let proto = SpinProto { m: 64 };
+    let sim = Simulator::new(&g, &proto);
+
+    // --- Synchronous daemon, no observers: the acceptance scenario. ---
+    let init = Configuration::from_fn(g.n(), |_| 0u32);
+    let mut daemon = SynchronousDaemon::new();
+    let mut scratch = StepScratch::new();
+    // Warm-up run sizes every scratch buffer.
+    let warm = sim.run_with_scratch(
+        init.clone(),
+        &mut daemon,
+        RunLimits::with_max_steps(8),
+        &mut [],
+        &mut scratch,
+    );
+    assert_eq!(warm.stop, StopReason::MaxSteps, "spin protocol never terminates");
+
+    let run_init = init.clone();
+    let before = clone_count();
+    let s = sim.run_with_scratch(
+        run_init,
+        &mut daemon,
+        RunLimits::with_max_steps(2_000),
+        &mut [],
+        &mut scratch,
+    );
+    let clones = clone_count() - before;
+    assert_eq!(s.steps, 2_000);
+    assert_eq!(
+        clones, 0,
+        "synchronous steady state must not clone configurations ({clones} clones / {} steps)",
+        s.steps
+    );
+
+    // --- Central daemon: exercises the incremental enabled-set merge. ---
+    let mut central = CentralDaemon::new(CentralStrategy::RoundRobin);
+    let _ = sim.run_with_scratch(
+        init.clone(),
+        &mut central,
+        RunLimits::with_max_steps(8),
+        &mut [],
+        &mut scratch,
+    );
+    let run_init = init;
+    let before = clone_count();
+    let s = sim.run_with_scratch(
+        run_init,
+        &mut central,
+        RunLimits::with_max_steps(2_000),
+        &mut [],
+        &mut scratch,
+    );
+    let clones = clone_count() - before;
+    assert_eq!(s.steps, 2_000);
+    assert_eq!(clones, 0, "central steady state must not clone configurations");
+}

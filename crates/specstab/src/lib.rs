@@ -79,13 +79,13 @@ pub mod prelude {
         GreedyAdversary, KBoundedDaemon, OldestFirstDaemon, RandomDistributedDaemon,
         SynchronousDaemon,
     };
-    pub use specstab_kernel::engine::{RunLimits, RunSummary, Simulator, StopReason};
-    pub use specstab_kernel::fault::inject_faults;
+    pub use specstab_kernel::engine::{RunLimits, RunSummary, Simulator, StepScratch, StopReason};
+    pub use specstab_kernel::fault::{inject_faults, inject_faults_in_place};
     pub use specstab_kernel::measure::{
         measure_stabilization, measure_with_early_stop, MeasureSettings, MeasurementContext,
     };
     pub use specstab_kernel::observer::{
-        LegitimacyMonitor, MoveCounter, Observer, SafetyMonitor, TraceRecorder,
+        ConfigTrace, LegitimacyMonitor, MoveCounter, Observer, SafetyMonitor, TraceRecorder,
     };
     pub use specstab_kernel::protocol::{random_configuration, Protocol, RuleId, View};
     pub use specstab_kernel::spec::Specification;

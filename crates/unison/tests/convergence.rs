@@ -133,7 +133,7 @@ fn gamma_one_is_closed_along_executions() {
         let mut d = RandomDistributedDaemon::new(0.5, seed);
         let mut tr = TraceRecorder::new();
         let _ = sim.run(init, &mut d, RunLimits::with_max_steps(5_000), &mut [&mut tr]);
-        assert_eq!(closure_violation(&spec, tr.configs(), &g), None, "seed {seed}");
+        assert_eq!(closure_violation(&spec, &tr.configs(), &g), None, "seed {seed}");
     }
 }
 

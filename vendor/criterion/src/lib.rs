@@ -9,13 +9,69 @@
 //! Instead of criterion's statistical engine, each benchmark is timed with
 //! a fixed warm-up plus a bounded measurement loop and the median per-iteration
 //! time is printed — enough to compare orders of magnitude locally.
+//!
+//! Two environment variables support CI integration:
+//!
+//! * `CRITERION_SAMPLES=<n>` — collect exactly `n` samples per benchmark
+//!   instead of the wall-clock-budgeted default (reproducible iteration
+//!   counts for smoke jobs);
+//! * `CRITERION_JSON=<path>` — additionally write every estimate as a JSON
+//!   array (`id`, `median_ns`, `samples`, optional `elements_per_sec` /
+//!   `bytes_per_sec`), rewritten after each benchmark so a partially
+//!   completed run still leaves a valid artifact.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One reported estimate, retained for the optional JSON artifact.
+struct Estimate {
+    id: String,
+    median_ns: u128,
+    samples: usize,
+    elements_per_sec: Option<f64>,
+    bytes_per_sec: Option<f64>,
+}
+
+static ESTIMATES: Mutex<Vec<Estimate>> = Mutex::new(Vec::new());
+
+fn fixed_samples() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLES").ok()?.parse().ok()
+}
+
+fn write_json_artifact() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    let estimates = ESTIMATES.lock().expect("estimates lock");
+    let mut out = String::from("[\n");
+    for (i, e) in estimates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(
+            out,
+            "  {{\"id\": \"{}\", \"median_ns\": {}, \"samples\": {}",
+            e.id.replace('\\', "\\\\").replace('"', "\\\""),
+            e.median_ns,
+            e.samples
+        );
+        if let Some(r) = e.elements_per_sec {
+            let _ = write!(out, ", \"elements_per_sec\": {r:.3}");
+        }
+        if let Some(r) = e.bytes_per_sec {
+            let _ = write!(out, ", \"bytes_per_sec\": {r:.3}");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot write {path}: {e}");
+    }
+}
 
 /// Identifier of one benchmark within a group: `function_name/parameter`.
 #[derive(Clone, Debug)]
@@ -58,10 +114,20 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine`, collecting per-iteration samples.
+    /// Times `routine`, collecting per-iteration samples. With
+    /// `CRITERION_SAMPLES=<n>` set, exactly `n` samples are collected;
+    /// otherwise the loop is bounded by a wall-clock budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up.
         black_box(routine());
+        if let Some(n) = fixed_samples() {
+            for _ in 0..n.max(1) {
+                let t = Instant::now();
+                black_box(routine());
+                self.samples.push(t.elapsed());
+            }
+            return;
+        }
         let budget = Duration::from_millis(200);
         let started = Instant::now();
         while self.samples.len() < 15 && (started.elapsed() < budget || self.samples.len() < 3) {
@@ -84,18 +150,30 @@ fn report(group: Option<&str>, id: &str, bencher: &Bencher, throughput: Option<T
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
-    let rate = throughput.map_or(String::new(), |t| {
-        let secs = median.as_secs_f64().max(1e-12);
-        match t {
-            Throughput::Elements(n) => format!("  ({:.3e} elem/s)", n as f64 / secs),
-            Throughput::Bytes(n) => format!("  ({:.3e} B/s)", n as f64 / secs),
-        }
+    let secs = median.as_secs_f64().max(1e-12);
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Elements(n) => format!("  ({:.3e} elem/s)", n as f64 / secs),
+        Throughput::Bytes(n) => format!("  ({:.3e} B/s)", n as f64 / secs),
     });
     println!(
         "bench {label:<60} median {:>12.3?} over {} samples{rate}",
         median,
         bencher.samples.len()
     );
+    ESTIMATES.lock().expect("estimates lock").push(Estimate {
+        id: label,
+        median_ns: median.as_nanos(),
+        samples: bencher.samples.len(),
+        elements_per_sec: match throughput {
+            Some(Throughput::Elements(n)) => Some(n as f64 / secs),
+            _ => None,
+        },
+        bytes_per_sec: match throughput {
+            Some(Throughput::Bytes(n)) => Some(n as f64 / secs),
+            _ => None,
+        },
+    });
+    write_json_artifact();
 }
 
 /// Entry point collected by [`criterion_group!`].
