@@ -9,7 +9,7 @@ use super::{Experiment, ExperimentResult, RunConfig};
 use crate::table::Table;
 use crate::zoo;
 use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::{InitMode, ScenarioMatrix};
 
 /// Theorem 2 experiment.
 pub struct E2;
@@ -35,7 +35,7 @@ impl Experiment for E2 {
         let random = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies(topologies.clone())
-                .protocols([ProtocolKind::Ssme])
+                .protocols(["ssme"])
                 .daemons(["sync"])
                 .fault_bursts([0])
                 .seeds(0..runs)
@@ -47,7 +47,7 @@ impl Experiment for E2 {
         let witness = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies(topologies.clone())
-                .protocols([ProtocolKind::Ssme])
+                .protocols(["ssme"])
                 .daemons(["sync"])
                 .init_modes([InitMode::Witness])
                 .seeds(0..1)

@@ -8,7 +8,7 @@
 use super::{Experiment, ExperimentResult, RunConfig};
 use crate::table::{fnum, Table};
 use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::ScenarioMatrix;
 use specstab_core::bounds;
 
 /// Theorem 3 experiment.
@@ -33,7 +33,7 @@ impl Experiment for E3 {
         let result = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies(topologies)
-                .protocols([ProtocolKind::Ssme])
+                .protocols(["ssme"])
                 .daemons(["dist:0.25", "central-rand", "adversary-central"])
                 .fault_bursts([0])
                 .seeds(0..runs)

@@ -13,7 +13,7 @@
 use super::{Experiment, ExperimentResult, RunConfig};
 use crate::table::{fnum, Table};
 use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::{InitMode, ScenarioMatrix};
 use specstab_campaign::report::to_speculation_profile;
 use specstab_core::bounds;
 use specstab_core::speculation::check_definition4;
@@ -43,7 +43,7 @@ impl Experiment for E8 {
         let ssme_wit = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies(rings.clone())
-                .protocols([ProtocolKind::Ssme])
+                .protocols(["ssme"])
                 .daemons(["sync"])
                 .init_modes([InitMode::Witness])
                 .seeds(0..1)
@@ -54,7 +54,7 @@ impl Experiment for E8 {
         let dij = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies(rings.clone())
-                .protocols([ProtocolKind::Dijkstra])
+                .protocols(["dijkstra"])
                 .daemons(["sync"])
                 .fault_bursts([0])
                 .seeds(0..runs)
@@ -101,14 +101,14 @@ impl Experiment for E8 {
         let prof_run = run_campaign(
             &ScenarioMatrix::builder()
                 .topologies([ring.clone()])
-                .protocols([ProtocolKind::Ssme])
+                .protocols(["ssme"])
                 .daemons(["sync", "dist:0.5", "central-rand"])
                 .fault_bursts([0])
                 .seeds(0..runs)
                 .build(),
             &CampaignConfig { seed: cfg.seed ^ 17, ..Default::default() },
         );
-        let prof = to_speculation_profile(&prof_run, &ring, ProtocolKind::Ssme, InitMode::Burst(0));
+        let prof = to_speculation_profile(&prof_run, &ring, "ssme", InitMode::Burst(0));
         let mut prof_t = Table::new(
             format!(
                 "speculation profile of SSME on ring-{n}: conv_time as a function of the daemon"

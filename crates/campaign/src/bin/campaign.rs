@@ -2,37 +2,92 @@
 //! speculation profiles.
 //!
 //! ```text
-//! campaign                                   # the default 324-cell matrix
+//! campaign                                   # the default 432-cell matrix
+//! campaign --list-protocols                  # print the protocol registry
+//! campaign --protocols all                   # every registered protocol,
+//!                                            # on its compatible topologies
 //! campaign --topologies ring:12,torus:4x5 --daemons sync,central-rand,dist:0.5 \
 //!          --faults 0,2 --seeds 12 --json out.json --csv out.csv
-//! campaign --protocols ssme,dijkstra --topologies ring:9 --seeds 20 --threads 4
+//! campaign --protocols ssme,bfs,matching --topologies ring:9 --seeds 20 --threads 4
 //! ```
+//!
+//! Protocols are registry names (see `--list-protocols`); combinations a
+//! protocol cannot run — incompatible topologies, witness injection for
+//! protocols without a witness — are skipped up front with a note, so
+//! `--protocols all` sweeps exactly the runnable grid.
 
 use specstab_campaign::artifact::{to_csv, to_json};
-use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::executor::{resolve_topology, run_campaign, CampaignConfig};
+use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
 use specstab_campaign::report::speculation_profile_table;
+use specstab_protocols::registry;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--topologies <spec,..>] [--protocols <ssme,dijkstra>] \
+        "usage: campaign [--topologies <spec,..>] [--protocols <name,..|all>] \
          [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
-         [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] [--cells-in-json]\n\
+         [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] [--cells-in-json] \
+         [--list-protocols]\n\
          \n\
-         defaults: topologies ring:12,torus:3x4,tree:12  protocols ssme  \n\
+         defaults: topologies ring:12,torus:3x4,tree:12,path:12  protocols ssme  \n\
          \x20         daemons sync,central-rand,dist:0.5  faults 0,2,witness  seeds 12\n\
+         protocols:      {} | all  (see --list-protocols)\n\
          topology specs: {}\n\
          daemon specs:   sync | central-rr | central-rand | central-min | central-max \
          | central-oldest | dist:<p> | kbounded:<k>[:<p>] \
          | adversary-central | adversary-dist (greedy Γ1-disorder adversaries, ssme only)",
+        registry::names().join(" | "),
         specstab_topology::spec::SPEC_GRAMMAR
     );
     std::process::exit(2)
 }
 
+/// Renders the protocol registry (the `--list-protocols` output).
+fn registry_table() -> String {
+    let mut out = String::from("registered protocols:\n");
+    let rows: Vec<[String; 5]> = registry::PROTOCOLS
+        .iter()
+        .map(|p| {
+            [
+                p.name.to_string(),
+                p.states.to_string(),
+                p.topology.to_string(),
+                if p.has_witness { "yes".into() } else { "-".into() },
+                p.summary.to_string(),
+            ]
+        })
+        .collect();
+    let headers = ["name", "states", "topology", "witness", "summary"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut line = |cells: &[String]| {
+        let mut s = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(cell);
+            s.extend(std::iter::repeat_n(' ', widths[i] - cell.chars().count()));
+        }
+        out.push_str(s.trim_end());
+        out.push('\n');
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in &rows {
+        line(row.as_ref());
+    }
+    out
+}
+
 struct Args {
     topologies: Vec<String>,
-    protocols: Vec<ProtocolKind>,
+    protocols: Vec<String>,
     daemons: Vec<String>,
     faults: Vec<InitMode>,
     seeds: u64,
@@ -46,8 +101,8 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        topologies: vec!["ring:12".into(), "torus:3x4".into(), "tree:12".into()],
-        protocols: vec![ProtocolKind::Ssme],
+        topologies: vec!["ring:12".into(), "torus:3x4".into(), "tree:12".into(), "path:12".into()],
+        protocols: vec!["ssme".into()],
         daemons: vec!["sync".into(), "central-rand".into(), "dist:0.5".into()],
         faults: vec![InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness],
         seeds: 12,
@@ -65,6 +120,10 @@ fn parse_args() -> Args {
         if key == "--help" || key == "-h" {
             usage();
         }
+        if key == "--list-protocols" {
+            print!("{}", registry_table());
+            std::process::exit(0);
+        }
         if key == "--cells-in-json" {
             args.cells_in_json = true;
             i += 1;
@@ -74,10 +133,7 @@ fn parse_args() -> Args {
         match key {
             "--topologies" => args.topologies = split_list(&val),
             "--protocols" => {
-                args.protocols = split_list(&val)
-                    .iter()
-                    .map(|p| ProtocolKind::parse(p).unwrap_or_else(|e| fail(&e)))
-                    .collect();
+                args.protocols = registry::parse_protocol_list(&val).unwrap_or_else(|e| fail(&e));
             }
             "--daemons" => args.daemons = split_list(&val),
             "--faults" => {
@@ -116,15 +172,67 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// Upfront compatibility filter: parses each topology once and asks the
+/// registry (i.e. each harness's typed topology check) which
+/// (topology, protocol) pairs can run, and which protocols support the
+/// witness scenario. Returns the keep-predicate inputs plus human-readable
+/// skip notes. Unparseable or disconnected topologies stay in the matrix —
+/// they surface as per-cell errors exactly as before.
+fn compatibility(args: &Args) -> (HashSet<(String, String)>, HashSet<String>, Vec<String>) {
+    let mut incompatible: HashSet<(String, String)> = HashSet::new();
+    let mut no_witness: HashSet<String> = HashSet::new();
+    let mut notes = Vec::new();
+    let mut graphs = HashMap::new();
+    for t in &args.topologies {
+        if let Ok(pair) = resolve_topology(t) {
+            graphs.insert(t.clone(), pair);
+        }
+    }
+    for p in &args.protocols {
+        for t in &args.topologies {
+            let Some((g, diam)) = graphs.get(t) else { continue };
+            match registry::check_topology(p, g, *diam) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    notes.push(format!("skipping {p} on {t}: {e}"));
+                    incompatible.insert((t.clone(), p.clone()));
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        let wants_witness = args.faults.contains(&InitMode::Witness);
+        let has_witness = registry::info(p).is_some_and(|i| i.has_witness);
+        if wants_witness && !has_witness {
+            notes.push(format!(
+                "skipping witness init for {p}: no adversarial witness construction"
+            ));
+            no_witness.insert(p.clone());
+        }
+    }
+    (incompatible, no_witness, notes)
+}
+
 fn main() {
     let args = parse_args();
+    let (incompatible, no_witness, notes) = compatibility(&args);
+    for note in &notes {
+        eprintln!("campaign: {note}");
+    }
+    let keep = |cell: &Cell| {
+        let topo_ok = !incompatible.contains(&(cell.topology.clone(), cell.protocol.clone()));
+        let witness_ok = cell.init != InitMode::Witness || !no_witness.contains(&cell.protocol);
+        topo_ok && witness_ok
+    };
     let matrix = ScenarioMatrix::builder()
         .topologies(args.topologies.clone())
         .protocols(args.protocols.clone())
         .daemons(args.daemons.clone())
         .init_modes(args.faults.clone())
         .seeds(0..args.seeds)
-        .build();
+        .build_where(keep);
+    if matrix.is_empty() {
+        fail("no runnable cells (every combination was skipped or an axis is empty)");
+    }
     let config = CampaignConfig {
         threads: args.threads,
         max_steps: args.max_steps,
@@ -132,13 +240,14 @@ fn main() {
         early_stop_margin: 3,
     };
     eprintln!(
-        "campaign: {} cells ({} topologies x {} protocols x {} daemons x {} bursts x {} seeds)",
+        "campaign: {} cells ({} topologies x {} protocols x {} daemons x {} bursts x {} seeds{})",
         matrix.len(),
         args.topologies.len(),
         args.protocols.len(),
         args.daemons.len(),
         args.faults.len(),
         args.seeds,
+        if notes.is_empty() { "" } else { ", incompatible combinations skipped" },
     );
     let result = run_campaign(&matrix, &config);
     eprintln!(
@@ -164,7 +273,19 @@ fn main() {
         eprintln!("campaign: CSV artifact -> {path}");
     }
     if result.total_errors() > 0 {
-        eprintln!("campaign: {} cells errored", result.total_errors());
+        // Surface *what* failed, not just how often: distinct messages
+        // (e.g. typed unsupported-scenario or incompatible-topology
+        // errors from harnesses) with their cell counts.
+        let mut by_msg: BTreeMap<&str, u64> = BTreeMap::new();
+        for cell in &result.cells {
+            if let Err(e) = &cell.outcome {
+                *by_msg.entry(e.as_str()).or_default() += 1;
+            }
+        }
+        eprintln!("campaign: {} cells errored:", result.total_errors());
+        for (msg, count) in by_msg {
+            eprintln!("campaign:   {count} x {msg}");
+        }
         std::process::exit(1);
     }
     if result.total_violations() > 0 {

@@ -17,27 +17,22 @@
 //! cell order regardless of scheduling, so results are bit-identical
 //! regardless of thread count.
 
-use crate::matrix::{Cell, InitMode, ProtocolKind, ScenarioMatrix};
+use crate::matrix::{Cell, InitMode, ScenarioMatrix};
 use crate::stats::OnlineStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use specstab_core::bounds;
-use specstab_core::spec_me::SpecMe;
-use specstab_core::speculation::ssme_disorder_metric;
-use specstab_core::ssme::Ssme;
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{
-    parse_daemon_spec, AdversaryMoves, BoxedDaemon, DaemonClass, GreedyAdversary,
-};
-use specstab_kernel::engine::Simulator;
+use specstab_kernel::daemon::DaemonClass;
+use specstab_kernel::engine::{Simulator, StepScratch};
 use specstab_kernel::fault::inject_faults_in_place;
+use specstab_kernel::harness::{HarnessState, ProtocolHarness};
 use specstab_kernel::measure::MeasurementContext;
-use specstab_kernel::observer::ConfigPredicate;
 use specstab_kernel::protocol::{random_configuration, Protocol};
-use specstab_kernel::spec::Specification;
+use specstab_protocols::registry::{self, HarnessVisitor, ProtocolInfo};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::spec::parse_spec;
 use specstab_topology::Graph;
+use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -76,9 +71,10 @@ pub struct CellOutcome {
     pub moves: u64,
     /// Whether the run ended inside the legitimate region.
     pub ended_legitimate: bool,
-    /// The theorem bound this cell is checked against, when one applies
-    /// (synchronous daemon: Theorem 2's `⌈diam/2⌉` for SSME, the `2n − 3`
-    /// law for Dijkstra).
+    /// The theorem bound this cell is checked against, when one applies —
+    /// under the synchronous daemon, whatever
+    /// [`ProtocolHarness::sync_bound`] provides (Theorem 2's `⌈diam/2⌉`
+    /// for SSME, the `2n − 3` law for Dijkstra's K-state ring).
     pub bound: Option<u64>,
     /// Whether the measurement exceeded `bound`.
     pub violated_bound: bool,
@@ -109,8 +105,8 @@ pub struct GroupSummary {
     pub key: String,
     /// Shared cell coordinates.
     pub topology: String,
-    /// Protocol under test.
-    pub protocol: ProtocolKind,
+    /// Protocol spec (registry name).
+    pub protocol: String,
     /// Daemon spec.
     pub daemon: String,
     /// Daemon taxonomy class, when it parsed.
@@ -152,7 +148,7 @@ impl GroupSummary {
         Self {
             key: cr.cell.group_key(),
             topology: cr.cell.topology.clone(),
-            protocol: cr.cell.protocol,
+            protocol: cr.cell.protocol.clone(),
             daemon: cr.cell.daemon.clone(),
             class: cr.class,
             init: cr.cell.init,
@@ -277,19 +273,77 @@ fn group_runs(cells: &[Cell]) -> Vec<std::ops::Range<usize>> {
     runs
 }
 
+/// Per-worker pool of engine scratch buffers, keyed by the protocol's
+/// state type. Workers execute cells of many protocols (hence many state
+/// types) back to back; the pool hands each monomorphized cell runner
+/// *the* [`StepScratch`] for its state type, so buffer allocations are
+/// amortized across every run the worker ever executes (ROADMAP:
+/// "cross-run scratch reuse"). The type-erased lookup happens once per
+/// measured run — never inside the step loop.
+#[derive(Default)]
+pub struct ScratchPool {
+    slots: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pooled scratch buffers for state type `S` (created on first
+    /// use).
+    pub fn get<S: 'static>(&mut self) -> &mut StepScratch<S> {
+        self.slots
+            .entry(TypeId::of::<S>())
+            .or_insert_with(|| Box::new(StepScratch::<S>::new()))
+            .downcast_mut::<StepScratch<S>>()
+            .expect("slot keyed by state TypeId")
+    }
+}
+
 /// Executes one contiguous group run in canonical cell order, aggregating
 /// its statistics while running (per-worker partial aggregation).
+///
+/// All cells of a run share one group key — hence one topology and one
+/// protocol — so the topology parse and the protocol-runner resolution
+/// happen once per run, and the monomorphized group runner builds the
+/// harness once for all of the run's cells.
 fn execute_group_run(
     cells: &[Cell],
     config: &CampaignConfig,
     topo_cache: &mut HashMap<String, Result<(Graph, u32), String>>,
+    scratch: &mut ScratchPool,
 ) -> (Vec<CellResult>, GroupSummary) {
-    let mut results = Vec::with_capacity(cells.len());
+    let first = cells.first().expect("group runs are nonempty");
+    let topo = topo_cache
+        .entry(first.topology.clone())
+        .or_insert_with(|| resolve_topology(&first.topology))
+        .clone();
+    let error_results = |n: usize, diam: u32, e: &str| -> Vec<CellResult> {
+        cells
+            .iter()
+            .map(|cell| CellResult {
+                cell: cell.clone(),
+                n,
+                diam,
+                class: None,
+                cell_seed: cell.cell_seed(config.seed),
+                outcome: Err(e.to_string()),
+            })
+            .collect()
+    };
+    let results = match &topo {
+        Err(e) => error_results(0, 0, e),
+        Ok((graph, diam)) => match registry::resolve(&first.protocol, RunnerLookup) {
+            Ok(runner) => runner(cells, graph, *diam, config, scratch),
+            Err(e) => error_results(graph.n(), *diam, &e),
+        },
+    };
     let mut summary: Option<GroupSummary> = None;
-    for cell in cells {
-        let cr = execute_cell(cell, config, topo_cache);
-        summary.get_or_insert_with(|| GroupSummary::seeded_from(&cr)).record(&cr);
-        results.push(cr);
+    for cr in &results {
+        summary.get_or_insert_with(|| GroupSummary::seeded_from(cr)).record(cr);
     }
     (results, summary.expect("group runs are nonempty"))
 }
@@ -340,12 +394,20 @@ pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> Campaig
                 // Per-worker topology cache: matrices reuse few topologies
                 // across many cells, and BFS diameters are cell-invariant.
                 let mut topo_cache: HashMap<String, Result<(Graph, u32), String>> = HashMap::new();
+                // Per-worker scratch pool: engine step buffers are reused
+                // across every run this worker executes.
+                let mut scratch = ScratchPool::new();
                 loop {
                     let idx = cursor.fetch_add(1, Ordering::Relaxed);
                     if idx >= runs.len() {
                         break;
                     }
-                    let out = execute_group_run(&cells[runs[idx].clone()], config, &mut topo_cache);
+                    let out = execute_group_run(
+                        &cells[runs[idx].clone()],
+                        config,
+                        &mut topo_cache,
+                        &mut scratch,
+                    );
                     if tx.send((idx, out)).is_err() {
                         break;
                     }
@@ -392,10 +454,12 @@ pub fn run_campaign_sequential(matrix: &ScenarioMatrix, config: &CampaignConfig)
     let started = Instant::now();
     let cells = matrix.cells();
     let mut topo_cache = HashMap::new();
+    let mut scratch = ScratchPool::new();
     let mut all_cells = Vec::with_capacity(cells.len());
     let mut partials = Vec::new();
     for run in group_runs(cells) {
-        let (results, summary) = execute_group_run(&cells[run], config, &mut topo_cache);
+        let (results, summary) =
+            execute_group_run(&cells[run], config, &mut topo_cache, &mut scratch);
         all_cells.extend(results);
         partials.push(summary);
     }
@@ -408,66 +472,129 @@ pub fn run_campaign_sequential(matrix: &ScenarioMatrix, config: &CampaignConfig)
     }
 }
 
-fn execute_cell(
-    cell: &Cell,
-    config: &CampaignConfig,
-    topo_cache: &mut HashMap<String, Result<(Graph, u32), String>>,
-) -> CellResult {
-    let cell_seed = cell.cell_seed(config.seed);
-    let topo = topo_cache
-        .entry(cell.topology.clone())
-        .or_insert_with(|| {
-            parse_spec(&cell.topology).map_err(|e| e.to_string()).and_then(|g| {
-                if g.is_connected() {
-                    let diam = DistanceMatrix::new(&g).diameter();
-                    Ok((g, diam))
-                } else {
-                    Err(format!("'{}' is not connected", cell.topology))
-                }
-            })
-        })
-        .clone();
-    let (graph, diam) = match topo {
-        Ok(pair) => pair,
-        Err(e) => {
-            return CellResult {
-                cell: cell.clone(),
-                n: 0,
-                diam: 0,
-                class: None,
-                cell_seed,
-                outcome: Err(e),
-            }
+/// Resolves a topology spec into a connected graph and its diameter —
+/// the one parse/connectivity/diameter sequence shared by the executor's
+/// per-worker topology cache and by frontends doing upfront
+/// compatibility filtering (so every consumer reports the same errors).
+///
+/// # Errors
+///
+/// The parse error, or a "not connected" message.
+pub fn resolve_topology(spec: &str) -> Result<(Graph, u32), String> {
+    parse_spec(spec).map_err(|e| e.to_string()).and_then(|g| {
+        if g.is_connected() {
+            let diam = DistanceMatrix::new(&g).diameter();
+            Ok((g, diam))
+        } else {
+            Err(format!("'{spec}' is not connected"))
         }
-    };
-    let (class, outcome) = match cell.protocol {
-        ProtocolKind::Ssme => run_ssme_cell(cell, &graph, diam, cell_seed, config),
-        ProtocolKind::Dijkstra => run_dijkstra_cell(cell, &graph, cell_seed, config),
-    };
-    CellResult { cell: cell.clone(), n: graph.n(), diam, class, cell_seed, outcome }
+    })
 }
 
-/// Resolves a daemon spec for SSME cells: the shared kernel zoo plus the
-/// protocol-specific greedy adversaries (`adversary-central`,
-/// `adversary-dist`) driven by the Γ1 disorder metric.
-fn ssme_daemon(
-    spec: &str,
-    ssme: &Ssme,
-    seed: u64,
-) -> Result<BoxedDaemon<specstab_unison::clock::ClockValue>, String> {
-    match spec {
-        "adversary-central" => Ok(Box::new(GreedyAdversary::new(
-            ssme_disorder_metric(ssme),
-            AdversaryMoves::Singletons,
-            seed,
-        ))),
-        "adversary-dist" => Ok(Box::new(GreedyAdversary::new(
-            ssme_disorder_metric(ssme),
-            AdversaryMoves::SingletonsAndAll,
-            seed,
-        ))),
-        other => parse_daemon_spec(other, seed),
+/// The monomorphized per-protocol group runner: one instantiation of
+/// [`run_harness_group`] per registered harness type, reached through a
+/// plain `fn` pointer — no `dyn` dispatch anywhere near the step loop.
+type GroupRunner = fn(&[Cell], &Graph, u32, &CampaignConfig, &mut ScratchPool) -> Vec<CellResult>;
+
+/// Registry visitor resolving a protocol name to its monomorphized
+/// [`GroupRunner`].
+struct RunnerLookup;
+
+impl HarnessVisitor for RunnerLookup {
+    type Output = GroupRunner;
+    fn visit<H: ProtocolHarness + 'static>(self, _info: &'static ProtocolInfo) -> GroupRunner {
+        run_harness_group::<H>
     }
+}
+
+/// Runs one group chunk of any registered protocol. The harness — and
+/// with it the protocol's specification and any precomputation such as
+/// BFS distances — is built **once** for the chunk's shared
+/// (topology, protocol) pair; a failed build (e.g. the typed
+/// incompatible-topology error) fails every cell with the same message.
+/// This single generic function replaces the per-protocol `run_*_cell`
+/// clones; each instantiation is fully protocol-specialized.
+fn run_harness_group<H: ProtocolHarness>(
+    cells: &[Cell],
+    graph: &Graph,
+    diam: u32,
+    config: &CampaignConfig,
+    scratch: &mut ScratchPool,
+) -> Vec<CellResult> {
+    let harness = H::build(graph, diam);
+    cells
+        .iter()
+        .map(|cell| {
+            let cell_seed = cell.cell_seed(config.seed);
+            let (class, outcome) = match &harness {
+                Ok(h) => run_harness_cell(h, cell, graph, diam, cell_seed, config, scratch),
+                Err(e) => (None, Err(e.to_string())),
+            };
+            CellResult { cell: cell.clone(), n: graph.n(), diam, class, cell_seed, outcome }
+        })
+        .collect()
+}
+
+/// Runs one cell on an already-built harness: resolve the daemon,
+/// construct the initial configuration (burst into the harness's
+/// legitimate configuration, or the adversarial witness where supported),
+/// execute one measured run on pooled scratch buffers, and check the
+/// harness's synchronous theorem bound.
+fn run_harness_cell<H: ProtocolHarness>(
+    harness: &H,
+    cell: &Cell,
+    graph: &Graph,
+    diam: u32,
+    cell_seed: u64,
+    config: &CampaignConfig,
+    scratch: &mut ScratchPool,
+) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
+    let mut daemon = match harness.daemon(&cell.daemon, mix(cell_seed, 0x000D_AE17)) {
+        Ok(d) => d,
+        Err(e) => return (None, Err(e)),
+    };
+    let class = Some(daemon.class());
+    let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
+    let init = match cell.init {
+        // Full burst: the initial configuration is uniformly arbitrary —
+        // don't construct the legitimate resting point only to discard it.
+        InitMode::Burst(0) => random_configuration(graph, harness.protocol(), &mut rng),
+        InitMode::Burst(faults) => {
+            let healthy = match harness.legitimate_configuration(graph, &mut rng) {
+                Ok(c) => c,
+                Err(e) => return (class, Err(e.to_string())),
+            };
+            burst_configuration(graph, harness.protocol(), healthy, faults, &mut rng)
+        }
+        InitMode::Witness => match harness.witness_configuration(graph) {
+            Ok(c) => c,
+            Err(e) => return (class, Err(e.to_string())),
+        },
+    };
+    let sim = Simulator::new(graph, harness.protocol());
+    let report =
+        MeasurementContext::new(harness.safety_predicate(), harness.legitimacy_predicate())
+            .with_early_stop(harness.legitimacy_predicate(), config.early_stop_margin)
+            .run_with_scratch(
+                &sim,
+                daemon.as_mut(),
+                init,
+                config.max_steps,
+                scratch.get::<HarnessState<H>>(),
+            );
+    let bound = (cell.daemon == "sync").then(|| harness.sync_bound(graph, diam)).flatten();
+    (
+        class,
+        Ok(CellOutcome {
+            steps_run: report.steps_run,
+            stabilization_steps: report.stabilization_steps,
+            legitimacy_entry: report.legitimacy_entry,
+            moves: report.moves,
+            ended_legitimate: report.ended_legitimate,
+            bound: bound.map(|b| b.value),
+            violated_bound: bound.is_some_and(|b| b.violated_by(&report)),
+        }),
+    )
 }
 
 /// Builds the initial configuration for a burst-mode scenario: a full
@@ -489,121 +616,6 @@ pub fn burst_configuration<P: Protocol>(
     }
 }
 
-fn spec_predicates<S, Sp>(spec: &Sp) -> (ConfigPredicate<S>, ConfigPredicate<S>, ConfigPredicate<S>)
-where
-    Sp: Specification<S> + Clone + Send + 'static,
-{
-    let (s, l, st) = (spec.clone(), spec.clone(), spec.clone());
-    (
-        Box::new(move |c, g| s.is_safe(c, g)),
-        Box::new(move |c, g| l.is_legitimate(c, g)),
-        Box::new(move |c, g| st.is_legitimate(c, g)),
-    )
-}
-
-fn run_ssme_cell(
-    cell: &Cell,
-    graph: &Graph,
-    diam: u32,
-    cell_seed: u64,
-    config: &CampaignConfig,
-) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
-    let ssme = match Ssme::new(graph, diam, specstab_core::ssme::IdAssignment::identity(graph.n()))
-    {
-        Ok(p) => p,
-        Err(e) => return (None, Err(e.to_string())),
-    };
-    let spec = SpecMe::new(ssme.clone());
-    let mut daemon = match ssme_daemon(&cell.daemon, &ssme, mix(cell_seed, 0x000D_AE17)) {
-        Ok(d) => d,
-        Err(e) => return (None, Err(e)),
-    };
-    let class = Some(daemon.class());
-    let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
-    let init = match cell.init {
-        InitMode::Burst(faults) => {
-            // A legitimate resting point: every clock at the same
-            // stabilized value.
-            let healthy_value = match ssme.clock().value(0) {
-                Ok(v) => v,
-                Err(e) => return (class, Err(e.to_string())),
-            };
-            let healthy = Configuration::from_fn(graph.n(), |_| healthy_value);
-            burst_configuration(graph, &ssme, healthy, faults, &mut rng)
-        }
-        InitMode::Witness => {
-            let dm = DistanceMatrix::new(graph);
-            match specstab_core::lower_bound::theorem4_witness(&ssme, graph, &dm) {
-                Ok(w) => w.init,
-                Err(e) => return (class, Err(e.to_string())),
-            }
-        }
-    };
-    let (safe, legit, stop) = spec_predicates(&spec);
-    let sim = Simulator::new(graph, &ssme);
-    let report = MeasurementContext::new(safe, legit)
-        .with_early_stop(stop, config.early_stop_margin)
-        .run(&sim, daemon.as_mut(), init, config.max_steps);
-    let bound = (cell.daemon == "sync").then(|| bounds::sync_stabilization_bound(diam));
-    let violated = bound.is_some_and(|b| report.stabilization_steps as u64 > b);
-    (
-        class,
-        Ok(CellOutcome {
-            steps_run: report.steps_run,
-            stabilization_steps: report.stabilization_steps,
-            legitimacy_entry: report.legitimacy_entry,
-            moves: report.moves,
-            ended_legitimate: report.ended_legitimate,
-            bound,
-            violated_bound: violated,
-        }),
-    )
-}
-
-fn run_dijkstra_cell(
-    cell: &Cell,
-    graph: &Graph,
-    cell_seed: u64,
-    config: &CampaignConfig,
-) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
-    let proto = match specstab_protocols::dijkstra::DijkstraRing::new(graph, graph.n() as u64) {
-        Ok(p) => p,
-        Err(e) => return (None, Err(e.to_string())),
-    };
-    let spec = specstab_protocols::dijkstra::DijkstraSpec::new(proto.clone());
-    let mut daemon = match parse_daemon_spec(&cell.daemon, mix(cell_seed, 0x000D_AE17)) {
-        Ok(d) => d,
-        Err(e) => return (None, Err(e)),
-    };
-    let class = Some(daemon.class());
-    let InitMode::Burst(faults) = cell.init else {
-        return (class, Err("witness init is only defined for ssme".into()));
-    };
-    let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
-    // All counters equal: exactly the root privileged — legitimate.
-    let healthy = Configuration::from_fn(graph.n(), |_| 0u64);
-    let init = burst_configuration(graph, &proto, healthy, faults, &mut rng);
-    let (safe, legit, stop) = spec_predicates(&spec);
-    let sim = Simulator::new(graph, &proto);
-    let report = MeasurementContext::new(safe, legit)
-        .with_early_stop(stop, config.early_stop_margin)
-        .run(&sim, daemon.as_mut(), init, config.max_steps);
-    let bound = (cell.daemon == "sync").then(|| bounds::dijkstra_sync_entry_law(graph.n()));
-    let violated = bound.is_some_and(|b| report.legitimacy_entry as u64 > b);
-    (
-        class,
-        Ok(CellOutcome {
-            steps_run: report.steps_run,
-            stabilization_steps: report.stabilization_steps,
-            legitimacy_entry: report.legitimacy_entry,
-            moves: report.moves,
-            ended_legitimate: report.ended_legitimate,
-            bound,
-            violated_bound: violated,
-        }),
-    )
-}
-
 /// Mixes a stream label into a cell seed (SplitMix64 finalizer).
 fn mix(seed: u64, stream: u64) -> u64 {
     let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -620,7 +632,7 @@ mod tests {
     fn tiny_matrix() -> ScenarioMatrix {
         ScenarioMatrix::builder()
             .topologies(["ring:6", "path:5"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync", "dist:0.5"])
             .fault_bursts([0, 1])
             .seeds(0..3)
@@ -646,7 +658,7 @@ mod tests {
     fn sync_cells_respect_theorem2_with_zero_violations() {
         let m = ScenarioMatrix::builder()
             .topologies(["ring:8", "torus:3x4"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync"])
             .fault_bursts([0, 2])
             .seeds(0..5)
@@ -664,7 +676,7 @@ mod tests {
     fn dijkstra_cells_only_work_on_rings() {
         let m = ScenarioMatrix::builder()
             .topologies(["ring:6", "path:5"])
-            .protocols([ProtocolKind::Dijkstra])
+            .protocols(["dijkstra"])
             .daemons(["sync"])
             .seeds(0..2)
             .build();
@@ -679,7 +691,7 @@ mod tests {
     fn bad_specs_surface_as_cell_errors_not_panics() {
         let m = ScenarioMatrix::builder()
             .topologies(["mobius:9", "ring:6"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync", "warp-drive"])
             .seeds(0..2)
             .build();
@@ -696,7 +708,7 @@ mod tests {
         // still agree byte-for-byte because chunk boundaries are fixed.
         let m = ScenarioMatrix::builder()
             .topologies(["ring:8"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync"])
             .fault_bursts([0])
             .seeds(0..80)
@@ -760,7 +772,7 @@ mod tests {
         // closer to the legitimate region.
         let m = ScenarioMatrix::builder()
             .topologies(["ring:10"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync"])
             .fault_bursts([0, 1])
             .seeds(0..8)

@@ -7,12 +7,17 @@
 //! reproducibly:
 //!
 //! * [`matrix::ScenarioMatrix`] — builder-enumerated cartesian grids of
-//!   (topology spec × protocol × daemon spec × fault burst × seed);
+//!   (topology spec × protocol spec × daemon spec × fault burst × seed),
+//!   every axis a plain string so a cell is fully describable as text;
 //! * [`executor::run_campaign`] — a sharded executor (scoped threads +
 //!   atomic work cursor) running every cell through
 //!   `specstab_kernel::engine::Simulator`, with per-cell seeds derived
 //!   purely from cell coordinates so results are independent of thread
-//!   count;
+//!   count. Protocols are resolved through the name-keyed
+//!   `specstab_protocols::registry` into **monomorphized** cell runners
+//!   (one `fn` pointer per protocol, no `dyn` in the step loop), so any
+//!   registered protocol — SSME, Dijkstra's three token-passing
+//!   solutions, `min+1` BFS, maximal matching — joins the grid;
 //! * [`stats`] — streaming per-group statistics (count/mean/max via
 //!   Welford, p50/p90/p99 via the P² sketch) plus bound-violation counters
 //!   checked against `specstab_core::bounds`;
@@ -26,11 +31,11 @@
 //!
 //! ```
 //! use specstab_campaign::executor::{run_campaign, CampaignConfig};
-//! use specstab_campaign::matrix::{ProtocolKind, ScenarioMatrix};
+//! use specstab_campaign::matrix::ScenarioMatrix;
 //!
 //! let matrix = ScenarioMatrix::builder()
 //!     .topologies(["ring:8"])
-//!     .protocols([ProtocolKind::Ssme])
+//!     .protocols(["ssme"])
 //!     .daemons(["sync"])
 //!     .fault_bursts([0])
 //!     .seeds(0..4)
@@ -50,5 +55,5 @@ pub mod report;
 pub mod stats;
 
 pub use executor::{run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult};
-pub use matrix::{Cell, ProtocolKind, ScenarioMatrix};
+pub use matrix::{Cell, ScenarioMatrix};
 pub use stats::OnlineStats;

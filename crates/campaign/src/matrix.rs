@@ -1,46 +1,20 @@
 //! Scenario matrices: the grid of cells a campaign sweeps.
 //!
-//! A *cell* is one concrete Monte-Carlo run: a topology spec × protocol ×
-//! daemon spec × fault-burst size × seed index. The paper's speculation
-//! profile (Definitions 3–4) is precisely a sweep of stabilization time
-//! over the daemon axis; the remaining axes supply the adversarial
-//! environment diversity of Dolev & Herman's *unsupportive environments*
-//! methodology.
+//! A *cell* is one concrete Monte-Carlo run: a topology spec × protocol
+//! spec × daemon spec × fault-burst size × seed index. The paper's
+//! speculation profile (Definitions 3–4) is precisely a sweep of
+//! stabilization time over the daemon axis; the remaining axes supply the
+//! adversarial environment diversity of Dolev & Herman's *unsupportive
+//! environments* methodology.
+//!
+//! Every axis is a **string spec**: topologies parse through
+//! `specstab_topology::spec`, daemons through the kernel zoo (plus
+//! per-protocol extensions) and protocols through the name-keyed
+//! [`specstab_protocols::registry`]. A cell is therefore fully
+//! describable as text — the substrate for sharding a matrix range
+//! across processes and machines.
 
 use std::fmt;
-
-/// Protocols the campaign engine can run.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
-pub enum ProtocolKind {
-    /// SSME (Algorithm 1) with `specME` — works on any connected topology.
-    Ssme,
-    /// Dijkstra's K-state token ring — requires ring topologies.
-    Dijkstra,
-}
-
-impl ProtocolKind {
-    /// Parses `"ssme"` or `"dijkstra"`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the unknown name.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s {
-            "ssme" => Ok(Self::Ssme),
-            "dijkstra" => Ok(Self::Dijkstra),
-            other => Err(format!("unknown protocol '{other}' (ssme | dijkstra)")),
-        }
-    }
-}
-
-impl fmt::Display for ProtocolKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            ProtocolKind::Ssme => "ssme",
-            ProtocolKind::Dijkstra => "dijkstra",
-        })
-    }
-}
 
 /// How a cell builds its initial configuration.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -84,8 +58,9 @@ impl fmt::Display for InitMode {
 pub struct Cell {
     /// Topology spec (see `specstab_topology::spec`).
     pub topology: String,
-    /// Protocol under test.
-    pub protocol: ProtocolKind,
+    /// Protocol spec: a registry name
+    /// (see `specstab_protocols::registry`).
+    pub protocol: String,
     /// Daemon spec (see `specstab_kernel::daemon::parse_daemon_spec`).
     pub daemon: String,
     /// Initial-configuration mode (fault burst or adversarial witness).
@@ -115,7 +90,7 @@ impl Cell {
         };
         eat(self.topology.as_bytes());
         eat(b"|");
-        eat(self.protocol.to_string().as_bytes());
+        eat(self.protocol.as_bytes());
         eat(b"|");
         eat(self.daemon.as_bytes());
         eat(b"|");
@@ -133,11 +108,11 @@ impl Cell {
 /// Builder-enumerated cartesian grid of scenario cells.
 ///
 /// ```
-/// use specstab_campaign::matrix::{ProtocolKind, ScenarioMatrix};
+/// use specstab_campaign::matrix::ScenarioMatrix;
 ///
 /// let m = ScenarioMatrix::builder()
 ///     .topologies(["ring:12", "torus:4x5"])
-///     .protocols([ProtocolKind::Ssme])
+///     .protocols(["ssme"])
 ///     .daemons(["sync", "central-rand", "dist:0.5"])
 ///     .fault_bursts([0, 2])
 ///     .seeds(0..10)
@@ -179,7 +154,7 @@ impl ScenarioMatrix {
 #[derive(Clone, Debug, Default)]
 pub struct ScenarioMatrixBuilder {
     topologies: Vec<String>,
-    protocols: Vec<ProtocolKind>,
+    protocols: Vec<String>,
     daemons: Vec<String>,
     inits: Vec<InitMode>,
     seeds: Vec<u64>,
@@ -193,10 +168,10 @@ impl ScenarioMatrixBuilder {
         self
     }
 
-    /// Sets the protocol axis.
+    /// Sets the protocol-spec axis (registry names, e.g. `"ssme"`).
     #[must_use]
-    pub fn protocols<I: IntoIterator<Item = ProtocolKind>>(mut self, kinds: I) -> Self {
-        self.protocols = kinds.into_iter().collect();
+    pub fn protocols<I: IntoIterator<Item = impl Into<String>>>(mut self, specs: I) -> Self {
+        self.protocols = specs.into_iter().map(Into::into).collect();
         self
     }
 
@@ -247,21 +222,35 @@ impl ScenarioMatrixBuilder {
     /// yield an empty matrix.
     #[must_use]
     pub fn build(self) -> ScenarioMatrix {
+        self.build_where(|_| true)
+    }
+
+    /// [`ScenarioMatrixBuilder::build`] keeping only the cells `keep`
+    /// accepts, in the same canonical enumeration order. This is how
+    /// frontends drop (topology, protocol) combinations a protocol's
+    /// topology-compatibility check rejects, or witness cells for
+    /// protocols without a witness, while preserving cell coordinates
+    /// (and therefore seeds) of the surviving cells.
+    #[must_use]
+    pub fn build_where(self, keep: impl Fn(&Cell) -> bool) -> ScenarioMatrix {
         let inits = if self.inits.is_empty() { vec![InitMode::Burst(0)] } else { self.inits };
         let seeds = if self.seeds.is_empty() { vec![0] } else { self.seeds };
         let mut cells = Vec::new();
         for t in &self.topologies {
-            for &p in &self.protocols {
+            for p in &self.protocols {
                 for d in &self.daemons {
                     for &init in &inits {
                         for &s in &seeds {
-                            cells.push(Cell {
+                            let cell = Cell {
                                 topology: t.clone(),
-                                protocol: p,
+                                protocol: p.clone(),
                                 daemon: d.clone(),
                                 init,
                                 seed_index: s,
-                            });
+                            };
+                            if keep(&cell) {
+                                cells.push(cell);
+                            }
                         }
                     }
                 }
@@ -278,7 +267,7 @@ mod tests {
     fn small() -> ScenarioMatrix {
         ScenarioMatrix::builder()
             .topologies(["ring:6", "path:5"])
-            .protocols([ProtocolKind::Ssme, ProtocolKind::Dijkstra])
+            .protocols(["ssme", "dijkstra"])
             .daemons(["sync", "central-rr"])
             .fault_bursts([0, 1])
             .seeds(0..3)
@@ -332,7 +321,7 @@ mod tests {
         assert!(InitMode::parse("junk").is_err());
         let m = ScenarioMatrix::builder()
             .topologies(["ring:6"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["sync"])
             .fault_bursts([0])
             .with_witness()

@@ -7,7 +7,7 @@
 //! faster stabilization" shape is visible at a glance.
 
 use crate::executor::{CampaignResult, GroupSummary};
-use crate::matrix::{InitMode, ProtocolKind};
+use crate::matrix::InitMode;
 use specstab_core::speculation::{ProfileEntry, SpeculationProfile};
 use specstab_kernel::daemon::{Centrality, Fairness, Synchrony};
 use std::fmt::Write as _;
@@ -71,7 +71,7 @@ fn class_rank(g: &GroupSummary) -> (u8, String) {
 pub fn to_speculation_profile(
     result: &CampaignResult,
     topology: &str,
-    protocol: ProtocolKind,
+    protocol: &str,
     init: InitMode,
 ) -> SpeculationProfile {
     let entries = result
@@ -164,13 +164,13 @@ pub fn speculation_profile_table(result: &CampaignResult) -> String {
 mod tests {
     use super::*;
     use crate::executor::{run_campaign_sequential, CampaignConfig};
-    use crate::matrix::{ProtocolKind, ScenarioMatrix};
+    use crate::matrix::ScenarioMatrix;
 
     #[test]
     fn profile_table_lists_daemons_weakest_first() {
         let m = ScenarioMatrix::builder()
             .topologies(["ring:6"])
-            .protocols([ProtocolKind::Ssme])
+            .protocols(["ssme"])
             .daemons(["dist:0.5", "sync", "central-rr"])
             .seeds(0..2)
             .build();

@@ -4,12 +4,16 @@
 
 use specstab_campaign::artifact::{to_csv, to_json};
 use specstab_campaign::executor::{run_campaign, run_campaign_sequential, CampaignConfig};
-use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::{InitMode, ScenarioMatrix};
 
 fn matrix() -> ScenarioMatrix {
+    // Every registered protocol on a topology mix that exercises both the
+    // compatible paths (ring/line protocols on ring:8/path:6) and the
+    // typed incompatible-topology / unsupported-witness error paths —
+    // error cells must be just as deterministic as measured ones.
     ScenarioMatrix::builder()
         .topologies(["ring:8", "torus:3x4", "tree:9", "path:6"])
-        .protocols([ProtocolKind::Ssme, ProtocolKind::Dijkstra])
+        .protocols(specstab_protocols::registry::names())
         .daemons(["sync", "central-rand", "dist:0.5"])
         .init_modes([InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness])
         .seeds(0..3)
@@ -47,7 +51,7 @@ fn parallel_path_matches_sequential_reference_bytes() {
 fn different_campaign_seeds_change_randomized_outcomes() {
     let m = ScenarioMatrix::builder()
         .topologies(["ring:10"])
-        .protocols([ProtocolKind::Ssme])
+        .protocols(["ssme"])
         .daemons(["dist:0.5"])
         .fault_bursts([0])
         .seeds(0..6)

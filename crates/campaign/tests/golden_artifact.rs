@@ -1,8 +1,10 @@
-//! Golden-artifact regression gate: the campaign engine must keep
-//! producing **byte-identical** JSON for a pinned matrix + seed.
+//! Golden-artifact regression gates: the campaign engine must keep
+//! producing **byte-identical** JSON for pinned matrices + seeds.
 //!
-//! The checked-in golden (`tests/golden/campaign_golden.json`) was produced
-//! by the `campaign` CLI with exactly these parameters:
+//! The checked-in goldens were produced by the `campaign` CLI with
+//! exactly these parameters:
+//!
+//! `tests/golden/campaign_golden.json` (SSME, the original gate):
 //!
 //! ```text
 //! campaign --topologies ring:8,torus:3x4 --protocols ssme \
@@ -11,23 +13,34 @@
 //!          --cells-in-json --json campaign_golden.json
 //! ```
 //!
+//! `tests/golden/campaign_golden_bfs.json` (a registry-resolved protocol
+//! beyond the original two, pinning the harness-based runner path):
+//!
+//! ```text
+//! campaign --topologies path:9 --protocols bfs \
+//!          --daemons sync,central-rr,dist:0.5 --faults 0,1 \
+//!          --seeds 3 --seed 51966 --max-steps 500000 \
+//!          --cells-in-json --json campaign_golden_bfs.json
+//! ```
+//!
 //! Any engine, daemon, RNG-stream, aggregation or serialization drift shows
-//! up as a byte diff here (and in the CI step that replays the CLI
-//! invocation and `cmp`s the output). If a change is *intentional* —
+//! up as a byte diff here (and in the CI steps that replay the CLI
+//! invocations and `cmp` the output). If a change is *intentional* —
 //! a new artifact field, a semantically justified engine change —
-//! regenerate the golden with the command above and call the change out in
-//! the PR.
+//! regenerate the goldens with the commands above and call the change out
+//! in the PR.
 
 use specstab_campaign::artifact::to_json;
 use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{InitMode, ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::{InitMode, ScenarioMatrix};
 
 const GOLDEN: &str = include_str!("golden/campaign_golden.json");
+const GOLDEN_BFS: &str = include_str!("golden/campaign_golden_bfs.json");
 
 fn golden_matrix() -> ScenarioMatrix {
     ScenarioMatrix::builder()
         .topologies(["ring:8", "torus:3x4"])
-        .protocols([ProtocolKind::Ssme])
+        .protocols(["ssme"])
         .daemons(["sync", "central-rand", "dist:0.5"])
         .init_modes([InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness])
         .seeds(0..3)
@@ -38,23 +51,43 @@ fn golden_config() -> CampaignConfig {
     CampaignConfig { threads: 0, max_steps: 500_000, seed: 51966, early_stop_margin: 3 }
 }
 
+fn assert_matches_golden(json: &str, golden: &str, label: &str) {
+    if json != golden {
+        // Byte-diff context: first differing line, so drift is debuggable
+        // without dumping 38 KB.
+        for (i, (a, b)) in json.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(a, b, "{label} drifted from golden at line {}", i + 1);
+        }
+        assert_eq!(
+            json.lines().count(),
+            golden.lines().count(),
+            "{label} drifted from golden: line count differs"
+        );
+        panic!("{label} drifted from golden (content equal per-line but bytes differ?)");
+    }
+}
+
 #[test]
 fn campaign_json_matches_checked_in_golden() {
     let result = run_campaign(&golden_matrix(), &golden_config());
     let json = to_json(&result, true);
     assert_eq!(result.total_errors(), 0, "golden matrix must be error-free");
     assert_eq!(result.total_violations(), 0, "golden matrix must respect the theorem bounds");
-    if json != GOLDEN {
-        // Byte-diff context: first differing line, so drift is debuggable
-        // without dumping 38 KB.
-        for (i, (a, b)) in json.lines().zip(GOLDEN.lines()).enumerate() {
-            assert_eq!(a, b, "campaign.json drifted from golden at line {}", i + 1);
-        }
-        assert_eq!(
-            json.lines().count(),
-            GOLDEN.lines().count(),
-            "campaign.json drifted from golden: line count differs"
-        );
-        panic!("campaign.json drifted from golden (content equal per-line but bytes differ?)");
-    }
+    assert_matches_golden(&json, GOLDEN, "campaign.json");
+}
+
+#[test]
+fn bfs_campaign_json_matches_checked_in_golden() {
+    let matrix = ScenarioMatrix::builder()
+        .topologies(["path:9"])
+        .protocols(["bfs"])
+        .daemons(["sync", "central-rr", "dist:0.5"])
+        .init_modes([InitMode::Burst(0), InitMode::Burst(1)])
+        .seeds(0..3)
+        .build();
+    let result = run_campaign(&matrix, &golden_config());
+    let json = to_json(&result, true);
+    assert_eq!(result.total_errors(), 0, "bfs golden matrix must be error-free");
+    assert_eq!(result.total_violations(), 0);
+    assert_matches_golden(&json, GOLDEN_BFS, "campaign_bfs.json");
 }

@@ -4,7 +4,7 @@
 //! quantiles.
 
 use specstab_campaign::executor::{run_campaign, CampaignConfig};
-use specstab_campaign::matrix::{ProtocolKind, ScenarioMatrix};
+use specstab_campaign::matrix::ScenarioMatrix;
 use specstab_campaign::stats::OnlineStats;
 
 fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
@@ -16,7 +16,7 @@ fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
 fn group_stats_match_a_naive_reference() {
     let m = ScenarioMatrix::builder()
         .topologies(["ring:8", "tree:7"])
-        .protocols([ProtocolKind::Ssme])
+        .protocols(["ssme"])
         .daemons(["sync", "dist:0.5"])
         .fault_bursts([0, 1])
         .seeds(0..16)
@@ -86,7 +86,7 @@ fn group_stats_match_a_naive_reference() {
 fn moves_and_stabilization_metrics_also_aggregate_exactly() {
     let m = ScenarioMatrix::builder()
         .topologies(["ring:10"])
-        .protocols([ProtocolKind::Ssme])
+        .protocols(["ssme"])
         .daemons(["central-rand"])
         .fault_bursts([0])
         .seeds(0..12)

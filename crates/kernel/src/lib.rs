@@ -65,6 +65,7 @@ pub mod config;
 pub mod daemon;
 pub mod engine;
 pub mod fault;
+pub mod harness;
 pub mod measure;
 pub mod observer;
 pub mod protocol;

@@ -13,7 +13,7 @@
 
 use crate::config::Configuration;
 use crate::daemon::Daemon;
-use crate::engine::{RunLimits, Simulator, StopReason};
+use crate::engine::{RunLimits, Simulator, StepScratch, StopReason};
 use crate::observer::{
     ConfigPredicate, LegitimacyMonitor, MoveCounter, Observer, SafetyMonitor, StopAfterStable,
 };
@@ -98,11 +98,26 @@ impl<S> MeasurementContext<S> {
 
     /// Executes one measured run on `sim` and assembles the report.
     pub fn run<P: Protocol<State = S>>(
+        self,
+        sim: &Simulator<'_, P>,
+        daemon: &mut dyn Daemon<S>,
+        init: Configuration<S>,
+        max_steps: usize,
+    ) -> StabilizationReport {
+        let mut scratch = StepScratch::new();
+        self.run_with_scratch(sim, daemon, init, max_steps, &mut scratch)
+    }
+
+    /// [`MeasurementContext::run`] with caller-supplied engine scratch
+    /// buffers, so batch drivers (e.g. the campaign executor's workers)
+    /// amortize the per-run buffer setup across many measured runs.
+    pub fn run_with_scratch<P: Protocol<State = S>>(
         mut self,
         sim: &Simulator<'_, P>,
         daemon: &mut dyn Daemon<S>,
         init: Configuration<S>,
         max_steps: usize,
+        scratch: &mut StepScratch<S>,
     ) -> StabilizationReport {
         let summary = {
             let mut observers: Vec<&mut dyn Observer<S>> =
@@ -110,7 +125,13 @@ impl<S> MeasurementContext<S> {
             if let Some(stopper) = self.stopper.as_mut() {
                 observers.push(stopper);
             }
-            sim.run(init, daemon, RunLimits::with_max_steps(max_steps), &mut observers)
+            sim.run_with_scratch(
+                init,
+                daemon,
+                RunLimits::with_max_steps(max_steps),
+                &mut observers,
+                scratch,
+            )
         };
         StabilizationReport {
             steps_run: summary.steps,

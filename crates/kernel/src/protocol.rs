@@ -147,8 +147,9 @@ impl<'a, S> View<'a, S> {
 /// by the daemon; every activated vertex's new state is computed from the
 /// pre-step configuration.
 pub trait Protocol {
-    /// Per-vertex state type.
-    type State: Clone + Eq + std::hash::Hash + fmt::Debug;
+    /// Per-vertex state type: an owned (`'static`) value — the engine's
+    /// scratch pools and boxed daemons key and store states by type.
+    type State: Clone + Eq + std::hash::Hash + fmt::Debug + 'static;
 
     /// Protocol name for reports (e.g. `"SSME"`).
     fn name(&self) -> String;

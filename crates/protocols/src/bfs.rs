@@ -126,6 +126,14 @@ impl BfsSpec {
     pub fn root(&self) -> VertexId {
         self.root
     }
+
+    /// The true BFS distances from the root, indexed by vertex — the
+    /// specification's reference levels (and the protocol's unique
+    /// terminal configuration).
+    #[must_use]
+    pub fn distances(&self) -> &[u32] {
+        &self.dist
+    }
 }
 
 impl Specification<u32> for BfsSpec {

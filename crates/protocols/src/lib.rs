@@ -16,6 +16,11 @@
 //! instances). The crate additionally implements Dijkstra's
 //! [`dijkstra_three_state`] (ring) and [`dijkstra_four_state`] (line)
 //! solutions, both exhaustively verified self-stabilizing.
+//!
+//! Every protocol (including SSME from `specstab-core`) is wrapped in a
+//! [`specstab_kernel::harness::ProtocolHarness`] ([`harness`]) and indexed
+//! by the name-keyed [`registry`], so grid drivers can sweep any of them
+//! behind a string spec.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -23,10 +28,15 @@ pub mod bfs;
 pub mod dijkstra;
 pub mod dijkstra_four_state;
 pub mod dijkstra_three_state;
+pub mod harness;
 pub mod matching;
+pub mod registry;
 
 pub use bfs::{BfsSpec, MinPlusOneBfs};
 pub use dijkstra::{DijkstraRing, DijkstraSpec};
 pub use dijkstra_four_state::{DijkstraFourState, FourState, FourStateSpec};
 pub use dijkstra_three_state::{DijkstraThreeState, ThreeStateSpec};
+pub use harness::{
+    BfsHarness, Dijkstra3Harness, Dijkstra4Harness, DijkstraHarness, MatchingHarness, SsmeHarness,
+};
 pub use matching::{MatchState, MatchingSpec, MaximalMatching};

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use specstab_campaign::executor::{
         run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult,
     };
-    pub use specstab_campaign::matrix::{Cell, InitMode, ProtocolKind, ScenarioMatrix};
+    pub use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
     pub use specstab_campaign::report::{speculation_profile_table, to_speculation_profile};
     pub use specstab_campaign::stats::{OnlineStats, P2Quantile};
     pub use specstab_core::bounds;
@@ -81,6 +81,7 @@ pub mod prelude {
     };
     pub use specstab_kernel::engine::{RunLimits, RunSummary, Simulator, StepScratch, StopReason};
     pub use specstab_kernel::fault::{inject_faults, inject_faults_in_place};
+    pub use specstab_kernel::harness::{BoundMetric, HarnessError, ProtocolHarness, TheoremBound};
     pub use specstab_kernel::measure::{
         measure_stabilization, measure_with_early_stop, MeasureSettings, MeasurementContext,
     };
@@ -91,7 +92,12 @@ pub mod prelude {
     pub use specstab_kernel::spec::Specification;
     pub use specstab_protocols::bfs::{BfsSpec, MinPlusOneBfs};
     pub use specstab_protocols::dijkstra::{DijkstraRing, DijkstraSpec};
+    pub use specstab_protocols::harness::{
+        BfsHarness, Dijkstra3Harness, Dijkstra4Harness, DijkstraHarness, MatchingHarness,
+        SsmeHarness,
+    };
     pub use specstab_protocols::matching::{MatchingSpec, MaximalMatching};
+    pub use specstab_protocols::registry;
     pub use specstab_topology::generators;
     pub use specstab_topology::metrics::DistanceMatrix;
     pub use specstab_topology::spec::parse_spec;
