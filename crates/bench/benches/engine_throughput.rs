@@ -1,137 +1,12 @@
 //! Criterion bench for the simulation substrate itself: steps/second of
 //! the engine on unison workloads (regression guard for the kernel).
+//!
+//! The bench bodies live in `specstab_bench::engine_bench` so the
+//! `bench_engine` binary can run the identical suite and write the
+//! `BENCH_engine.json` perf snapshot outside the bench harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::SeedableRng;
-use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
-use specstab_kernel::engine::{RunLimits, Simulator, StepScratch, StopReason};
-use specstab_kernel::protocol::{random_configuration, Protocol};
-use specstab_protocols::{MaximalMatching, MinPlusOneBfs};
-use specstab_topology::{generators, VertexId};
-use specstab_unison::clock::CherryClock;
-use specstab_unison::AsyncUnison;
-
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    const STEPS: usize = 1_000;
-    for (rows, cols) in [(4usize, 5usize), (8, 8), (12, 12)] {
-        let g = generators::torus(rows, cols).expect("valid torus");
-        let n = g.n();
-        let clock = CherryClock::new(n as i64, n as i64 + 1).expect("safe parameters");
-        let unison = AsyncUnison::new(clock);
-        // Start inside Γ1 so every step activates every vertex (worst-case
-        // engine load: n guard evaluations + n state updates per step).
-        let init = Configuration::from_fn(n, |_| clock.value(0).expect("0 in domain"));
-        group.throughput(Throughput::Elements((STEPS * n) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("sync_unison_moves", format!("torus-{rows}x{cols}")),
-            &g,
-            |b, g| {
-                let sim = Simulator::new(g, &unison);
-                let mut scratch = StepScratch::new();
-                b.iter(|| {
-                    let mut d = SynchronousDaemon::new();
-                    sim.run_with_scratch(
-                        init.clone(),
-                        &mut d,
-                        RunLimits::with_max_steps(STEPS),
-                        &mut [],
-                        &mut scratch,
-                    )
-                    .moves
-                });
-            },
-        );
-        // Central round-robin: one move per step, so the incremental
-        // enabled-set maintenance (O(degree) per step instead of O(n))
-        // dominates the measurement.
-        group.throughput(Throughput::Elements(STEPS as u64));
-        group.bench_with_input(
-            BenchmarkId::new("central_rr_unison_steps", format!("torus-{rows}x{cols}")),
-            &g,
-            |b, g| {
-                let sim = Simulator::new(g, &unison);
-                let mut scratch = StepScratch::new();
-                b.iter(|| {
-                    let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
-                    sim.run_with_scratch(
-                        init.clone(),
-                        &mut d,
-                        RunLimits::with_max_steps(STEPS),
-                        &mut [],
-                        &mut scratch,
-                    )
-                    .moves
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-/// Full synchronous convergence of one protocol from a pinned random
-/// initial configuration, on reused scratch buffers. Throughput is
-/// reported in moves of the (deterministic) run.
-fn bench_convergence<P: Protocol>(
-    group: &mut criterion::BenchmarkGroup<'_>,
-    id: BenchmarkId,
-    graph: &specstab_topology::Graph,
-    protocol: &P,
-    init: &Configuration<P::State>,
-) {
-    let sim = Simulator::new(graph, protocol);
-    // Reference run: moves per convergence (the run is deterministic).
-    let reference = {
-        let mut d = SynchronousDaemon::new();
-        sim.run(init.clone(), &mut d, RunLimits::with_max_steps(1_000_000), &mut [])
-    };
-    assert_eq!(reference.stop, StopReason::Terminal, "convergence bench must terminate");
-    group.throughput(Throughput::Elements(reference.moves));
-    group.bench_function(id, |b| {
-        let mut scratch = StepScratch::new();
-        b.iter(|| {
-            let mut d = SynchronousDaemon::new();
-            sim.run_with_scratch(
-                init.clone(),
-                &mut d,
-                RunLimits::with_max_steps(1_000_000),
-                &mut [],
-                &mut scratch,
-            )
-            .moves
-        });
-    });
-}
-
-/// The campaign grid's newest columns: `min+1` BFS and maximal matching
-/// (registry protocols beyond the mutual-exclusion family), measured as
-/// synchronous convergence moves/second so `BENCH_engine.json` tracks
-/// them release over release.
-fn bench_protocol_zoo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine");
-    let g = generators::grid(12, 12).expect("valid grid");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let bfs = MinPlusOneBfs::new(&g, VertexId::new(0));
-    let bfs_init = random_configuration(&g, &bfs, &mut rng);
-    bench_convergence(
-        &mut group,
-        BenchmarkId::new("sync_bfs_converge_moves", "grid-12x12"),
-        &g,
-        &bfs,
-        &bfs_init,
-    );
-    let matching = MaximalMatching::new(&g);
-    let matching_init = random_configuration(&g, &matching, &mut rng);
-    bench_convergence(
-        &mut group,
-        BenchmarkId::new("sync_matching_converge_moves", "grid-12x12"),
-        &g,
-        &matching,
-        &matching_init,
-    );
-    group.finish();
-}
+use criterion::{criterion_group, criterion_main};
+use specstab_bench::engine_bench::{bench_engine, bench_protocol_zoo};
 
 criterion_group!(benches, bench_engine, bench_protocol_zoo);
 criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Local perf-trajectory entry point: runs the engine-throughput suite and
+//! writes the machine-readable `BENCH_engine.json` snapshot (one record per
+//! bench: id, median ns, samples, moves/s) at the repository root — the
+//! same artifact CI's `bench-smoke` job uploads, so local before/after
+//! numbers and CI numbers are directly comparable.
+//!
+//! ```text
+//! cargo run --release -p specstab-bench --bin bench_engine            # repo-root BENCH_engine.json
+//! cargo run --release -p specstab-bench --bin bench_engine -- out.json
+//! CRITERION_SAMPLES=10 cargo run --release -p specstab-bench --bin bench_engine
+//! ```
+
+use specstab_bench::engine_bench;
+
+fn main() {
+    // Output precedence: explicit CLI argument > caller's CRITERION_JSON >
+    // the repo-root default (resolved from this crate's location at
+    // <root>/crates/bench, so the invocation cwd does not matter).
+    if let Some(path) = std::env::args().nth(1) {
+        std::env::set_var("CRITERION_JSON", path);
+    } else if std::env::var_os("CRITERION_JSON").is_none() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        std::env::set_var("CRITERION_JSON", format!("{root}/BENCH_engine.json"));
+    }
+    let mut criterion = criterion::Criterion::default();
+    engine_bench::run_all(&mut criterion);
+    let written = std::env::var("CRITERION_JSON").expect("set above");
+    println!("wrote {written}");
+}

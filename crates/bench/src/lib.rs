@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine_bench;
 pub mod experiments;
 pub mod fit;
 pub mod support;

@@ -2,7 +2,7 @@
 //! speculation profiles.
 //!
 //! ```text
-//! campaign                                   # the default 432-cell matrix
+//! campaign                                   # the default 648-cell matrix
 //! campaign --list-protocols                  # print the protocol registry
 //! campaign --protocols all                   # every registered protocol,
 //!                                            # on its compatible topologies
@@ -30,7 +30,8 @@ fn usage() -> ! {
          [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] [--cells-in-json] \
          [--list-protocols]\n\
          \n\
-         defaults: topologies ring:12,torus:3x4,tree:12,path:12  protocols ssme  \n\
+         defaults: topologies ring:12,torus:3x4,tree:12,path:12,ring:1024,torus:32x32  \n\
+         \x20         protocols ssme  \n\
          \x20         daemons sync,central-rand,dist:0.5  faults 0,2,witness  seeds 12\n\
          protocols:      {} | all  (see --list-protocols)\n\
          topology specs: {}\n\
@@ -101,7 +102,17 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        topologies: vec!["ring:12".into(), "torus:3x4".into(), "tree:12".into(), "path:12".into()],
+        topologies: vec![
+            "ring:12".into(),
+            "torus:3x4".into(),
+            "tree:12".into(),
+            "path:12".into(),
+            // Large instances: with the CSR topology + stamp-based step
+            // loop these sweep at >1e7 moves/s, so thousand-vertex cells
+            // are part of the default grid rather than a special request.
+            "ring:1024".into(),
+            "torus:32x32".into(),
+        ],
         protocols: vec!["ssme".into()],
         daemons: vec!["sync".into(), "central-rand".into(), "dist:0.5".into()],
         faults: vec![InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness],

@@ -101,6 +101,19 @@ impl<S> Configuration<S> {
         self.states[v.index()] = state;
     }
 
+    /// Replaces the state of vertex `v`, returning the previous state.
+    ///
+    /// The engine's delta recording relies on this to *move* the old state
+    /// out of the (about to be overwritten) double-buffer slot instead of
+    /// cloning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn replace(&mut self, v: VertexId, state: S) -> S {
+        std::mem::replace(&mut self.states[v.index()], state)
+    }
+
     /// All states, indexed by vertex index.
     #[must_use]
     pub fn states(&self) -> &[S] {
@@ -156,6 +169,13 @@ mod tests {
         c.set(VertexId::new(1), 9);
         assert_eq!(*c.get(VertexId::new(1)), 9);
         assert_eq!(*c.get(VertexId::new(0)), 1);
+    }
+
+    #[test]
+    fn replace_returns_previous_state() {
+        let mut c = Configuration::new(vec![1, 2, 3]);
+        assert_eq!(c.replace(VertexId::new(1), 9), 2);
+        assert_eq!(c.states(), &[1, 9, 3]);
     }
 
     #[test]

@@ -26,10 +26,27 @@
 //!   alongside borrowed before/after configurations, so monitors never need
 //!   to clone.
 //!
+//! # Stamp-based set maintenance (no per-step comparison sort)
+//!
+//! The daemon's selection and the touched set (activated vertices plus
+//! their neighborhoods) are **deduplicated with a generation-stamped dense
+//! mark array** instead of `sort_unstable + dedup`: marking a vertex is one
+//! store, membership is one load, and clearing is a generation bump —
+//! `O(k)` total. Sorted order (required by the two-pointer enabled-set
+//! merge) comes almost for free: daemons emit selections in enabled order
+//! (verified by an `O(k)` strictly-increasing scan, sorting only on the
+//! rare fallback), and the touched set is either *all* vertices (the
+//! synchronous common case, emitted as `0..n` directly) or a small sort
+//! over the already-deduplicated list. Steady-state guard evaluation goes
+//! through bounds-`debug_assert`ed [`View`]s over cached CSR neighbor
+//! slices; the checked constructors still guard run entry and every public
+//! one-shot API.
+//!
 //! All reusable buffers live in [`StepScratch`]; [`Simulator::run`] creates
 //! one per run, and [`Simulator::run_with_scratch`] lets batch drivers reuse
 //! buffers across runs. The clone-based original loop is retained as
-//! [`Simulator::run_reference`] for differential testing.
+//! [`Simulator::run_reference`] for differential testing (compiled under
+//! `cfg(test)` or the `reference` feature only — release builds drop it).
 
 use crate::config::Configuration;
 use crate::daemon::{Daemon, SelectionContext};
@@ -98,6 +115,11 @@ pub struct StepScratch<S> {
     enabled: Vec<VertexId>,
     next_enabled: Vec<VertexId>,
     enabled_mask: Vec<bool>,
+    /// Generation-stamped dense mark array: `stamps[v] == generation` means
+    /// "v is in the set currently being deduplicated". Clearing the set is
+    /// one `generation` bump — no `O(n)` memset, no comparison sort.
+    stamps: Vec<u64>,
+    generation: u64,
 }
 
 impl<S> StepScratch<S> {
@@ -113,6 +135,8 @@ impl<S> StepScratch<S> {
             enabled: Vec::new(),
             next_enabled: Vec::new(),
             enabled_mask: Vec::new(),
+            stamps: Vec::new(),
+            generation: 0,
         }
     }
 }
@@ -154,6 +178,20 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     #[must_use]
     pub fn enabled_rule(&self, config: &Configuration<P::State>, v: VertexId) -> Option<RuleId> {
         let view = View::new(v, self.graph, config);
+        self.protocol.enabled_rule(&view)
+    }
+
+    /// [`Simulator::enabled_rule`] through a bounds-`debug_assert`ed view —
+    /// the steady-state guard-evaluation path (`v` always comes from the
+    /// engine's own graph, and the configuration length was checked at run
+    /// entry).
+    #[inline]
+    fn enabled_rule_unchecked(
+        &self,
+        config: &Configuration<P::State>,
+        v: VertexId,
+    ) -> Option<RuleId> {
+        let view = View::new_unchecked(v, self.graph, config);
         self.protocol.enabled_rule(&view)
     }
 
@@ -221,17 +259,33 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     /// Panics if `v` is not enabled in `config`.
     #[inline]
     fn fire_rule(&self, config: &Configuration<P::State>, v: VertexId) -> (RuleId, P::State) {
-        let view = View::new(v, self.graph, config);
+        self.fire_view(&View::new(v, self.graph, config), v)
+    }
+
+    /// [`Simulator::fire_rule`] through a bounds-`debug_assert`ed view (the
+    /// steady-state path; see [`Simulator::enabled_rule_unchecked`]).
+    #[inline]
+    fn fire_rule_unchecked(
+        &self,
+        config: &Configuration<P::State>,
+        v: VertexId,
+    ) -> (RuleId, P::State) {
+        self.fire_view(&View::new_unchecked(v, self.graph, config), v)
+    }
+
+    #[inline]
+    fn fire_view(&self, view: &View<'_, P::State>, v: VertexId) -> (RuleId, P::State) {
         let rule = self
             .protocol
-            .enabled_rule(&view)
+            .enabled_rule(view)
             .unwrap_or_else(|| panic!("daemon activated disabled vertex {v}"));
-        let state = self.protocol.apply(&view, rule);
+        let state = self.protocol.apply(view, rule);
         (rule, state)
     }
 
     /// Fired-free variant of [`Simulator::apply_action_into`], used for
-    /// daemon previews (no rule bookkeeping, no allocation at all).
+    /// daemon previews from inside the step loop (no rule bookkeeping, no
+    /// allocation, no per-view bounds check).
     fn apply_set_into(
         &self,
         config: &Configuration<P::State>,
@@ -240,7 +294,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     ) {
         next.clone_from(config);
         for &v in activate {
-            let (_, state) = self.fire_rule(config, v);
+            let (_, state) = self.fire_rule_unchecked(config, v);
             next.set(v, state);
         }
     }
@@ -287,13 +341,22 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             enabled,
             next_enabled,
             enabled_mask,
+            stamps,
+            generation,
         } = scratch;
         // (Re)initialize the buffers: one full scan and one full copy per
-        // run; never again per step.
+        // run; never again per step. The stamp array only needs resizing —
+        // stale stamps from a previous run are invalidated by the
+        // monotonically increasing generation.
         next.clone_from(&config);
         enabled.clear();
         enabled_mask.clear();
         enabled_mask.resize(n, false);
+        if stamps.len() != n {
+            stamps.clear();
+            stamps.resize(n, 0);
+            *generation = 0;
+        }
         for v in self.graph.vertices() {
             if self.enabled_rule(&config, v).is_some() {
                 enabled.push(v);
@@ -323,34 +386,66 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 let ctx = SelectionContext::new(enabled, &config, self.graph, steps, &apply_into);
                 daemon.select(&ctx, selection);
             }
-            selection.sort_unstable();
-            selection.dedup();
+            // Selections arrive sorted and duplicate-free from every daemon
+            // that walks `ctx.enabled` in order (all of the built-in zoo);
+            // verify that with one O(k) scan and only fall back to a
+            // stamp-dedup + small sort for daemons that emit out of order.
+            if !selection.windows(2).all(|w| w[0] < w[1]) {
+                *generation += 1;
+                let gen = *generation;
+                selection.retain(|v| {
+                    let slot = &mut stamps[v.index()];
+                    let fresh = *slot != gen;
+                    *slot = gen;
+                    fresh
+                });
+                selection.sort_unstable();
+            }
             assert!(!selection.is_empty(), "daemon must activate at least one vertex");
             assert!(
                 selection.iter().all(|v| enabled_mask[v.index()]),
                 "daemon selection must be a subset of the enabled vertices"
             );
             // Apply into the double buffer. Loop invariant: `next == config`
-            // here, so only the activated vertices need writing.
+            // here, so the before-state of each activated vertex is *moved*
+            // out of its buffer slot as the successor state moves in — one
+            // successor clone per move (for the delta record), nothing else.
             fired.clear();
             deltas.clear();
             for &v in selection.iter() {
-                let (rule, state) = self.fire_rule(&config, v);
-                deltas.push((v, config.get(v).clone(), state.clone()));
-                next.set(v, state);
+                let (rule, state) = self.fire_rule_unchecked(&config, v);
+                let before = next.replace(v, state.clone());
+                deltas.push((v, before, state));
                 fired.push((v, rule));
             }
             // Incremental enablement update: only activated vertices and
-            // their neighbors can change status.
+            // their neighbors can change status. Stamp-dedup while
+            // collecting; the set is sorted afterwards either trivially
+            // (every vertex touched — the synchronous common case — is just
+            // `0..n`) or by one sort over the already-unique list.
             touched.clear();
+            *generation += 1;
+            let gen = *generation;
             for &v in selection.iter() {
-                touched.push(v);
-                touched.extend_from_slice(self.graph.neighbors(v));
+                if stamps[v.index()] != gen {
+                    stamps[v.index()] = gen;
+                    touched.push(v);
+                }
+                for &u in self.graph.neighbors(v) {
+                    if stamps[u.index()] != gen {
+                        stamps[u.index()] = gen;
+                        touched.push(u);
+                    }
+                }
             }
-            touched.sort_unstable();
-            touched.dedup();
+            if touched.len() == n {
+                touched.clear();
+                touched.extend((0..n).map(VertexId::new));
+            } else {
+                touched.sort_unstable();
+            }
             for &v in touched.iter() {
-                enabled_mask[v.index()] = self.enabled_rule(next, v).is_some();
+                enabled_mask[v.index()] = self.enabled_rule_unchecked(next, v).is_some();
             }
             // Merge the surviving old enabled list with the re-evaluated
             // touched set (both sorted): untouched vertices keep their
@@ -413,6 +508,12 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     /// (`RunSummary`, observer events, daemon RNG streams) to
     /// [`Simulator::run`] are asserted by the `engine_differential` test
     /// suite.
+    ///
+    /// Compiled only under `cfg(test)` or the `reference` cargo feature
+    /// (the kernel dev-depends on itself with that feature, so the test
+    /// suites always see it); release campaign builds carry no dead
+    /// reference loop.
+    #[cfg(any(test, feature = "reference"))]
     pub fn run_reference(
         &self,
         init: Configuration<P::State>,

@@ -71,11 +71,18 @@ impl fmt::Display for RuleInfo {
 ///
 /// Created by the engine; protocols receive it in
 /// [`Protocol::enabled_rule`] and [`Protocol::apply`].
+///
+/// The vertex's CSR neighbor slice is resolved **once at construction** and
+/// cached, so a guard that walks the neighborhood several times (and the
+/// common `enabled_rule` → `apply` pair sharing one view) never re-fetches
+/// it from the graph.
 #[derive(Clone, Copy, Debug)]
 pub struct View<'a, S> {
     vertex: VertexId,
     graph: &'a Graph,
     config: &'a Configuration<S>,
+    /// `graph.neighbors(vertex)`, fetched once.
+    neighbors: &'a [VertexId],
 }
 
 impl<'a, S> View<'a, S> {
@@ -87,7 +94,24 @@ impl<'a, S> View<'a, S> {
     #[must_use]
     pub fn new(vertex: VertexId, graph: &'a Graph, config: &'a Configuration<S>) -> Self {
         assert!(vertex.index() < graph.n(), "view vertex out of range");
-        Self { vertex, graph, config }
+        Self { vertex, graph, config, neighbors: graph.neighbors(vertex) }
+    }
+
+    /// [`View::new`] with the bounds check demoted to a `debug_assert!` —
+    /// the engine's steady-state fast path. The engine validates the
+    /// configuration length once at run entry and only ever passes vertices
+    /// of its own graph, so re-checking per guard evaluation is pure
+    /// overhead (release campaigns evaluate guards hundreds of millions of
+    /// times).
+    #[inline]
+    #[must_use]
+    pub(crate) fn new_unchecked(
+        vertex: VertexId,
+        graph: &'a Graph,
+        config: &'a Configuration<S>,
+    ) -> Self {
+        debug_assert!(vertex.index() < graph.n(), "view vertex out of range");
+        Self { vertex, graph, config, neighbors: graph.neighbors(vertex) }
     }
 
     /// The vertex this view belongs to.
@@ -112,12 +136,13 @@ impl<'a, S> View<'a, S> {
     /// Degree of the vertex.
     #[must_use]
     pub fn degree(&self) -> usize {
-        self.graph.degree(self.vertex)
+        self.neighbors.len()
     }
 
-    /// Iterates over `(neighbor, state)` pairs in neighbor order.
+    /// Iterates over `(neighbor, state)` pairs in neighbor order, walking
+    /// the cached CSR slice.
     pub fn neighbor_states(&self) -> impl Iterator<Item = (VertexId, &'a S)> + '_ {
-        self.graph.neighbors(self.vertex).iter().map(|&u| (u, self.config.get(u)))
+        self.neighbors.iter().map(|&u| (u, self.config.get(u)))
     }
 
     /// Reads the state of `u`, which must be this vertex or one of its
@@ -130,7 +155,7 @@ impl<'a, S> View<'a, S> {
     #[must_use]
     pub fn state_of(&self, u: VertexId) -> &'a S {
         assert!(
-            u == self.vertex || self.graph.contains_edge(self.vertex, u),
+            u == self.vertex || self.neighbors.binary_search(&u).is_ok(),
             "locality violation: {} read the state of non-neighbor {}",
             self.vertex,
             u

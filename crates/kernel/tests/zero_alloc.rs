@@ -41,23 +41,27 @@ impl Protocol for SpinProto {
     }
 }
 
-#[test]
-fn steady_state_steps_perform_zero_configuration_clones() {
-    let g = generators::torus(6, 6).expect("valid torus");
+/// Asserts zero steady-state configuration clones for both the synchronous
+/// and the central round-robin daemon on `g`, reusing `scratch` the way a
+/// batch driver would.
+fn assert_zero_steady_state_clones(
+    g: &specstab_topology::Graph,
+    steps: usize,
+    scratch: &mut StepScratch<u32>,
+) {
     let proto = SpinProto { m: 64 };
-    let sim = Simulator::new(&g, &proto);
+    let sim = Simulator::new(g, &proto);
+    let init = Configuration::from_fn(g.n(), |_| 0u32);
 
     // --- Synchronous daemon, no observers: the acceptance scenario. ---
-    let init = Configuration::from_fn(g.n(), |_| 0u32);
     let mut daemon = SynchronousDaemon::new();
-    let mut scratch = StepScratch::new();
     // Warm-up run sizes every scratch buffer.
     let warm = sim.run_with_scratch(
         init.clone(),
         &mut daemon,
         RunLimits::with_max_steps(8),
         &mut [],
-        &mut scratch,
+        scratch,
     );
     assert_eq!(warm.stop, StopReason::MaxSteps, "spin protocol never terminates");
 
@@ -66,37 +70,70 @@ fn steady_state_steps_perform_zero_configuration_clones() {
     let s = sim.run_with_scratch(
         run_init,
         &mut daemon,
-        RunLimits::with_max_steps(2_000),
+        RunLimits::with_max_steps(steps),
         &mut [],
-        &mut scratch,
+        scratch,
     );
     let clones = clone_count() - before;
-    assert_eq!(s.steps, 2_000);
+    assert_eq!(s.steps, steps);
     assert_eq!(
-        clones, 0,
-        "synchronous steady state must not clone configurations ({clones} clones / {} steps)",
+        clones,
+        0,
+        "{}: synchronous steady state must not clone configurations ({clones} clones / {} steps)",
+        g.name(),
         s.steps
     );
 
-    // --- Central daemon: exercises the incremental enabled-set merge. ---
+    // --- Central round-robin: exercises the incremental enabled-set merge
+    // (and, on large instances, the stamp-based touched-set path with a
+    // sparse selection). ---
     let mut central = CentralDaemon::new(CentralStrategy::RoundRobin);
     let _ = sim.run_with_scratch(
         init.clone(),
         &mut central,
         RunLimits::with_max_steps(8),
         &mut [],
-        &mut scratch,
+        scratch,
     );
     let run_init = init;
     let before = clone_count();
     let s = sim.run_with_scratch(
         run_init,
         &mut central,
-        RunLimits::with_max_steps(2_000),
+        RunLimits::with_max_steps(steps),
         &mut [],
-        &mut scratch,
+        scratch,
     );
     let clones = clone_count() - before;
-    assert_eq!(s.steps, 2_000);
-    assert_eq!(clones, 0, "central steady state must not clone configurations");
+    assert_eq!(s.steps, steps);
+    assert_eq!(
+        clones,
+        0,
+        "{}: central round-robin steady state must not clone configurations",
+        g.name()
+    );
+}
+
+#[test]
+fn steady_state_steps_perform_zero_configuration_clones() {
+    let mut scratch = StepScratch::new();
+    // The historical acceptance instance, then the campaign grid's large
+    // instances — buffer reuse across *differently sized* graphs is part of
+    // the contract (the stamp array and masks must re-seat without leaking
+    // allocations into the steady state).
+    assert_zero_steady_state_clones(
+        &generators::torus(6, 6).expect("valid torus"),
+        2_000,
+        &mut scratch,
+    );
+    assert_zero_steady_state_clones(
+        &generators::ring(1024).expect("valid ring"),
+        1_000,
+        &mut scratch,
+    );
+    assert_zero_steady_state_clones(
+        &generators::torus(32, 32).expect("valid torus"),
+        1_000,
+        &mut scratch,
+    );
 }

@@ -118,9 +118,23 @@ impl Error for GraphError {}
 /// constructions are disconnected) but every generator in
 /// [`crate::generators`] returns a connected graph and
 /// [`GraphBuilder::build_connected`] enforces it.
+///
+/// # Memory layout
+///
+/// Adjacency is stored in **CSR (compressed sparse row) form**: one flat
+/// `neighbors` array holding every neighbor list back to back, plus an
+/// `offsets` array with `offsets[v]..offsets[v+1]` delimiting vertex `v`'s
+/// slice (so `degree(v)` is an offset difference and `neighbors(v)` is a
+/// contiguous, cache-local slice — no per-vertex pointer chase). Guard
+/// evaluation walks neighbor lists millions of times per campaign cell,
+/// which makes this layout the foundation of the engine's step throughput.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Graph {
-    adj: Vec<Vec<VertexId>>,
+    /// `offsets.len() == n + 1`; vertex `v`'s neighbors live at
+    /// `neighbors[offsets[v] as usize..offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All neighbor lists concatenated in vertex order, each sorted.
+    neighbors: Vec<VertexId>,
     edges: Vec<(VertexId, VertexId)>,
     name: String,
 }
@@ -129,7 +143,7 @@ impl Graph {
     /// Number of vertices, `n = |V|`.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges, `m = |E|`.
@@ -156,36 +170,40 @@ impl Graph {
         (0..self.n()).map(VertexId::new)
     }
 
-    /// The sorted neighbor list of `v` (the set `neig(v)` of the paper).
+    /// The sorted neighbor list of `v` (the set `neig(v)` of the paper), as
+    /// one contiguous CSR slice.
     ///
     /// # Panics
     ///
     /// Panics if `v` is not a vertex of this graph.
     #[must_use]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v.index()]
+        let i = v.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
-    /// Degree of `v`.
+    /// Degree of `v` (a CSR offset difference).
     ///
     /// # Panics
     ///
     /// Panics if `v` is not a vertex of this graph.
     #[must_use]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v.index()].len()
+        let i = v.index();
+        assert!(i < self.n(), "vertex {v} out of range");
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// Maximum degree over all vertices.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0)
     }
 
     /// Minimum degree over all vertices.
     #[must_use]
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as usize).min().unwrap_or(0)
     }
 
     /// Whether `{u, v}` is an edge.
@@ -194,7 +212,7 @@ impl Graph {
         u != v
             && u.index() < self.n()
             && v.index() < self.n()
-            && self.adj[u.index()].binary_search(&v).is_ok()
+            && self.neighbors(u).binary_search(&v).is_ok()
     }
 
     /// The edge list; each edge appears once as `(min, max)`.
@@ -338,17 +356,36 @@ impl GraphBuilder {
         if self.n == 0 {
             return Err(GraphError::Empty);
         }
-        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); self.n];
+        // CSR construction: count degrees, prefix-sum into offsets, then
+        // scatter each edge's two endpoints into their slices. The edge set
+        // is a `BTreeSet` ordered by `(min, max)`, so within each vertex's
+        // slice the `u < v` endpoints arrive sorted and the `v > u` ones
+        // arrive sorted; a per-slice sort restores the full order cheaply
+        // (the runs are already mostly ordered).
+        let _ = u32::try_from(2 * self.edges.len())
+            .expect("graph half-edge count exceeds u32::MAX (beyond simulation scale)");
+        let mut offsets = vec![0u32; self.n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = vec![VertexId::default(); 2 * self.edges.len()];
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
         let mut edges = Vec::with_capacity(self.edges.len());
         for &(u, v) in &self.edges {
-            adj[u].push(VertexId::new(v));
-            adj[v].push(VertexId::new(u));
+            neighbors[cursor[u] as usize] = VertexId::new(v);
+            cursor[u] += 1;
+            neighbors[cursor[v] as usize] = VertexId::new(u);
+            cursor[v] += 1;
             edges.push((VertexId::new(u), VertexId::new(v)));
         }
-        for list in &mut adj {
-            list.sort_unstable();
+        for i in 0..self.n {
+            neighbors[offsets[i] as usize..offsets[i + 1] as usize].sort_unstable();
         }
-        Ok(Graph { adj, edges, name: self.name })
+        Ok(Graph { offsets, neighbors, edges, name: self.name })
     }
 
     /// Finalizes the graph, additionally requiring connectivity.
@@ -453,6 +490,30 @@ mod tests {
         assert_eq!(g.edges().len(), 3);
         for &(u, v) in g.edges() {
             assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn csr_layout_invariants() {
+        let g = GraphBuilder::new(5)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 0)
+            .edge(1, 3)
+            .build()
+            .unwrap();
+        let total: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.m(), "degrees sum to the CSR half-edge count");
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert_eq!(ns.len(), g.degree(v));
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "slice of {v} sorted, duplicate-free");
+            for &u in ns {
+                assert!(g.contains_edge(v, u));
+                assert!(g.neighbors(u).contains(&v), "adjacency is symmetric");
+            }
         }
     }
 
