@@ -8,22 +8,170 @@
 //! cargo run --release -p specstab-bench --bin bench_engine            # repo-root BENCH_engine.json
 //! cargo run --release -p specstab-bench --bin bench_engine -- out.json
 //! CRITERION_SAMPLES=10 cargo run --release -p specstab-bench --bin bench_engine
+//!
+//! # Regression gate: run fresh numbers into a scratch file and diff the
+//! # throughput (moves/s) of every bench against the committed snapshot.
+//! cargo run --release -p specstab-bench --bin bench_engine -- --check
+//! cargo run --release -p specstab-bench --bin bench_engine -- --check baseline.json
+//! BENCH_TOLERANCE=0.5 ... -- --check        # allow up to a 50% drop
+//! BENCH_CHECK_MODE=warn ... -- --check      # report regressions, exit 0
 //! ```
+//!
+//! `--check` fails (exit 1) on any bench whose throughput dropped by more
+//! than `BENCH_TOLERANCE` (a fraction, default `0.30`; values above 1 are
+//! read as percentages) relative to the baseline. Bench numbers are
+//! runner-dependent, so CI runs the gate in `BENCH_CHECK_MODE=warn` until
+//! a pinned runner class makes hard failure meaningful.
 
 use specstab_bench::engine_bench;
+use specstab_campaign::artifact::Json;
+use std::collections::BTreeMap;
 
-fn main() {
-    // Output precedence: explicit CLI argument > caller's CRITERION_JSON >
-    // the repo-root default (resolved from this crate's location at
-    // <root>/crates/bench, so the invocation cwd does not matter).
-    if let Some(path) = std::env::args().nth(1) {
-        std::env::set_var("CRITERION_JSON", path);
-    } else if std::env::var_os("CRITERION_JSON").is_none() {
-        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-        std::env::set_var("CRITERION_JSON", format!("{root}/BENCH_engine.json"));
+fn repo_root() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string()
+}
+
+/// Parses a `BENCH_engine.json` snapshot into `id -> elements_per_sec`.
+fn load_throughputs(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for record in json.as_arr().map_err(|e| format!("{path}: {e}"))? {
+        let id = record
+            .req("id")
+            .and_then(|j| j.as_str().map(str::to_string))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let eps = record
+            .req("elements_per_sec")
+            .and_then(Json::as_f64)
+            .map_err(|e| format!("{path}: {e}"))?;
+        out.insert(id, eps);
     }
+    Ok(out)
+}
+
+/// The allowed fractional throughput drop: `BENCH_TOLERANCE`, default 0.30.
+/// Values above 1 are treated as percentages (`BENCH_TOLERANCE=30` ≡ 0.30).
+fn tolerance() -> f64 {
+    let raw = std::env::var("BENCH_TOLERANCE").ok();
+    let t = raw.as_deref().map_or(0.30, |s| {
+        s.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("bench_engine: ignoring unparsable BENCH_TOLERANCE '{s}'");
+            0.30
+        })
+    });
+    if t > 1.0 {
+        t / 100.0
+    } else {
+        t
+    }
+}
+
+/// Diffs fresh against baseline throughput; returns the regression lines.
+fn regressions(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol: f64,
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (id, &base) in baseline {
+        match fresh.get(id) {
+            None => bad.push(format!("{id}: present in baseline but not in fresh run")),
+            Some(&now) if base > 0.0 => {
+                let drop = (base - now) / base;
+                if drop > tol {
+                    bad.push(format!(
+                        "{id}: {base:.3e} -> {now:.3e} moves/s ({:.1}% drop > {:.1}% tolerance)",
+                        drop * 100.0,
+                        tol * 100.0
+                    ));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    for id in fresh.keys() {
+        if !baseline.contains_key(id) {
+            eprintln!("bench_engine: note: new bench '{id}' has no baseline entry");
+        }
+    }
+    bad
+}
+
+fn run_suite_to(path: &str) {
+    std::env::set_var("CRITERION_JSON", path);
     let mut criterion = criterion::Criterion::default();
     engine_bench::run_all(&mut criterion);
-    let written = std::env::var("CRITERION_JSON").expect("set above");
-    println!("wrote {written}");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let check = argv.iter().any(|a| a == "--check");
+    let positional: Vec<&String> = argv.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if !check {
+        // Snapshot mode. Output precedence: explicit CLI argument > the
+        // caller's CRITERION_JSON > the repo-root default (resolved from
+        // this crate's location at <root>/crates/bench, so the invocation
+        // cwd does not matter).
+        let path = positional.first().map_or_else(
+            || {
+                std::env::var("CRITERION_JSON")
+                    .unwrap_or_else(|_| format!("{}/BENCH_engine.json", repo_root()))
+            },
+            |p| (*p).clone(),
+        );
+        run_suite_to(&path);
+        return;
+    }
+
+    // Check mode: fresh numbers go to a scratch file; the committed
+    // snapshot (or the explicit baseline argument) is never overwritten.
+    let baseline_path = positional
+        .first()
+        .map_or_else(|| format!("{}/BENCH_engine.json", repo_root()), |p| (*p).clone());
+    let baseline = match load_throughputs(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_engine: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh_path = std::env::temp_dir()
+        .join(format!("BENCH_engine.fresh-{}.json", std::process::id()))
+        .display()
+        .to_string();
+    run_suite_to(&fresh_path);
+    let fresh = match load_throughputs(&fresh_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_engine: {e}");
+            std::process::exit(2);
+        }
+    };
+    let _ = std::fs::remove_file(&fresh_path);
+
+    let tol = tolerance();
+    let bad = regressions(&baseline, &fresh, tol);
+    if bad.is_empty() {
+        println!(
+            "bench_engine: OK — {} benches within {:.0}% of {baseline_path}",
+            baseline.len(),
+            tol * 100.0
+        );
+        return;
+    }
+    let warn_only = std::env::var("BENCH_CHECK_MODE").is_ok_and(|m| m == "warn");
+    let verdict = if warn_only { "WARNING" } else { "FAILURE" };
+    eprintln!(
+        "bench_engine: {verdict} — {} throughput regression(s) vs {baseline_path}:",
+        bad.len()
+    );
+    for line in &bad {
+        eprintln!("bench_engine:   {line}");
+    }
+    if !warn_only {
+        std::process::exit(1);
+    }
 }

@@ -1,17 +1,30 @@
-//! Campaign artifacts: deterministic JSON and CSV writers.
+//! Campaign artifacts: deterministic JSON/CSV writers, a strict JSON
+//! reader, and the versioned [`PartialArtifact`] shards exchange.
 //!
 //! No serde in this offline environment, so the writers are hand-rolled on
-//! a tiny ordered JSON value type. Determinism is a hard requirement
+//! a tiny ordered JSON value type (and the reader is a small recursive
+//! descent parser over the same type). Determinism is a hard requirement
 //! (tested): serializing the same [`CampaignResult`] yields byte-identical
 //! output regardless of thread count, machine or run — which is why wall
-//! clock and host facts never enter the artifact.
+//! clock and host facts never enter the final artifact.
+//!
+//! A [`PartialArtifact`] is one shard's complete output: an env/provenance
+//! header, the shard's per-cell results, and the **full internal state** of
+//! every per-group statistics accumulator. Floating-point state is stored
+//! as `f64::to_bits` integers, so a partial round-trips through JSON
+//! without losing a single bit — the property that lets
+//! [`crate::merge::merge_partials`] reproduce the single-process artifact
+//! byte for byte.
 
-use crate::executor::{CampaignResult, CellResult, GroupSummary};
-use crate::stats::OnlineStats;
+use crate::executor::{CampaignConfig, CampaignResult, CellOutcome, CellResult, GroupSummary};
+use crate::matrix::{Cell, InitMode};
+use crate::stats::{OnlineStats, OnlineStatsState, P2State};
+use specstab_kernel::daemon::DaemonClass;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A JSON value with insertion-ordered objects.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Json {
     /// `null`.
     Null,
@@ -28,7 +41,14 @@ pub enum Json {
     /// Array.
     Arr(Vec<Json>),
     /// Object preserving insertion order.
-    Obj(Vec<(&'static str, Json)>),
+    Obj(Vec<(String, Json)>),
+}
+
+/// Builds an insertion-ordered [`Json::Obj`] from `(&str, Json)` pairs —
+/// the writers' idiom.
+#[must_use]
+pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
 impl Json {
@@ -127,8 +147,280 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+impl Json {
+    /// Parses a JSON document (the subset this module writes: no unicode
+    /// escapes beyond `\uXXXX`, numbers as `i64`/`u64`/`f64`). Nesting is
+    /// limited to [`MAX_PARSE_DEPTH`] levels so hostile input fails with
+    /// an error instead of overflowing the stack — partials and plans
+    /// travel between machines, so parse entry points see untrusted files.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on an object (`None` for missing keys or non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required-field lookup with a contextual error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" message naming `key`.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| format!("missing field '{key}'"))
+    }
+
+    /// The value as `u64` ([`Json::UInt`], or a non-negative [`Json::Int`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a type-mismatch message.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::UInt(u) => Ok(*u),
+            Json::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    /// The value as `f64` (any numeric variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns a type-mismatch message.
+    pub fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            Json::Int(i) => Ok(*i as f64),
+            Json::UInt(u) => Ok(*u as f64),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// The value as `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type-mismatch message.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type-mismatch message.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// The value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type-mismatch message.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+/// Deepest container nesting [`Json::parse`] accepts. The artifacts this
+/// module writes nest 5-6 levels; 128 leaves headroom while keeping the
+/// recursive parser far from stack exhaustion.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(format!("nesting deeper than {MAX_PARSE_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect_byte(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| format!("truncated \\u escape at byte {}", *pos))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u codepoint at byte {}", *pos))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // byte stream is valid UTF-8 by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if float {
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    } else if text.starts_with('-') {
+        text.parse::<i64>().map(Json::Int).map_err(|e| format!("bad number '{text}': {e}"))
+    } else {
+        text.parse::<u64>().map(Json::UInt).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
 fn stats_json(s: &OnlineStats) -> Json {
-    Json::Obj(vec![
+    obj(vec![
         ("count", Json::UInt(s.count())),
         ("min", Json::Num(s.min())),
         ("max", Json::Num(s.max())),
@@ -141,7 +433,7 @@ fn stats_json(s: &OnlineStats) -> Json {
 }
 
 fn group_json(g: &GroupSummary) -> Json {
-    Json::Obj(vec![
+    obj(vec![
         ("key", Json::Str(g.key.clone())),
         ("topology", Json::Str(g.topology.clone())),
         ("protocol", Json::Str(g.protocol.to_string())),
@@ -184,7 +476,7 @@ fn cell_json(c: &CellResult) -> Json {
         }
         Err(e) => fields.push(("error", Json::Str(e.clone()))),
     }
-    Json::Obj(fields)
+    obj(fields)
 }
 
 /// Serializes a campaign result to the v1 JSON artifact.
@@ -196,7 +488,7 @@ pub fn to_json(result: &CampaignResult, include_cells: bool) -> String {
     let mut root = vec![
         (
             "campaign",
-            Json::Obj(vec![
+            obj(vec![
                 ("schema", Json::Str("specstab-campaign/v1".into())),
                 ("seed", Json::UInt(result.config.seed)),
                 ("max_steps", Json::UInt(result.config.max_steps as u64)),
@@ -212,7 +504,7 @@ pub fn to_json(result: &CampaignResult, include_cells: bool) -> String {
     if include_cells {
         root.push(("cells", Json::Arr(result.cells.iter().map(cell_json).collect())));
     }
-    Json::Obj(root).render()
+    obj(root).render()
 }
 
 /// Serializes the per-cell results as CSV (header + one row per cell).
@@ -269,13 +561,398 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
+/// Schema identifier of the partial-artifact format. Bump on any change to
+/// the layout below; [`PartialArtifact::from_json`] rejects every other
+/// value.
+pub const PARTIAL_SCHEMA: &str = "specstab-campaign-partial/v1";
+
+/// The campaign-parameter header fields shared by the plan and partial
+/// schemas (`threads` is a per-process execution detail and is never
+/// serialized). Writers splice these into their headers; readers use
+/// [`config_from_header`] — one place to extend when the config grows.
+pub(crate) fn config_header_fields(config: &CampaignConfig) -> Vec<(&'static str, Json)> {
+    vec![
+        ("seed", Json::UInt(config.seed)),
+        ("max_steps", Json::UInt(config.max_steps as u64)),
+        ("early_stop_margin", Json::UInt(config.early_stop_margin as u64)),
+    ]
+}
+
+/// Parses the shared campaign-parameter header fields (`threads` = 0).
+pub(crate) fn config_from_header(header: &Json) -> Result<CampaignConfig, String> {
+    Ok(CampaignConfig {
+        threads: 0,
+        max_steps: header.req("max_steps")?.as_u64()? as usize,
+        seed: header.req("seed")?.as_u64()?,
+        early_stop_margin: header.req("early_stop_margin")?.as_u64()? as usize,
+    })
+}
+
+/// One shard's complete campaign output: which contiguous cell range of
+/// which plan it covers, the per-cell results, and the full internal state
+/// of every per-group statistics accumulator.
+///
+/// Partials are the interchange format of the plan → shard → merge
+/// pipeline: any set of partials that tiles a plan's cell range merges
+/// (see [`crate::merge::merge_partials`]) into a [`CampaignResult`] whose
+/// JSON/CSV artifacts are **byte-identical** to a single-process run, as
+/// long as shard boundaries are group-aligned (the planner's invariant).
+/// All floating-point state serializes as `f64::to_bits` integers, so the
+/// JSON round trip is lossless down to the bit.
+#[derive(Clone, Debug)]
+pub struct PartialArtifact {
+    /// Shard id within the plan.
+    pub shard_id: usize,
+    /// First cell index (into the plan's canonical cell order) covered.
+    pub start: usize,
+    /// One past the last cell index covered.
+    pub end: usize,
+    /// Total cells in the plan (all shards together).
+    pub total_cells: usize,
+    /// Fingerprint of the plan's canonical cell list (see
+    /// [`crate::plan::cells_fingerprint`]): the identity check that keeps
+    /// partials of *different* campaigns from merging just because their
+    /// cell counts and configuration agree.
+    pub plan_fingerprint: u64,
+    /// The campaign configuration the shard ran with (`threads` is an
+    /// execution detail and is not serialized).
+    pub config: CampaignConfig,
+    /// Per-cell results, in canonical order, for cells `start..end`.
+    pub cells: Vec<CellResult>,
+    /// Per-group accumulator states, ordered by first appearance.
+    pub groups: Vec<GroupSummary>,
+}
+
+impl PartialArtifact {
+    /// Packages a shard execution (the [`CampaignResult`] of running cells
+    /// `start..start + result.cells.len()` of a plan) as a partial.
+    #[must_use]
+    pub fn from_result(
+        result: CampaignResult,
+        shard_id: usize,
+        start: usize,
+        total_cells: usize,
+        plan_fingerprint: u64,
+    ) -> Self {
+        Self {
+            shard_id,
+            start,
+            end: start + result.cells.len(),
+            total_cells,
+            plan_fingerprint,
+            config: result.config,
+            cells: result.cells,
+            groups: result.groups,
+        }
+    }
+
+    /// Serializes the partial (versioned header with provenance, cells,
+    /// group states).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut header = vec![
+            ("schema", Json::Str(PARTIAL_SCHEMA.into())),
+            ("shard", Json::UInt(self.shard_id as u64)),
+            ("start", Json::UInt(self.start as u64)),
+            ("end", Json::UInt(self.end as u64)),
+            ("total_cells", Json::UInt(self.total_cells as u64)),
+            ("plan_fingerprint", Json::UInt(self.plan_fingerprint)),
+        ];
+        header.extend(config_header_fields(&self.config));
+        header.push((
+            "provenance",
+            obj(vec![
+                ("crate", Json::Str("specstab-campaign".into())),
+                ("version", Json::Str(env!("CARGO_PKG_VERSION").into())),
+                ("os", Json::Str(std::env::consts::OS.into())),
+                ("arch", Json::Str(std::env::consts::ARCH.into())),
+            ]),
+        ));
+        obj(vec![
+            ("partial", obj(header)),
+            ("cells", Json::Arr(self.cells.iter().map(cell_result_json).collect())),
+            ("groups", Json::Arr(self.groups.iter().map(group_state_json).collect())),
+        ])
+        .render()
+    }
+
+    /// Parses and validates a partial artifact.
+    ///
+    /// # Errors
+    ///
+    /// Rejects syntactically invalid JSON, any schema string other than
+    /// [`PARTIAL_SCHEMA`], missing or mistyped fields, and structurally
+    /// inconsistent partials (range/cell-count mismatch, group run counts
+    /// that do not add up to the cell count).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let header = root.req("partial")?;
+        let schema = header.req("schema")?.as_str()?;
+        if schema != PARTIAL_SCHEMA {
+            return Err(format!(
+                "unsupported partial schema '{schema}' (expected {PARTIAL_SCHEMA})"
+            ));
+        }
+        header.req("provenance")?; // required by the schema, contents informational
+        let shard_id = header.req("shard")?.as_u64()? as usize;
+        let start = header.req("start")?.as_u64()? as usize;
+        let end = header.req("end")?.as_u64()? as usize;
+        let total_cells = header.req("total_cells")?.as_u64()? as usize;
+        let plan_fingerprint = header.req("plan_fingerprint")?.as_u64()?;
+        let config = config_from_header(header)?;
+        let cells = root
+            .req("cells")?
+            .as_arr()?
+            .iter()
+            .map(cell_result_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let groups = root
+            .req("groups")?
+            .as_arr()?
+            .iter()
+            .map(group_state_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if start > end || end > total_cells {
+            return Err(format!("bad cell range {start}..{end} of {total_cells}"));
+        }
+        if cells.len() != end - start {
+            return Err(format!("cell count {} disagrees with range {start}..{end}", cells.len()));
+        }
+        let group_runs: u64 = groups.iter().map(|g| g.runs).sum();
+        if group_runs != cells.len() as u64 {
+            return Err(format!(
+                "group run total {group_runs} disagrees with {} cells",
+                cells.len()
+            ));
+        }
+        Ok(Self { shard_id, start, end, total_cells, plan_fingerprint, config, cells, groups })
+    }
+
+    /// Reconstructs the shard's [`CampaignResult`] (e.g. to render its
+    /// profile table in isolation). Wall clock is zero and `threads_used`
+    /// is 1 — neither enters artifacts.
+    #[must_use]
+    pub fn into_result(self) -> CampaignResult {
+        CampaignResult {
+            cells: self.cells,
+            groups: self.groups,
+            threads_used: 1,
+            wall: Duration::ZERO,
+            config: self.config,
+        }
+    }
+}
+
+fn bits(x: f64) -> Json {
+    Json::UInt(x.to_bits())
+}
+
+fn f64_bits(j: &Json) -> Result<f64, String> {
+    Ok(f64::from_bits(j.as_u64()?))
+}
+
+fn bits_arr(xs: &[f64]) -> Json {
+    Json::Arr(xs.iter().map(|&x| bits(x)).collect())
+}
+
+fn f64_bits_vec(j: &Json) -> Result<Vec<f64>, String> {
+    j.as_arr()?.iter().map(f64_bits).collect()
+}
+
+fn f64_bits_arr5(j: &Json) -> Result<[f64; 5], String> {
+    let v = f64_bits_vec(j)?;
+    <[f64; 5]>::try_from(v).map_err(|v| format!("expected 5 marker values, got {}", v.len()))
+}
+
+fn p2_json(s: &P2State) -> Json {
+    obj(vec![
+        ("p_bits", bits(s.p)),
+        ("q_bits", bits_arr(&s.q)),
+        ("n_bits", bits_arr(&s.n)),
+        ("np_bits", bits_arr(&s.np)),
+        ("count", Json::UInt(s.count)),
+        ("warmup_bits", bits_arr(&s.warmup)),
+    ])
+}
+
+fn p2_from_json(j: &Json) -> Result<P2State, String> {
+    Ok(P2State {
+        p: f64_bits(j.req("p_bits")?)?,
+        q: f64_bits_arr5(j.req("q_bits")?)?,
+        n: f64_bits_arr5(j.req("n_bits")?)?,
+        np: f64_bits_arr5(j.req("np_bits")?)?,
+        count: j.req("count")?.as_u64()?,
+        warmup: f64_bits_vec(j.req("warmup_bits")?)?,
+    })
+}
+
+fn stats_state_json(s: &OnlineStats) -> Json {
+    let st = s.state();
+    obj(vec![
+        ("count", Json::UInt(st.count)),
+        ("min_bits", bits(st.min)),
+        ("max_bits", bits(st.max)),
+        ("mean_bits", bits(st.mean)),
+        ("m2_bits", bits(st.m2)),
+        ("p50", p2_json(&st.p50)),
+        ("p90", p2_json(&st.p90)),
+        ("p99", p2_json(&st.p99)),
+    ])
+}
+
+fn stats_state_from_json(j: &Json) -> Result<OnlineStats, String> {
+    OnlineStats::from_state(OnlineStatsState {
+        count: j.req("count")?.as_u64()?,
+        min: f64_bits(j.req("min_bits")?)?,
+        max: f64_bits(j.req("max_bits")?)?,
+        mean: f64_bits(j.req("mean_bits")?)?,
+        m2: f64_bits(j.req("m2_bits")?)?,
+        p50: p2_from_json(j.req("p50")?)?,
+        p90: p2_from_json(j.req("p90")?)?,
+        p99: p2_from_json(j.req("p99")?)?,
+    })
+}
+
+fn class_to_json(class: Option<DaemonClass>) -> Json {
+    class.map_or(Json::Null, |c| Json::Str(c.to_string()))
+}
+
+fn class_from_json(j: &Json) -> Result<Option<DaemonClass>, String> {
+    match j {
+        Json::Null => Ok(None),
+        Json::Str(s) => s.parse::<DaemonClass>().map(Some),
+        other => Err(format!("expected daemon class string or null, got {other:?}")),
+    }
+}
+
+fn opt_u64_from_json(j: &Json) -> Result<Option<u64>, String> {
+    match j {
+        Json::Null => Ok(None),
+        other => other.as_u64().map(Some),
+    }
+}
+
+/// Serializes a cell's coordinates (the plan format's cell entry).
+pub(crate) fn cell_coord_json(cell: &Cell) -> Json {
+    obj(vec![
+        ("topology", Json::Str(cell.topology.clone())),
+        ("protocol", Json::Str(cell.protocol.clone())),
+        ("daemon", Json::Str(cell.daemon.clone())),
+        ("init", Json::Str(cell.init.to_string())),
+        ("seed_index", Json::UInt(cell.seed_index)),
+    ])
+}
+
+/// Parses a cell-coordinate object written by [`cell_coord_json`].
+pub(crate) fn cell_coord_from_json(j: &Json) -> Result<Cell, String> {
+    Ok(Cell {
+        topology: j.req("topology")?.as_str()?.to_string(),
+        protocol: j.req("protocol")?.as_str()?.to_string(),
+        daemon: j.req("daemon")?.as_str()?.to_string(),
+        init: InitMode::parse(j.req("init")?.as_str()?)?,
+        seed_index: j.req("seed_index")?.as_u64()?,
+    })
+}
+
+fn cell_result_json(c: &CellResult) -> Json {
+    let mut fields = vec![
+        ("cell", cell_coord_json(&c.cell)),
+        ("n", Json::UInt(c.n as u64)),
+        ("diam", Json::UInt(u64::from(c.diam))),
+        ("class", class_to_json(c.class)),
+        ("cell_seed", Json::UInt(c.cell_seed)),
+    ];
+    match &c.outcome {
+        Ok(o) => fields.push((
+            "outcome",
+            obj(vec![
+                ("steps_run", Json::UInt(o.steps_run as u64)),
+                ("stabilization_steps", Json::UInt(o.stabilization_steps as u64)),
+                ("legitimacy_entry", Json::UInt(o.legitimacy_entry as u64)),
+                ("moves", Json::UInt(o.moves)),
+                ("ended_legitimate", Json::Bool(o.ended_legitimate)),
+                ("bound", o.bound.map_or(Json::Null, Json::UInt)),
+                ("violated_bound", Json::Bool(o.violated_bound)),
+            ]),
+        )),
+        Err(e) => fields.push(("error", Json::Str(e.clone()))),
+    }
+    obj(fields)
+}
+
+fn cell_result_from_json(j: &Json) -> Result<CellResult, String> {
+    let outcome = match (j.get("outcome"), j.get("error")) {
+        (Some(o), None) => Ok(CellOutcome {
+            steps_run: o.req("steps_run")?.as_u64()? as usize,
+            stabilization_steps: o.req("stabilization_steps")?.as_u64()? as usize,
+            legitimacy_entry: o.req("legitimacy_entry")?.as_u64()? as usize,
+            moves: o.req("moves")?.as_u64()?,
+            ended_legitimate: o.req("ended_legitimate")?.as_bool()?,
+            bound: opt_u64_from_json(o.req("bound")?)?,
+            violated_bound: o.req("violated_bound")?.as_bool()?,
+        }),
+        (None, Some(e)) => Err(e.as_str()?.to_string()),
+        _ => return Err("cell needs exactly one of 'outcome' or 'error'".into()),
+    };
+    Ok(CellResult {
+        cell: cell_coord_from_json(j.req("cell")?)?,
+        n: j.req("n")?.as_u64()? as usize,
+        diam: u32::try_from(j.req("diam")?.as_u64()?).map_err(|e| e.to_string())?,
+        class: class_from_json(j.req("class")?)?,
+        cell_seed: j.req("cell_seed")?.as_u64()?,
+        outcome,
+    })
+}
+
+fn group_state_json(g: &GroupSummary) -> Json {
+    obj(vec![
+        ("key", Json::Str(g.key.clone())),
+        ("topology", Json::Str(g.topology.clone())),
+        ("protocol", Json::Str(g.protocol.clone())),
+        ("daemon", Json::Str(g.daemon.clone())),
+        ("class", class_to_json(g.class)),
+        ("init", Json::Str(g.init.to_string())),
+        ("n", Json::UInt(g.n as u64)),
+        ("diam", Json::UInt(u64::from(g.diam))),
+        ("runs", Json::UInt(g.runs)),
+        ("errors", Json::UInt(g.errors)),
+        ("converged", Json::UInt(g.converged)),
+        ("bound", g.bound.map_or(Json::Null, Json::UInt)),
+        ("violations", Json::UInt(g.violations)),
+        ("stabilization", stats_state_json(&g.stabilization)),
+        ("entry", stats_state_json(&g.entry)),
+        ("moves", stats_state_json(&g.moves)),
+    ])
+}
+
+fn group_state_from_json(j: &Json) -> Result<GroupSummary, String> {
+    Ok(GroupSummary {
+        key: j.req("key")?.as_str()?.to_string(),
+        topology: j.req("topology")?.as_str()?.to_string(),
+        protocol: j.req("protocol")?.as_str()?.to_string(),
+        daemon: j.req("daemon")?.as_str()?.to_string(),
+        class: class_from_json(j.req("class")?)?,
+        init: InitMode::parse(j.req("init")?.as_str()?)?,
+        n: j.req("n")?.as_u64()? as usize,
+        diam: u32::try_from(j.req("diam")?.as_u64()?).map_err(|e| e.to_string())?,
+        runs: j.req("runs")?.as_u64()?,
+        errors: j.req("errors")?.as_u64()?,
+        converged: j.req("converged")?.as_u64()?,
+        stabilization: stats_state_from_json(j.req("stabilization")?)?,
+        entry: stats_state_from_json(j.req("entry")?)?,
+        moves: stats_state_from_json(j.req("moves")?)?,
+        bound: opt_u64_from_json(j.req("bound")?)?,
+        violations: j.req("violations")?.as_u64()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn json_escaping_and_shapes() {
-        let j = Json::Obj(vec![
+        let j = obj(vec![
             ("s", Json::Str("a\"b\\c\nd".into())),
             ("xs", Json::Arr(vec![Json::Int(-1), Json::UInt(2), Json::Num(1.5), Json::Null])),
             ("empty", Json::Obj(vec![])),
@@ -294,5 +971,59 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let j = obj(vec![
+            ("s", Json::Str("a\"b\\c\nd\tπ".into())),
+            ("xs", Json::Arr(vec![Json::Int(-7), Json::UInt(u64::MAX), Json::Num(1.5)])),
+            ("flags", Json::Arr(vec![Json::Bool(true), Json::Bool(false), Json::Null])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("nested", obj(vec![("k", Json::UInt(3))])),
+        ]);
+        let text = j.render();
+        let parsed = Json::parse(&text).expect("parses");
+        assert_eq!(parsed, j);
+        // Idempotent: render(parse(render(x))) == render(x).
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parser_handles_compact_and_escaped_input() {
+        let parsed = Json::parse("{\"a\":[1,-2,3.5],\"b\":\"x\\u0041\\n\"}").expect("parses");
+        assert_eq!(parsed.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(parsed.get("b").unwrap().as_str().unwrap(), "xA\n");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "{\"a\":}", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth_instead_of_overflowing() {
+        // Hostile input: 100k unclosed arrays must yield an error, not a
+        // stack overflow (partials/plans are untrusted cross-machine files).
+        let hostile = "[".repeat(100_000);
+        assert!(Json::parse(&hostile).unwrap_err().contains("nesting deeper"));
+        let deep_ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&deep_ok).is_ok(), "depth 100 is within the limit");
+    }
+
+    #[test]
+    fn accessors_report_type_mismatches() {
+        let j = Json::parse("{\"n\": 3, \"s\": \"x\", \"neg\": -1}").unwrap();
+        assert_eq!(j.req("n").unwrap().as_u64().unwrap(), 3);
+        assert!(j.req("missing").is_err());
+        assert!(j.req("s").unwrap().as_u64().is_err());
+        assert!(j.req("neg").unwrap().as_u64().is_err(), "negative is not u64");
+        assert_eq!(j.req("neg").unwrap().as_f64().unwrap(), -1.0);
+        assert!(j.req("n").unwrap().as_str().is_err());
+        assert!(j.req("n").unwrap().as_bool().is_err());
+        assert!(j.req("n").unwrap().as_arr().is_err());
     }
 }

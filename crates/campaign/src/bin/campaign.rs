@@ -1,5 +1,6 @@
 //! The `campaign` CLI: sweep scenario grids in parallel and render
-//! speculation profiles.
+//! speculation profiles — in one process, or as a plan/shard/merge
+//! pipeline across processes and machines.
 //!
 //! ```text
 //! campaign                                   # the default 648-cell matrix
@@ -8,7 +9,16 @@
 //!                                            # on its compatible topologies
 //! campaign --topologies ring:12,torus:4x5 --daemons sync,central-rand,dist:0.5 \
 //!          --faults 0,2 --seeds 12 --json out.json --csv out.csv
-//! campaign --protocols ssme,bfs,matching --topologies ring:9 --seeds 20 --threads 4
+//!
+//! # Distributed pipeline (byte-identical to the single-process run):
+//! campaign plan  --seeds 12 --shards 3 --out plan.json
+//! campaign shard --plan plan.json --shard 0 --out shard-0.partial.json
+//! campaign shard --plan plan.json --shard 1 --out shard-1.partial.json
+//! campaign shard --plan plan.json --shard 2 --out shard-2.partial.json
+//! campaign merge --json out.json shard-*.partial.json
+//!
+//! # Same pipeline, orchestrated locally over 3 worker processes:
+//! campaign run --workers 3 --seeds 12 --json out.json
 //! ```
 //!
 //! Protocols are registry names (see `--list-protocols`); combinations a
@@ -16,19 +26,32 @@
 //! protocols without a witness — are skipped up front with a note, so
 //! `--protocols all` sweeps exactly the runnable grid.
 
-use specstab_campaign::artifact::{to_csv, to_json};
-use specstab_campaign::executor::{resolve_topology, run_campaign, CampaignConfig};
+use specstab_campaign::artifact::{to_csv, to_json, PartialArtifact};
+use specstab_campaign::executor::{resolve_topology, run_campaign, CampaignConfig, CampaignResult};
 use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
+use specstab_campaign::merge::merge_partials;
+use specstab_campaign::plan::{group_boundaries, CampaignPlan};
 use specstab_campaign::report::speculation_profile_table;
+use specstab_campaign::shard::{execute_shard, run_plan_subprocess};
 use specstab_protocols::registry;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [--topologies <spec,..>] [--protocols <name,..|all>] \
+        "usage: campaign [run|plan|shard|merge] [options]\n\
+         \n\
+         campaign [run] [--topologies <spec,..>] [--protocols <name,..|all>] \
          [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
-         [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] [--cells-in-json] \
-         [--list-protocols]\n\
+         [--workers <n>] [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] \
+         [--cells-in-json] [--list-protocols]\n\
+         campaign plan  [matrix options as above] --shards <n> [--out <path>]\n\
+         campaign shard --plan <path> --shard <id> [--threads <n>] [--out <path>]\n\
+         campaign merge [--json <path>] [--csv <path>] [--cells-in-json] <partial.json>..\n\
+         \n\
+         run --workers N executes the plan/shard/merge pipeline over N local worker\n\
+         processes (--threads then sets threads PER WORKER, default 1); artifacts are\n\
+         byte-identical to the in-process run (--workers 0).\n\
          \n\
          defaults: topologies ring:12,torus:3x4,tree:12,path:12,ring:1024,torus:32x32  \n\
          \x20         protocols ssme  \n\
@@ -93,14 +116,17 @@ struct Args {
     faults: Vec<InitMode>,
     seeds: u64,
     threads: usize,
+    workers: usize,
+    shards: usize,
     max_steps: usize,
     seed: u64,
     json: Option<String>,
     csv: Option<String>,
+    out: Option<String>,
     cells_in_json: bool,
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: &[String]) -> Args {
     let mut args = Args {
         topologies: vec![
             "ring:12".into(),
@@ -118,13 +144,15 @@ fn parse_args() -> Args {
         faults: vec![InitMode::Burst(0), InitMode::Burst(2), InitMode::Witness],
         seeds: 12,
         threads: 0,
+        workers: 0,
+        shards: 0,
         max_steps: 2_000_000,
         seed: 0xC0FFEE,
         json: None,
         csv: None,
+        out: None,
         cells_in_json: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let key = argv[i].as_str();
@@ -155,10 +183,13 @@ fn parse_args() -> Args {
             }
             "--seeds" => args.seeds = val.parse().unwrap_or_else(|_| usage()),
             "--threads" => args.threads = val.parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = val.parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = val.parse().unwrap_or_else(|_| usage()),
             "--max-steps" => args.max_steps = val.parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val.parse().unwrap_or_else(|_| usage()),
             "--json" => args.json = Some(val),
             "--csv" => args.csv = Some(val),
+            "--out" => args.out = Some(val),
             _ => usage(),
         }
         i += 2;
@@ -223,9 +254,10 @@ fn compatibility(args: &Args) -> (HashSet<(String, String)>, HashSet<String>, Ve
     (incompatible, no_witness, notes)
 }
 
-fn main() {
-    let args = parse_args();
-    let (incompatible, no_witness, notes) = compatibility(&args);
+/// Builds the (compatibility-filtered) matrix the argument set describes,
+/// printing skip notes.
+fn build_matrix(args: &Args) -> ScenarioMatrix {
+    let (incompatible, no_witness, notes) = compatibility(args);
     for note in &notes {
         eprintln!("campaign: {note}");
     }
@@ -244,12 +276,6 @@ fn main() {
     if matrix.is_empty() {
         fail("no runnable cells (every combination was skipped or an axis is empty)");
     }
-    let config = CampaignConfig {
-        threads: args.threads,
-        max_steps: args.max_steps,
-        seed: args.seed,
-        early_stop_margin: 3,
-    };
     eprintln!(
         "campaign: {} cells ({} topologies x {} protocols x {} daemons x {} bursts x {} seeds{})",
         matrix.len(),
@@ -260,25 +286,32 @@ fn main() {
         args.seeds,
         if notes.is_empty() { "" } else { ", incompatible combinations skipped" },
     );
-    let result = run_campaign(&matrix, &config);
-    eprintln!(
-        "campaign: done in {:?} on {} threads ({:.0} cells/s)",
-        result.wall,
-        result.threads_used,
-        result.cells.len() as f64 / result.wall.as_secs_f64().max(1e-9),
-    );
+    matrix
+}
 
-    print!("{}", speculation_profile_table(&result));
+fn config_of(args: &Args) -> CampaignConfig {
+    CampaignConfig {
+        threads: args.threads,
+        max_steps: args.max_steps,
+        seed: args.seed,
+        early_stop_margin: 3,
+    }
+}
 
-    if let Some(path) = &args.json {
-        let body = to_json(&result, args.cells_in_json);
+/// Renders the profile table, writes the requested artifacts, surfaces
+/// cell errors/bound violations, and exits accordingly — the shared tail
+/// of `campaign [run]` and `campaign merge`.
+fn emit_result(result: &CampaignResult, json: Option<&str>, csv: Option<&str>, cells: bool) -> ! {
+    print!("{}", speculation_profile_table(result));
+    if let Some(path) = json {
+        let body = to_json(result, cells);
         if let Err(e) = std::fs::write(path, body) {
             fail(&format!("writing {path}: {e}"));
         }
         eprintln!("campaign: JSON artifact -> {path}");
     }
-    if let Some(path) = &args.csv {
-        if let Err(e) = std::fs::write(path, to_csv(&result)) {
+    if let Some(path) = csv {
+        if let Err(e) = std::fs::write(path, to_csv(result)) {
             fail(&format!("writing {path}: {e}"));
         }
         eprintln!("campaign: CSV artifact -> {path}");
@@ -302,5 +335,185 @@ fn main() {
     if result.total_violations() > 0 {
         eprintln!("campaign: {} BOUND VIOLATIONS", result.total_violations());
         std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `campaign [run]`: the default sweep — in-process, or orchestrated over
+/// `--workers N` local shard subprocesses (byte-identical either way).
+fn cmd_run(argv: &[String]) -> ! {
+    let args = parse_args(argv);
+    let matrix = build_matrix(&args);
+    let config = config_of(&args);
+    if args.workers == 0 {
+        let result = run_campaign(&matrix, &config);
+        eprintln!(
+            "campaign: done in {:?} on {} threads ({:.0} cells/s)",
+            result.wall,
+            result.threads_used,
+            result.cells.len() as f64 / result.wall.as_secs_f64().max(1e-9),
+        );
+        emit_result(&result, args.json.as_deref(), args.csv.as_deref(), args.cells_in_json);
+    }
+    // Subprocess backend: plan into ~4 group-aligned shards per worker
+    // (over-decomposition keeps stragglers from idling the pool; any
+    // group-aligned split merges to the same bytes).
+    let shard_count =
+        if args.shards > 0 { args.shards } else { args.workers.saturating_mul(4).max(1) };
+    let plan = CampaignPlan::new(&matrix, &config, shard_count);
+    let exe =
+        std::env::current_exe().unwrap_or_else(|e| fail(&format!("locating campaign binary: {e}")));
+    let work_dir = std::env::temp_dir().join(format!("specstab-campaign-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&work_dir) {
+        fail(&format!("creating {}: {e}", work_dir.display()));
+    }
+    let plan_path = work_dir.join("plan.json");
+    if let Err(e) = std::fs::write(&plan_path, plan.to_json()) {
+        fail(&format!("writing {}: {e}", plan_path.display()));
+    }
+    let started = std::time::Instant::now();
+    eprintln!(
+        "campaign: {} shards over {} worker processes (plan {})",
+        plan.shards.len(),
+        args.workers,
+        plan_path.display()
+    );
+    // --threads here means threads *per worker process* (default 1: the
+    // worker pool already fills the machine). The work dir is removed on
+    // the failure paths too — partial artifacts of a failed run would
+    // otherwise pile up in the temp dir.
+    let outcome =
+        run_plan_subprocess(&exe, &plan, &plan_path, &work_dir, args.workers, args.threads.max(1))
+            .and_then(merge_partials);
+    let _ = std::fs::remove_dir_all(&work_dir);
+    let result = outcome.unwrap_or_else(|e| fail(&e));
+    eprintln!(
+        "campaign: done in {:?} on {} workers ({:.0} cells/s)",
+        started.elapsed(),
+        args.workers,
+        result.cells.len() as f64 / started.elapsed().as_secs_f64().max(1e-9),
+    );
+    emit_result(&result, args.json.as_deref(), args.csv.as_deref(), args.cells_in_json);
+}
+
+/// `campaign plan`: enumerate the matrix and write the shard plan.
+fn cmd_plan(argv: &[String]) -> ! {
+    let args = parse_args(argv);
+    let matrix = build_matrix(&args);
+    let shard_count = if args.shards > 0 { args.shards } else { 4 };
+    let plan = CampaignPlan::new(&matrix, &config_of(&args), shard_count);
+    let path = args.out.as_deref().unwrap_or("campaign_plan.json");
+    if let Err(e) = std::fs::write(path, plan.to_json()) {
+        fail(&format!("writing {path}: {e}"));
+    }
+    let groups = group_boundaries(&plan.cells).len().saturating_sub(1);
+    eprintln!(
+        "campaign: plan -> {path} ({} cells, {groups} groups, {} shards)",
+        plan.cells.len(),
+        plan.shards.len()
+    );
+    for s in &plan.shards {
+        eprintln!("campaign:   shard {}: cells {}..{} ({})", s.id, s.start, s.end, s.end - s.start);
+    }
+    std::process::exit(0);
+}
+
+/// `campaign shard`: execute one shard of a plan file into a partial
+/// artifact. Cell errors are recorded in the partial (the merge decides
+/// the final exit code), so a shard run only fails on I/O or plan
+/// problems.
+fn cmd_shard(argv: &[String]) -> ! {
+    let mut plan_path: Option<String> = None;
+    let mut shard_id: Option<usize> = None;
+    let mut threads = 1usize;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let Some(val) = argv.get(i + 1).cloned() else { usage() };
+        match argv[i].as_str() {
+            "--plan" => plan_path = Some(val),
+            "--shard" => shard_id = Some(val.parse().unwrap_or_else(|_| usage())),
+            "--threads" => threads = val.parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(val),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let (Some(plan_path), Some(shard_id)) = (plan_path, shard_id) else { usage() };
+    let text = std::fs::read_to_string(&plan_path)
+        .unwrap_or_else(|e| fail(&format!("reading {plan_path}: {e}")));
+    let plan = CampaignPlan::from_json(&text)
+        .unwrap_or_else(|e| fail(&format!("parsing {plan_path}: {e}")));
+    let started = std::time::Instant::now();
+    let partial = execute_shard(&plan, shard_id, threads).unwrap_or_else(|e| fail(&e));
+    let out = out.unwrap_or_else(|| format!("shard-{shard_id}.partial.json"));
+    if let Err(e) = std::fs::write(&out, partial.to_json()) {
+        fail(&format!("writing {out}: {e}"));
+    }
+    eprintln!(
+        "campaign: shard {shard_id} (cells {}..{}) done in {:?} -> {out}",
+        partial.start,
+        partial.end,
+        started.elapsed()
+    );
+    std::process::exit(0);
+}
+
+/// `campaign merge`: fold partial artifacts into the final artifact.
+fn cmd_merge(argv: &[String]) -> ! {
+    let mut json: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut cells_in_json = false;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cells-in-json" => {
+                cells_in_json = true;
+                i += 1;
+            }
+            "--json" | "--csv" => {
+                let Some(val) = argv.get(i + 1).cloned() else { usage() };
+                if argv[i] == "--json" {
+                    json = Some(val);
+                } else {
+                    csv = Some(val);
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(),
+            path => {
+                inputs.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        fail("merge needs at least one partial artifact");
+    }
+    let partials: Vec<PartialArtifact> = inputs
+        .iter()
+        .map(|p| {
+            let text = std::fs::read_to_string(p)
+                .unwrap_or_else(|e| fail(&format!("reading {}: {e}", p.display())));
+            PartialArtifact::from_json(&text)
+                .unwrap_or_else(|e| fail(&format!("parsing {}: {e}", p.display())))
+        })
+        .collect();
+    eprintln!("campaign: merging {} partials", partials.len());
+    let result = merge_partials(partials).unwrap_or_else(|e| fail(&e));
+    emit_result(&result, json.as_deref(), csv.as_deref(), cells_in_json);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("plan") => cmd_plan(&argv[1..]),
+        Some("shard") => cmd_shard(&argv[1..]),
+        Some("merge") => cmd_merge(&argv[1..]),
+        Some("run") => cmd_run(&argv[1..]),
+        // Bare flags: the historical single-process interface (`campaign
+        // --topologies ...`), equivalent to `campaign run`.
+        _ => cmd_run(&argv),
     }
 }

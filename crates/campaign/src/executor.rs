@@ -352,8 +352,9 @@ fn execute_group_run(
 /// group list, merging duplicates with [`GroupSummary::merge`]. For
 /// canonical matrices every group is one contiguous run, so the fold is a
 /// pure reordering and the statistics are bit-identical to sequential
-/// accumulation.
-fn fold_groups(partials: Vec<GroupSummary>) -> Vec<GroupSummary> {
+/// accumulation. Also the building block of [`crate::merge`], which feeds
+/// it the groups of canonically ordered partial artifacts.
+pub(crate) fn fold_groups(partials: Vec<GroupSummary>) -> Vec<GroupSummary> {
     let mut order: Vec<String> = Vec::new();
     let mut by_key: HashMap<String, GroupSummary> = HashMap::new();
     for partial in partials {

@@ -21,11 +21,26 @@
 //! * [`stats`] — streaming per-group statistics (count/mean/max via
 //!   Welford, p50/p90/p99 via the P² sketch) plus bound-violation counters
 //!   checked against `specstab_core::bounds`;
-//! * [`artifact`] — deterministic JSON and CSV writers;
+//! * [`artifact`] — deterministic JSON and CSV writers, a strict JSON
+//!   reader, and the versioned [`artifact::PartialArtifact`];
 //! * [`report`] — speculation-profile tables (stabilization vs daemon
 //!   power).
 //!
-//! The `campaign` binary exposes all of this on the command line.
+//! Campaigns also run as an explicit **plan → shard → merge** pipeline for
+//! multi-process (and, by shipping plan files, multi-machine) execution:
+//!
+//! * [`plan`] — enumerates a matrix into a JSON-round-trippable
+//!   [`plan::CampaignPlan`]: the canonical cell list plus a deterministic,
+//!   group-aligned shard partition with stable ids;
+//! * [`shard`] — executes one shard (in-process backend, or worker
+//!   subprocesses running `campaign shard`) into a partial artifact that
+//!   carries the full bit-exact state of every statistics accumulator;
+//! * [`merge`] — folds any tiling set of partials, in any order, into a
+//!   [`CampaignResult`] whose artifacts are byte-identical to a
+//!   single-process sweep.
+//!
+//! The `campaign` binary exposes all of this on the command line
+//! (`campaign plan` / `shard` / `merge` / `run --workers N`).
 //!
 //! # Example
 //!
@@ -51,9 +66,16 @@
 pub mod artifact;
 pub mod executor;
 pub mod matrix;
+pub mod merge;
+pub mod plan;
 pub mod report;
+pub mod shard;
 pub mod stats;
 
+pub use artifact::PartialArtifact;
 pub use executor::{run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult};
 pub use matrix::{Cell, ScenarioMatrix};
+pub use merge::merge_partials;
+pub use plan::CampaignPlan;
+pub use shard::execute_shard;
 pub use stats::OnlineStats;

@@ -131,6 +131,16 @@ impl ScenarioMatrix {
         ScenarioMatrixBuilder::default()
     }
 
+    /// Wraps an explicit cell list (assumed already in the caller's
+    /// canonical order). This is how the plan/shard pipeline materializes
+    /// a shard's cell range after deserializing a
+    /// [`crate::plan::CampaignPlan`] — a filtered matrix is not a cartesian
+    /// product, so the explicit list is the only complete representation.
+    #[must_use]
+    pub fn from_cells(cells: Vec<Cell>) -> Self {
+        Self { cells }
+    }
+
     /// The cells in canonical (row-major) enumeration order.
     #[must_use]
     pub fn cells(&self) -> &[Cell] {

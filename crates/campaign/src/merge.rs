@@ -1,0 +1,165 @@
+//! The merge layer: folds partial artifacts back into one campaign result.
+//!
+//! [`merge_partials`] accepts **any** set of partials that tiles a plan's
+//! cell range — any split granularity, supplied in any order — validates
+//! that they belong together (same schema, same campaign parameters, same
+//! total cell count, no gaps or overlaps), sorts them into canonical
+//! order, concatenates the per-cell results, and folds the per-group
+//! accumulator states with [`GroupSummary::merge`] in canonical order.
+//!
+//! When the shards were cut at group boundaries (the planner's invariant),
+//! no group ever spans two partials, so the fold is a pure concatenation
+//! and the merged artifact is **byte-identical** to a single-process run
+//! of the same plan. Partials cut inside a group still merge correctly —
+//! counters exactly, streaming statistics with the documented
+//! parallel-combination accuracy — they just lose the byte-identical
+//! guarantee.
+
+use crate::artifact::PartialArtifact;
+use crate::executor::{fold_groups, CampaignResult};
+use std::time::Duration;
+
+/// Merges partial artifacts (any order, any granularity) into a
+/// [`CampaignResult`].
+///
+/// # Errors
+///
+/// Rejects an empty set, partials with differing campaign parameters
+/// (seed, step budget, early-stop margin), total cell counts, or plan
+/// matrix fingerprints (partials of two different campaigns never mix,
+/// even when their counts and configuration coincide), duplicate shard
+/// coverage, and ranges that leave gaps.
+pub fn merge_partials(mut partials: Vec<PartialArtifact>) -> Result<CampaignResult, String> {
+    let Some(first) = partials.first() else {
+        return Err("nothing to merge: no partial artifacts supplied".into());
+    };
+    let config = first.config.clone();
+    let (seed, max_steps, margin, total, fingerprint) = (
+        config.seed,
+        config.max_steps,
+        config.early_stop_margin,
+        first.total_cells,
+        first.plan_fingerprint,
+    );
+    for p in &partials {
+        if p.config.seed != seed
+            || p.config.max_steps != max_steps
+            || p.config.early_stop_margin != margin
+        {
+            return Err(format!(
+                "shard {} ran with different campaign parameters \
+                 (seed {} / max_steps {} / margin {}, expected {seed} / {max_steps} / {margin})",
+                p.shard_id, p.config.seed, p.config.max_steps, p.config.early_stop_margin
+            ));
+        }
+        if p.total_cells != total {
+            return Err(format!(
+                "shard {} describes a plan of {} cells, expected {total}",
+                p.shard_id, p.total_cells
+            ));
+        }
+        if p.plan_fingerprint != fingerprint {
+            return Err(format!(
+                "shard {} belongs to a different plan (matrix fingerprint {:#018x}, \
+                 expected {fingerprint:#018x})",
+                p.shard_id, p.plan_fingerprint
+            ));
+        }
+    }
+    partials.sort_by_key(|p| p.start);
+    let mut expected = 0usize;
+    for p in &partials {
+        if p.start != expected {
+            return Err(if p.start > expected {
+                format!("cells {expected}..{} are covered by no partial", p.start)
+            } else {
+                format!(
+                    "shard {} (cells {}..{}) overlaps previously merged cells",
+                    p.shard_id, p.start, p.end
+                )
+            });
+        }
+        expected = p.end;
+    }
+    if expected != total {
+        return Err(format!("cells {expected}..{total} are covered by no partial"));
+    }
+
+    let mut cells = Vec::with_capacity(total);
+    let mut group_states = Vec::new();
+    for p in partials {
+        cells.extend(p.cells);
+        group_states.extend(p.groups);
+    }
+    Ok(CampaignResult {
+        cells,
+        groups: fold_groups(group_states),
+        threads_used: 1,
+        wall: Duration::ZERO,
+        config,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::to_json;
+    use crate::executor::{run_campaign_sequential, CampaignConfig};
+    use crate::matrix::ScenarioMatrix;
+    use crate::plan::CampaignPlan;
+    use crate::shard::execute_shard;
+
+    fn matrix() -> ScenarioMatrix {
+        ScenarioMatrix::builder()
+            .topologies(["ring:6", "path:5"])
+            .protocols(["ssme"])
+            .daemons(["sync", "dist:0.5"])
+            .fault_bursts([0, 1])
+            .seeds(0..3)
+            .build()
+    }
+
+    fn config() -> CampaignConfig {
+        CampaignConfig { max_steps: 100_000, ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn merged_shards_reproduce_the_single_process_artifact() {
+        let m = matrix();
+        let cfg = config();
+        let golden = to_json(&run_campaign_sequential(&m, &cfg), true);
+        let plan = CampaignPlan::new(&m, &cfg, 3);
+        // Shuffled supply order: merge must canonicalize.
+        let partials: Vec<_> = [2usize, 0, 1]
+            .iter()
+            .map(|&id| execute_shard(&plan, id, 1).expect("valid shard"))
+            .collect();
+        let merged = merge_partials(partials).expect("tiles");
+        assert_eq!(to_json(&merged, true), golden, "merge must be byte-identical");
+    }
+
+    #[test]
+    fn merge_validates_gaps_overlaps_and_parameters() {
+        let plan = CampaignPlan::new(&matrix(), &config(), 3);
+        let all: Vec<_> =
+            (0..3).map(|id| execute_shard(&plan, id, 1).expect("valid shard")).collect();
+        assert!(merge_partials(Vec::new()).is_err(), "empty set");
+        let gap = vec![all[0].clone(), all[2].clone()];
+        assert!(merge_partials(gap).unwrap_err().contains("covered by no partial"));
+        let overlap = vec![all[0].clone(), all[0].clone(), all[1].clone(), all[2].clone()];
+        assert!(merge_partials(overlap).unwrap_err().contains("overlaps"));
+        let mut wrong_seed = all.clone();
+        wrong_seed[1].config.seed ^= 1;
+        assert!(merge_partials(wrong_seed).unwrap_err().contains("different campaign parameters"));
+        let mut wrong_total = all.clone();
+        wrong_total[1].total_cells += 1;
+        assert!(merge_partials(wrong_total).unwrap_err().contains("cells, expected"));
+        // Partials of a different campaign with coincidentally matching
+        // counts and configuration: the matrix fingerprint catches it.
+        let mut wrong_plan = all.clone();
+        wrong_plan[1].plan_fingerprint ^= 1;
+        assert!(merge_partials(wrong_plan).unwrap_err().contains("different plan"));
+        let missing_tail = vec![all[0].clone(), all[1].clone()];
+        assert!(merge_partials(missing_tail).unwrap_err().contains("covered by no partial"));
+    }
+}

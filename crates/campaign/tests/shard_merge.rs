@@ -1,0 +1,203 @@
+//! Merge-algebra property suite: splitting a campaign into shards at
+//! **any** group-aligned cut points and merging the partial artifacts in
+//! **any** order must reproduce the single-process artifact byte for
+//! byte, and a [`PartialArtifact`] must round-trip through JSON without
+//! losing a bit.
+//!
+//! The reference run executes once (per process); property cases then
+//! assemble shard partials from whole-group slices of it — valid because
+//! group-aligned shards aggregate exactly whole groups, which the
+//! dedicated [`executed_shards_merge_byte_identically`] test pins against
+//! real `execute_shard` executions for 1/2/3/7-way splits.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specstab_campaign::artifact::{to_csv, to_json, PartialArtifact};
+use specstab_campaign::executor::{run_campaign_sequential, CampaignConfig, CampaignResult};
+use specstab_campaign::matrix::ScenarioMatrix;
+use specstab_campaign::merge::merge_partials;
+use specstab_campaign::plan::{cells_fingerprint, group_boundaries, CampaignPlan};
+use specstab_campaign::shard::execute_shard;
+use std::sync::OnceLock;
+
+/// The suite's matrix: two protocols (one of which errors cleanly on
+/// non-ring topologies — error cells must shard and merge just like
+/// measured ones), three daemon classes, partial and full bursts.
+fn matrix() -> ScenarioMatrix {
+    ScenarioMatrix::builder()
+        .topologies(["ring:8", "path:6"])
+        .protocols(["ssme", "dijkstra"])
+        .daemons(["sync", "central-rand", "dist:0.5"])
+        .fault_bursts([0, 1])
+        .seeds(0..4)
+        .build()
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig { max_steps: 100_000, seed: 0xBEEF, ..CampaignConfig::default() }
+}
+
+struct Reference {
+    result: CampaignResult,
+    golden_json: String,
+    golden_csv: String,
+    /// Group-aligned cut candidates: every interior group boundary.
+    interior_cuts: Vec<usize>,
+    total: usize,
+}
+
+fn reference() -> &'static Reference {
+    static REF: OnceLock<Reference> = OnceLock::new();
+    REF.get_or_init(|| {
+        let m = matrix();
+        let result = run_campaign_sequential(&m, &config());
+        let boundaries = group_boundaries(m.cells());
+        Reference {
+            golden_json: to_json(&result, true),
+            golden_csv: to_csv(&result),
+            interior_cuts: boundaries[1..boundaries.len() - 1].to_vec(),
+            total: m.len(),
+            result,
+        }
+    })
+}
+
+/// Builds the partial a shard covering `start..end` (group-aligned) would
+/// produce, by slicing the reference run: whole-group aggregation is
+/// independent of which process performed it.
+fn partial_for_range(shard_id: usize, start: usize, end: usize) -> PartialArtifact {
+    let r = reference();
+    let groups: Vec<_> = r
+        .result
+        .groups
+        .iter()
+        .filter(|g| r.result.cells[start..end].iter().any(|c| c.cell.group_key() == g.key))
+        .cloned()
+        .collect();
+    PartialArtifact {
+        shard_id,
+        start,
+        end,
+        total_cells: r.total,
+        plan_fingerprint: cells_fingerprint(matrix().cells()),
+        config: config(),
+        cells: r.result.cells[start..end].to_vec(),
+        groups,
+    }
+}
+
+/// Chooses `shards - 1` distinct group-aligned cut points and returns the
+/// segment ranges, deterministically from `seed`.
+fn random_split(shards: usize, seed: u64) -> Vec<(usize, usize)> {
+    let r = reference();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cuts: Vec<usize> = Vec::new();
+    let mut candidates = r.interior_cuts.clone();
+    for _ in 0..shards - 1 {
+        if candidates.is_empty() {
+            break;
+        }
+        cuts.push(candidates.swap_remove(rng.gen_range(0..candidates.len())));
+    }
+    cuts.sort_unstable();
+    let mut ranges = Vec::new();
+    let mut prev = 0usize;
+    for c in cuts {
+        ranges.push((prev, c));
+        prev = c;
+    }
+    ranges.push((prev, r.total));
+    ranges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary group-aligned splits into 1/2/3/7 shards, merged in a
+    /// shuffled order, with every partial pushed through its JSON round
+    /// trip first: byte-identical JSON and CSV artifacts.
+    #[test]
+    fn shuffled_group_aligned_merges_are_byte_identical(
+        shard_sel in 0usize..4,
+        cut_seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let shards = [1usize, 2, 3, 7][shard_sel];
+        let ranges = random_split(shards, cut_seed);
+        let mut partials: Vec<PartialArtifact> = ranges
+            .iter()
+            .enumerate()
+            .map(|(id, &(s, e))| {
+                let p = partial_for_range(id, s, e);
+                PartialArtifact::from_json(&p.to_json()).expect("round trip")
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..partials.len()).rev() {
+            partials.swap(i, rng.gen_range(0..=i));
+        }
+        let merged = merge_partials(partials).expect("tiles the cell range");
+        let r = reference();
+        prop_assert_eq!(&to_json(&merged, true), &r.golden_json);
+        prop_assert_eq!(&to_csv(&merged), &r.golden_csv);
+    }
+
+    /// A partial artifact's JSON form is lossless: parse(render(p))
+    /// renders to the same bytes, and its statistics state survives
+    /// bit-for-bit (checked through the group states' serialized form).
+    #[test]
+    fn partial_artifact_json_round_trip_is_lossless(
+        cut_seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let ranges = random_split(3, cut_seed);
+        let (s, e) = ranges[(pick % ranges.len() as u64) as usize];
+        let p = partial_for_range(0, s, e);
+        let text = p.to_json();
+        let parsed = PartialArtifact::from_json(&text).expect("parses");
+        prop_assert_eq!(&parsed.to_json(), &text, "render(parse(render)) drifted");
+        let twice = PartialArtifact::from_json(&parsed.to_json()).expect("parses again");
+        prop_assert_eq!(&twice.to_json(), &text);
+    }
+}
+
+/// The real execution path (not sliced reference results): `execute_shard`
+/// over planner-produced 1/2/3/7-way splits merges byte-identically.
+#[test]
+fn executed_shards_merge_byte_identically() {
+    let m = matrix();
+    let cfg = config();
+    let r = reference();
+    for shards in [1usize, 2, 3, 7] {
+        let plan = CampaignPlan::new(&m, &cfg, shards);
+        assert_eq!(plan.shards.len(), shards, "matrix has enough groups");
+        let mut partials: Vec<PartialArtifact> = plan
+            .shards
+            .iter()
+            .map(|s| {
+                let p = execute_shard(&plan, s.id, 1).expect("valid shard");
+                PartialArtifact::from_json(&p.to_json()).expect("round trip")
+            })
+            .collect();
+        partials.reverse(); // merge must not rely on supply order
+        let merged = merge_partials(partials).expect("tiles");
+        assert_eq!(to_json(&merged, true), r.golden_json, "{shards}-way split drifted");
+        assert_eq!(to_csv(&merged), r.golden_csv, "{shards}-way split drifted (csv)");
+    }
+}
+
+/// Plans round-trip through JSON and executing a shard from the parsed
+/// plan equals executing it from the original.
+#[test]
+fn plan_file_round_trip_preserves_shard_execution() {
+    let m = matrix();
+    let cfg = config();
+    let plan = CampaignPlan::new(&m, &cfg, 3);
+    let parsed = CampaignPlan::from_json(&plan.to_json()).expect("round trip");
+    for s in &plan.shards {
+        let a = execute_shard(&plan, s.id, 1).expect("original");
+        let b = execute_shard(&parsed, s.id, 1).expect("parsed");
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -162,6 +162,39 @@ impl fmt::Display for DaemonClass {
     }
 }
 
+impl std::str::FromStr for DaemonClass {
+    type Err = String;
+
+    /// Parses the `centrality/synchrony/fairness` form produced by
+    /// [`DaemonClass`]'s `Display` impl — the round trip campaign partial
+    /// artifacts rely on.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split('/');
+        let (Some(c), Some(sy), Some(fr), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("bad daemon class '{s}' (expected centrality/synchrony/fairness)"));
+        };
+        Ok(Self {
+            centrality: match c {
+                "central" => Centrality::Central,
+                "distributed" => Centrality::Distributed,
+                other => return Err(format!("bad centrality '{other}'")),
+            },
+            synchrony: match sy {
+                "synchronous" => Synchrony::Synchronous,
+                "asynchronous" => Synchrony::Asynchronous,
+                other => return Err(format!("bad synchrony '{other}'")),
+            },
+            fairness: match fr {
+                "unfair" => Fairness::Unfair,
+                "weakly-fair" => Fairness::WeaklyFair,
+                other => return Err(format!("bad fairness '{other}'")),
+            },
+        })
+    }
+}
+
 /// Everything a daemon may inspect when choosing an activation set.
 pub struct SelectionContext<'a, S> {
     /// The enabled vertices of the current configuration, sorted.
@@ -324,17 +357,16 @@ impl<S> Daemon<S> for CentralDaemon {
                 *ctx.enabled.choose(&mut self.rng).expect("enabled nonempty")
             }
             CentralStrategy::RoundRobin => {
-                let n = ctx.graph.n();
-                // Scan from the cursor for the next enabled vertex.
-                let mut pick = ctx.enabled[0];
-                for off in 0..n {
-                    let v = VertexId::new((self.cursor + off) % n);
-                    if ctx.enabled.binary_search(&v).is_ok() {
-                        pick = v;
-                        break;
-                    }
-                }
-                self.cursor = (pick.index() + 1) % n;
+                // The next enabled vertex at or after the cursor, wrapping
+                // to the smallest enabled vertex when none remains.
+                // `ctx.enabled` is sorted, so one partition_point replaces
+                // the historical O(n) slot scan (which probed every index
+                // from the cursor with a binary search each) — same pick
+                // sequence, pinned by `round_robin_fast_path_matches_scan`
+                // and the golden campaign artifacts.
+                let i = ctx.enabled.partition_point(|&v| v.index() < self.cursor);
+                let pick = if i < ctx.enabled.len() { ctx.enabled[i] } else { ctx.enabled[0] };
+                self.cursor = (pick.index() + 1) % ctx.graph.n();
                 pick
             }
         };
@@ -803,6 +835,52 @@ mod tests {
             picks.push(sel[0].index());
         }
         assert_eq!(picks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_fast_path_matches_scan() {
+        // The partition_point lookup must reproduce the historical O(n)
+        // slot-scan pick sequence exactly (the golden campaign artifacts
+        // pin it). Reference: scan indices cursor, cursor+1, ... mod n and
+        // pick the first enabled one.
+        let n = 64;
+        let g = generators::ring(n).unwrap();
+        let c = Configuration::new(vec![0u8; n]);
+        let preview = |_: &[VertexId], out: &mut Configuration<u8>| out.clone_from(&c);
+        let mut rng = StdRng::seed_from_u64(0x5CA7);
+        let mut daemon = CentralDaemon::new(CentralStrategy::RoundRobin);
+        let mut scan_cursor = 0usize;
+        for step in 0..2000 {
+            // Random nonempty enabled set, sorted as the engine guarantees.
+            let mut enabled: Vec<VertexId> =
+                (0..n).filter(|_| rng.gen_bool(0.3)).map(VertexId::new).collect();
+            if enabled.is_empty() {
+                enabled.push(VertexId::new(rng.gen_range(0..n)));
+            }
+            let expected = (0..n)
+                .map(|off| VertexId::new((scan_cursor + off) % n))
+                .find(|v| enabled.binary_search(v).is_ok())
+                .expect("enabled nonempty");
+            scan_cursor = (expected.index() + 1) % n;
+            let ctx = SelectionContext::new(&enabled, &c, &g, step, &preview);
+            let sel = select_into(&mut daemon, &ctx);
+            assert_eq!(sel, vec![expected], "pick diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn daemon_class_parses_its_display_form() {
+        for class in [
+            DaemonClass::unfair_distributed(),
+            DaemonClass::synchronous(),
+            DaemonClass::central_unfair(),
+            DaemonClass::central_weakly_fair(),
+        ] {
+            assert_eq!(class.to_string().parse::<DaemonClass>(), Ok(class));
+        }
+        assert!("central/unfair".parse::<DaemonClass>().is_err());
+        assert!("central/asynchronous/unfair/extra".parse::<DaemonClass>().is_err());
+        assert!("weird/asynchronous/unfair".parse::<DaemonClass>().is_err());
     }
 
     #[test]
