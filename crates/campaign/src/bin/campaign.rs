@@ -27,15 +27,21 @@
 //! `--protocols all` sweeps exactly the runnable grid.
 
 use specstab_campaign::artifact::{to_csv, to_json, PartialArtifact};
-use specstab_campaign::executor::{resolve_topology, run_campaign, CampaignConfig, CampaignResult};
+use specstab_campaign::executor::{
+    resolve_topology, run_campaign_with_progress, CampaignConfig, CampaignResult,
+};
 use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
 use specstab_campaign::merge::merge_partials;
 use specstab_campaign::plan::{group_boundaries, CampaignPlan};
 use specstab_campaign::report::speculation_profile_table;
-use specstab_campaign::shard::{execute_shard, run_plan_subprocess};
+use specstab_campaign::shard::{execute_shard, run_plan_subprocess, shard_trace_path, PoolOptions};
+use specstab_campaign::trace::{emit_result_events, sum_shard_counters};
 use specstab_protocols::registry;
+use specstab_telemetry::{
+    global, merge_streams, metrics_from_events, parse_ndjson, EventKind, Heartbeat, TraceWriter,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
@@ -44,14 +50,21 @@ fn usage() -> ! {
          campaign [run] [--topologies <spec,..>] [--protocols <name,..|all>] \
          [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
          [--workers <n>] [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] \
-         [--cells-in-json] [--list-protocols]\n\
+         [--trace <path>] [--metrics <path>] [--cells-in-json] [--list-protocols]\n\
          campaign plan  [matrix options as above] --shards <n> [--out <path>]\n\
-         campaign shard --plan <path> --shard <id> [--threads <n>] [--out <path>]\n\
-         campaign merge [--json <path>] [--csv <path>] [--cells-in-json] <partial.json>..\n\
+         campaign shard --plan <path> --shard <id> [--threads <n>] [--out <path>] \
+         [--trace <path>]\n\
+         campaign merge [--json <path>] [--csv <path>] [--cells-in-json] [--trace <path>] \
+         <partial.json>..\n\
          \n\
          run --workers N executes the plan/shard/merge pipeline over N local worker\n\
          processes (--threads then sets threads PER WORKER, default 1); artifacts are\n\
          byte-identical to the in-process run (--workers 0).\n\
+         \n\
+         --trace writes a specstab-events/v1 NDJSON event stream (with --workers N the\n\
+         per-shard worker streams are merged deterministically into it); --metrics\n\
+         distills the stream into a specstab-metrics/v1 runtime sidecar. Both are pure\n\
+         observability: JSON/CSV artifacts stay byte-identical with tracing on.\n\
          \n\
          defaults: topologies ring:12,torus:3x4,tree:12,path:12,ring:1024,torus:32x32  \n\
          \x20         protocols ssme  \n\
@@ -123,6 +136,8 @@ struct Args {
     json: Option<String>,
     csv: Option<String>,
     out: Option<String>,
+    trace: Option<String>,
+    metrics: Option<String>,
     cells_in_json: bool,
 }
 
@@ -151,6 +166,8 @@ fn parse_args(argv: &[String]) -> Args {
         json: None,
         csv: None,
         out: None,
+        trace: None,
+        metrics: None,
         cells_in_json: false,
     };
     let mut i = 0;
@@ -190,6 +207,8 @@ fn parse_args(argv: &[String]) -> Args {
             "--json" => args.json = Some(val),
             "--csv" => args.csv = Some(val),
             "--out" => args.out = Some(val),
+            "--trace" => args.trace = Some(val),
+            "--metrics" => args.metrics = Some(val),
             _ => usage(),
         }
         i += 2;
@@ -212,6 +231,40 @@ fn split_list(s: &str) -> Vec<String> {
 fn fail(msg: &str) -> ! {
     eprintln!("campaign error: {msg}");
     std::process::exit(2)
+}
+
+/// Opens the `--trace` event stream when one was requested; every
+/// subcommand funnels through here so streams carry a consistent header.
+fn open_trace(path: Option<&str>, shard: Option<u64>, source: &str) -> Option<TraceWriter> {
+    path.map(|p| TraceWriter::create(Path::new(p), shard, source).unwrap_or_else(|e| fail(&e)))
+}
+
+/// Emits one event into an open trace (no-op without `--trace`), dying on
+/// write failure — a requested trace that silently loses events would be
+/// worse than no trace.
+fn trace_emit(trace: &mut Option<TraceWriter>, kind: EventKind) {
+    if let Some(w) = trace.as_mut() {
+        w.emit(kind).unwrap_or_else(|e| fail(&e));
+    }
+}
+
+/// Flushes the trace and, when `--metrics` was also given, reads the
+/// finished stream back through the strict parser and writes the
+/// `specstab-metrics/v1` sidecar next to it.
+fn finish_trace(trace: Option<TraceWriter>, trace_path: Option<&str>, metrics: Option<&str>) {
+    let Some(w) = trace else { return };
+    w.finish().unwrap_or_else(|e| fail(&e));
+    let path = trace_path.expect("trace writer implies a trace path");
+    eprintln!("campaign: event stream -> {path}");
+    if let Some(out) = metrics {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("reading {path}: {e}")));
+        let events = parse_ndjson(&text).unwrap_or_else(|e| fail(&format!("parsing {path}: {e}")));
+        if let Err(e) = std::fs::write(out, metrics_from_events(&events).render()) {
+            fail(&format!("writing {out}: {e}"));
+        }
+        eprintln!("campaign: metrics sidecar -> {out}");
+    }
 }
 
 /// Upfront compatibility filter: parses each topology once and asks the
@@ -343,16 +396,48 @@ fn emit_result(result: &CampaignResult, json: Option<&str>, csv: Option<&str>, c
 /// `--workers N` local shard subprocesses (byte-identical either way).
 fn cmd_run(argv: &[String]) -> ! {
     let args = parse_args(argv);
+    if args.metrics.is_some() && args.trace.is_none() {
+        fail("--metrics requires --trace (the sidecar is distilled from the event stream)");
+    }
     let matrix = build_matrix(&args);
     let config = config_of(&args);
+    let group_count = group_boundaries(matrix.cells()).len().saturating_sub(1) as u64;
+    let mut trace = open_trace(args.trace.as_deref(), None, "run");
+    trace_emit(
+        &mut trace,
+        EventKind::CampaignStart {
+            cells: matrix.len() as u64,
+            groups: group_count,
+            seed: config.seed,
+            max_steps: config.max_steps as u64,
+        },
+    );
     if args.workers == 0 {
-        let result = run_campaign(&matrix, &config);
+        let before = global().snapshot();
+        let heartbeat = Heartbeat::new(matrix.len() as u64);
+        let result = run_campaign_with_progress(&matrix, &config, Some(&heartbeat));
+        heartbeat.finish();
+        let counters = global().snapshot().delta(&before);
         eprintln!(
             "campaign: done in {:?} on {} threads ({:.0} cells/s)",
             result.wall,
             result.threads_used,
             result.cells.len() as f64 / result.wall.as_secs_f64().max(1e-9),
         );
+        if let Some(w) = trace.as_mut() {
+            emit_result_events(w, &result.cells, &result.groups).unwrap_or_else(|e| fail(&e));
+        }
+        trace_emit(
+            &mut trace,
+            EventKind::CampaignEnd {
+                cells: result.cells.len() as u64,
+                errors: result.total_errors(),
+                violations: result.total_violations(),
+                wall_us: u64::try_from(result.wall.as_micros()).unwrap_or(u64::MAX),
+                counters,
+            },
+        );
+        finish_trace(trace, args.trace.as_deref(), args.metrics.as_deref());
         emit_result(&result, args.json.as_deref(), args.csv.as_deref(), args.cells_in_json);
     }
     // Subprocess backend: plan into ~4 group-aligned shards per worker
@@ -378,15 +463,74 @@ fn cmd_run(argv: &[String]) -> ! {
         args.workers,
         plan_path.display()
     );
+    trace_emit(
+        &mut trace,
+        EventKind::Plan { cells: plan.cells.len() as u64, shards: plan.shards.len() as u64 },
+    );
     // --threads here means threads *per worker process* (default 1: the
     // worker pool already fills the machine). The work dir is removed on
     // the failure paths too — partial artifacts of a failed run would
     // otherwise pile up in the temp dir.
-    let outcome =
-        run_plan_subprocess(&exe, &plan, &plan_path, &work_dir, args.workers, args.threads.max(1))
-            .and_then(merge_partials);
+    let heartbeat = Heartbeat::new(plan.cells.len() as u64);
+    let partials = run_plan_subprocess(
+        &exe,
+        &plan,
+        &plan_path,
+        &work_dir,
+        PoolOptions {
+            workers: args.workers,
+            threads_per_worker: args.threads.max(1),
+            trace_dir: trace.as_ref().map(|_| work_dir.as_path()),
+            progress: Some(&heartbeat),
+        },
+    );
+    heartbeat.finish();
+    // Splice the worker streams into the orchestrator trace — read back
+    // while the work dir still exists, interleaved deterministically by
+    // (shard, seq) regardless of worker completion order.
+    let mut shard_counters = specstab_telemetry::CounterSnapshot::default();
+    if let (Some(w), Ok(_)) = (trace.as_mut(), &partials) {
+        let streams: Vec<_> = plan
+            .shards
+            .iter()
+            .map(|s| {
+                let p = shard_trace_path(&work_dir, s.id);
+                let text = std::fs::read_to_string(&p)
+                    .unwrap_or_else(|e| fail(&format!("reading {}: {e}", p.display())));
+                parse_ndjson(&text)
+                    .unwrap_or_else(|e| fail(&format!("parsing {}: {e}", p.display())))
+            })
+            .collect();
+        let merged = merge_streams(streams);
+        shard_counters = sum_shard_counters(&merged);
+        for event in &merged {
+            w.emit_raw(event).unwrap_or_else(|e| fail(&e));
+        }
+    }
+    let outcome = partials.and_then(|ps| {
+        trace_emit(&mut trace, EventKind::MergeStart { partials: ps.len() as u64 });
+        merge_partials(ps)
+    });
     let _ = std::fs::remove_dir_all(&work_dir);
     let result = outcome.unwrap_or_else(|e| fail(&e));
+    trace_emit(
+        &mut trace,
+        EventKind::MergeEnd {
+            cells: result.cells.len() as u64,
+            groups: result.groups.len() as u64,
+        },
+    );
+    trace_emit(
+        &mut trace,
+        EventKind::CampaignEnd {
+            cells: result.cells.len() as u64,
+            errors: result.total_errors(),
+            violations: result.total_violations(),
+            wall_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            counters: shard_counters,
+        },
+    );
+    finish_trace(trace, args.trace.as_deref(), args.metrics.as_deref());
     eprintln!(
         "campaign: done in {:?} on {} workers ({:.0} cells/s)",
         started.elapsed(),
@@ -407,6 +551,21 @@ fn cmd_plan(argv: &[String]) -> ! {
         fail(&format!("writing {path}: {e}"));
     }
     let groups = group_boundaries(&plan.cells).len().saturating_sub(1);
+    let mut trace = open_trace(args.trace.as_deref(), None, "plan");
+    trace_emit(
+        &mut trace,
+        EventKind::CampaignStart {
+            cells: plan.cells.len() as u64,
+            groups: groups as u64,
+            seed: plan.config.seed,
+            max_steps: plan.config.max_steps as u64,
+        },
+    );
+    trace_emit(
+        &mut trace,
+        EventKind::Plan { cells: plan.cells.len() as u64, shards: plan.shards.len() as u64 },
+    );
+    finish_trace(trace, args.trace.as_deref(), None);
     eprintln!(
         "campaign: plan -> {path} ({} cells, {groups} groups, {} shards)",
         plan.cells.len(),
@@ -427,6 +586,7 @@ fn cmd_shard(argv: &[String]) -> ! {
     let mut shard_id: Option<usize> = None;
     let mut threads = 1usize;
     let mut out: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         let Some(val) = argv.get(i + 1).cloned() else { usage() };
@@ -435,6 +595,7 @@ fn cmd_shard(argv: &[String]) -> ! {
             "--shard" => shard_id = Some(val.parse().unwrap_or_else(|_| usage())),
             "--threads" => threads = val.parse().unwrap_or_else(|_| usage()),
             "--out" => out = Some(val),
+            "--trace" => trace_path = Some(val),
             _ => usage(),
         }
         i += 2;
@@ -444,8 +605,28 @@ fn cmd_shard(argv: &[String]) -> ! {
         .unwrap_or_else(|e| fail(&format!("reading {plan_path}: {e}")));
     let plan = CampaignPlan::from_json(&text)
         .unwrap_or_else(|e| fail(&format!("parsing {plan_path}: {e}")));
+    let mut trace = open_trace(trace_path.as_deref(), Some(shard_id as u64), "shard");
     let started = std::time::Instant::now();
+    let before = global().snapshot();
+    if let Some(shard) = plan.shards.get(shard_id) {
+        trace_emit(
+            &mut trace,
+            EventKind::ShardStart { start: shard.start as u64, end: shard.end as u64 },
+        );
+    }
     let partial = execute_shard(&plan, shard_id, threads).unwrap_or_else(|e| fail(&e));
+    if let Some(w) = trace.as_mut() {
+        emit_result_events(w, &partial.cells, &partial.groups).unwrap_or_else(|e| fail(&e));
+    }
+    trace_emit(
+        &mut trace,
+        EventKind::ShardEnd {
+            cells: partial.cells.len() as u64,
+            wall_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            counters: global().snapshot().delta(&before),
+        },
+    );
+    finish_trace(trace, trace_path.as_deref(), None);
     let out = out.unwrap_or_else(|| format!("shard-{shard_id}.partial.json"));
     if let Err(e) = std::fs::write(&out, partial.to_json()) {
         fail(&format!("writing {out}: {e}"));
@@ -463,6 +644,7 @@ fn cmd_shard(argv: &[String]) -> ! {
 fn cmd_merge(argv: &[String]) -> ! {
     let mut json: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut cells_in_json = false;
     let mut inputs: Vec<PathBuf> = Vec::new();
     let mut i = 0;
@@ -472,12 +654,12 @@ fn cmd_merge(argv: &[String]) -> ! {
                 cells_in_json = true;
                 i += 1;
             }
-            "--json" | "--csv" => {
+            "--json" | "--csv" | "--trace" => {
                 let Some(val) = argv.get(i + 1).cloned() else { usage() };
-                if argv[i] == "--json" {
-                    json = Some(val);
-                } else {
-                    csv = Some(val);
+                match argv[i].as_str() {
+                    "--json" => json = Some(val),
+                    "--csv" => csv = Some(val),
+                    _ => trace_path = Some(val),
                 }
                 i += 2;
             }
@@ -501,7 +683,17 @@ fn cmd_merge(argv: &[String]) -> ! {
         })
         .collect();
     eprintln!("campaign: merging {} partials", partials.len());
+    let mut trace = open_trace(trace_path.as_deref(), None, "merge");
+    trace_emit(&mut trace, EventKind::MergeStart { partials: partials.len() as u64 });
     let result = merge_partials(partials).unwrap_or_else(|e| fail(&e));
+    trace_emit(
+        &mut trace,
+        EventKind::MergeEnd {
+            cells: result.cells.len() as u64,
+            groups: result.groups.len() as u64,
+        },
+    );
+    finish_trace(trace, trace_path.as_deref(), None);
     emit_result(&result, json.as_deref(), csv.as_deref(), cells_in_json);
 }
 

@@ -29,6 +29,7 @@ use specstab_kernel::harness::{HarnessState, ProtocolHarness};
 use specstab_kernel::measure::MeasurementContext;
 use specstab_kernel::protocol::{random_configuration, Protocol};
 use specstab_protocols::registry::{self, HarnessVisitor, ProtocolInfo};
+use specstab_telemetry::{Heartbeat, RunCounters};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::spec::parse_spec;
 use specstab_topology::Graph;
@@ -95,6 +96,13 @@ pub struct CellResult {
     pub cell_seed: u64,
     /// Measured outcome, or a description of why the cell failed.
     pub outcome: Result<CellOutcome, String>,
+    /// Wall-clock nanoseconds the cell took. **Telemetry only**: feeds
+    /// event streams and metrics sidecars, never the deterministic
+    /// artifacts (zero for failed cells and for cells read back from
+    /// partials).
+    pub wall_nanos: u64,
+    /// The cell's engine counters (telemetry only, like `wall_nanos`).
+    pub counters: RunCounters,
 }
 
 /// Aggregated statistics for one scenario group (all cells sharing
@@ -331,6 +339,8 @@ fn execute_group_run(
                 class: None,
                 cell_seed: cell.cell_seed(config.seed),
                 outcome: Err(e.to_string()),
+                wall_nanos: 0,
+                counters: RunCounters::default(),
             })
             .collect()
     };
@@ -376,6 +386,20 @@ pub(crate) fn fold_groups(partials: Vec<GroupSummary>) -> Vec<GroupSummary> {
 /// `config.seed` / `config.max_steps` — never on `config.threads`.
 #[must_use]
 pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> CampaignResult {
+    run_campaign_with_progress(matrix, config, None)
+}
+
+/// [`run_campaign`] with an optional live progress heartbeat, ticked from
+/// the main thread as finished group runs drain out of the worker channel.
+/// The heartbeat only ever *observes* results — scheduling, seeding and
+/// aggregation are untouched, so the result is bit-identical with or
+/// without it.
+#[must_use]
+pub fn run_campaign_with_progress(
+    matrix: &ScenarioMatrix,
+    config: &CampaignConfig,
+    progress: Option<&Heartbeat>,
+) -> CampaignResult {
     let started = Instant::now();
     let cells = matrix.cells();
     let runs = group_runs(cells);
@@ -417,6 +441,11 @@ pub fn run_campaign(matrix: &ScenarioMatrix, config: &CampaignConfig) -> Campaig
         }
         drop(tx);
         for (idx, out) in rx {
+            if let Some(hb) = progress {
+                for cr in &out.0 {
+                    hb.cell_done(cr.counters.moves);
+                }
+            }
             slots[idx] = Some(out);
         }
     });
@@ -527,11 +556,22 @@ fn run_harness_group<H: ProtocolHarness>(
         .iter()
         .map(|cell| {
             let cell_seed = cell.cell_seed(config.seed);
-            let (class, outcome) = match &harness {
+            let started = Instant::now();
+            let (class, counters, outcome) = match &harness {
                 Ok(h) => run_harness_cell(h, cell, graph, diam, cell_seed, config, scratch),
-                Err(e) => (None, Err(e.to_string())),
+                Err(e) => (None, RunCounters::default(), Err(e.to_string())),
             };
-            CellResult { cell: cell.clone(), n: graph.n(), diam, class, cell_seed, outcome }
+            let wall_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            CellResult {
+                cell: cell.clone(),
+                n: graph.n(),
+                diam,
+                class,
+                cell_seed,
+                outcome,
+                wall_nanos,
+                counters,
+            }
         })
         .collect()
 }
@@ -549,10 +589,10 @@ fn run_harness_cell<H: ProtocolHarness>(
     cell_seed: u64,
     config: &CampaignConfig,
     scratch: &mut ScratchPool,
-) -> (Option<DaemonClass>, Result<CellOutcome, String>) {
+) -> (Option<DaemonClass>, RunCounters, Result<CellOutcome, String>) {
     let mut daemon = match harness.daemon(&cell.daemon, mix(cell_seed, 0x000D_AE17)) {
         Ok(d) => d,
-        Err(e) => return (None, Err(e)),
+        Err(e) => return (None, RunCounters::default(), Err(e)),
     };
     let class = Some(daemon.class());
     let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
@@ -563,13 +603,13 @@ fn run_harness_cell<H: ProtocolHarness>(
         InitMode::Burst(faults) => {
             let healthy = match harness.legitimate_configuration(graph, &mut rng) {
                 Ok(c) => c,
-                Err(e) => return (class, Err(e.to_string())),
+                Err(e) => return (class, RunCounters::default(), Err(e.to_string())),
             };
             burst_configuration(graph, harness.protocol(), healthy, faults, &mut rng)
         }
         InitMode::Witness => match harness.witness_configuration(graph) {
             Ok(c) => c,
-            Err(e) => return (class, Err(e.to_string())),
+            Err(e) => return (class, RunCounters::default(), Err(e.to_string())),
         },
     };
     let sim = Simulator::new(graph, harness.protocol());
@@ -586,6 +626,7 @@ fn run_harness_cell<H: ProtocolHarness>(
     let bound = (cell.daemon == "sync").then(|| harness.sync_bound(graph, diam)).flatten();
     (
         class,
+        report.counters,
         Ok(CellOutcome {
             steps_run: report.steps_run,
             stabilization_steps: report.stabilization_steps,

@@ -37,7 +37,11 @@
 //!   carries the full bit-exact state of every statistics accumulator;
 //! * [`merge`] — folds any tiling set of partials, in any order, into a
 //!   [`CampaignResult`] whose artifacts are byte-identical to a
-//!   single-process sweep.
+//!   single-process sweep;
+//! * [`trace`] — the bridge into `specstab-telemetry`: `--trace` streams
+//!   versioned `specstab-events/v1` NDJSON from every subcommand (shard
+//!   workers included), and `--metrics` derives the runtime sidecar —
+//!   without perturbing a byte of the deterministic artifacts.
 //!
 //! The `campaign` binary exposes all of this on the command line
 //! (`campaign plan` / `shard` / `merge` / `run --workers N`).
@@ -71,6 +75,7 @@ pub mod plan;
 pub mod report;
 pub mod shard;
 pub mod stats;
+pub mod trace;
 
 pub use artifact::PartialArtifact;
 pub use executor::{run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult};

@@ -19,6 +19,7 @@ use crate::artifact::PartialArtifact;
 use crate::executor::run_campaign;
 use crate::matrix::ScenarioMatrix;
 use crate::plan::CampaignPlan;
+use specstab_telemetry::Heartbeat;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 
@@ -54,17 +55,42 @@ pub struct ShardJob {
     pub shard_id: usize,
     /// Output path for the partial artifact.
     pub out: PathBuf,
+    /// Event-stream path passed to the worker as `--trace` (if tracing).
+    pub trace: Option<PathBuf>,
+}
+
+/// Canonical per-shard event-stream path inside a trace directory — the
+/// one place the `shard-<id>.events.ndjson` naming convention lives, so
+/// the orchestrator and the worker pool always agree on it.
+pub fn shard_trace_path(dir: &Path, shard_id: usize) -> PathBuf {
+    dir.join(format!("shard-{shard_id}.events.ndjson"))
+}
+
+/// Knobs of the subprocess worker pool (everything beyond the plan
+/// itself), so [`run_plan_subprocess`] keeps a readable signature.
+#[derive(Clone, Copy, Default)]
+pub struct PoolOptions<'a> {
+    /// Maximum concurrent worker processes (clamped to at least 1).
+    pub workers: usize,
+    /// `--threads` passed to each worker (clamped to at least 1; default 1
+    /// — the pool already fills the machine, and per-cell determinism
+    /// makes the thread choice invisible in the output).
+    pub threads_per_worker: usize,
+    /// When set, each worker gets `--trace` pointing at
+    /// [`shard_trace_path`]`(trace_dir, id)` and writes its own
+    /// `specstab-events/v1` stream there for the orchestrator to merge.
+    /// Tracing never touches the partial artifacts.
+    pub trace_dir: Option<&'a Path>,
+    /// Advanced by each shard's cell count as its worker exits — moves are
+    /// reported as 0 because partials are only parsed after the pool
+    /// drains, so the heartbeat shows cells/s without a moves/s segment.
+    pub progress: Option<&'a Heartbeat>,
 }
 
 /// Runs every shard of the plan at `plan_path` through worker subprocesses
-/// of `exe` (the `campaign` binary), at most `workers` concurrent, each on
-/// `threads_per_worker` threads, writing partials into `work_dir` and
-/// returning them parsed, in shard order.
-///
-/// `threads_per_worker` is clamped to at least 1; the orchestrator passes
-/// the user's `--threads` through (default 1 per worker — `workers`
-/// processes already keep the machine busy without oversubscription, and
-/// per-cell determinism makes the thread choice invisible in the output).
+/// of `exe` (the `campaign` binary), bounded by [`PoolOptions::workers`],
+/// writing partials into `work_dir` and returning them parsed, in shard
+/// order.
 ///
 /// # Errors
 ///
@@ -76,8 +102,7 @@ pub fn run_plan_subprocess(
     plan: &CampaignPlan,
     plan_path: &Path,
     work_dir: &Path,
-    workers: usize,
-    threads_per_worker: usize,
+    opts: PoolOptions<'_>,
 ) -> Result<Vec<PartialArtifact>, String> {
     let jobs: Vec<ShardJob> = plan
         .shards
@@ -85,22 +110,26 @@ pub fn run_plan_subprocess(
         .map(|s| ShardJob {
             shard_id: s.id,
             out: work_dir.join(format!("shard-{}.partial.json", s.id)),
+            trace: opts.trace_dir.map(|d| shard_trace_path(d, s.id)),
         })
         .collect();
-    let workers = workers.max(1).min(jobs.len().max(1));
+    let workers = opts.workers.max(1).min(jobs.len().max(1));
 
     let spawn = |job: &ShardJob| -> Result<Child, String> {
-        Command::new(exe)
-            .arg("shard")
+        let mut cmd = Command::new(exe);
+        cmd.arg("shard")
             .arg("--plan")
             .arg(plan_path)
             .arg("--shard")
             .arg(job.shard_id.to_string())
             .arg("--threads")
-            .arg(threads_per_worker.max(1).to_string())
+            .arg(opts.threads_per_worker.max(1).to_string())
             .arg("--out")
-            .arg(&job.out)
-            .stdout(Stdio::null())
+            .arg(&job.out);
+        if let Some(trace) = &job.trace {
+            cmd.arg("--trace").arg(trace);
+        }
+        cmd.stdout(Stdio::null())
             .stderr(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawning worker for shard {}: {e}", job.shard_id))
@@ -135,7 +164,12 @@ pub fn run_plan_subprocess(
         for (i, (shard_id, child)) in running.iter_mut().enumerate() {
             match child.try_wait() {
                 Ok(Some(status)) => {
-                    if !status.success() {
+                    if status.success() {
+                        if let Some(hb) = opts.progress {
+                            let s = plan.shards[*shard_id];
+                            hb.add_done((s.end - s.start) as u64, 0);
+                        }
+                    } else {
                         let mut stderr = String::new();
                         if let Some(pipe) = child.stderr.take() {
                             use std::io::Read as _;

@@ -2,25 +2,6 @@
 
 use specstab_topology::VertexId;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Process-wide count of full [`Configuration`] clones (see
-/// [`clone_count`]).
-static CLONE_COUNT: AtomicU64 = AtomicU64::new(0);
-
-/// Number of full `Configuration::clone` calls executed by this process so
-/// far.
-///
-/// The zero-allocation stepping core promises **zero configuration clones
-/// per steady-state step**; this counter is the instrument that proves it.
-/// Buffer-reusing copies via [`Clone::clone_from`] are *not* counted — they
-/// are exactly the allocation-free path the engine is supposed to take.
-/// The counter is monotonically increasing and process-global: tests should
-/// compare deltas, not absolute values.
-#[must_use]
-pub fn clone_count() -> u64 {
-    CLONE_COUNT.load(Ordering::Relaxed)
-}
 
 /// An assignment of values to all variables of the graph — one state per
 /// vertex (the paper's `γ ∈ Γ`).
@@ -43,8 +24,17 @@ pub struct Configuration<S> {
 }
 
 impl<S: Clone> Clone for Configuration<S> {
+    /// A full clone, recorded in the process-global telemetry counters
+    /// (`config_clones` of [`specstab_telemetry::counters::global`]).
+    ///
+    /// The zero-allocation stepping core promises **zero configuration
+    /// clones per steady-state step**; that counter is the instrument that
+    /// proves it (the `zero_alloc` gate compares snapshot deltas around an
+    /// instrumented run). Buffer-reusing copies via [`Clone::clone_from`]
+    /// are *not* counted — they are exactly the allocation-free path the
+    /// engine is supposed to take.
     fn clone(&self) -> Self {
-        CLONE_COUNT.fetch_add(1, Ordering::Relaxed);
+        specstab_telemetry::global().record_config_clone();
         Self { states: self.states.clone() }
     }
 

@@ -9,7 +9,8 @@
 //!
 //! Speculation profiles are estimated by simulating millions of steps, so
 //! the steady-state step loop performs **zero heap allocations and zero
-//! configuration clones** (measured by [`crate::config::clone_count`]):
+//! configuration clones** (measured by the `config_clones` counter of
+//! [`specstab_telemetry::counters::global`]):
 //!
 //! * configurations are **double-buffered** — [`Simulator::apply_action_into`]
 //!   writes the successor into a reused buffer which is swapped with the
@@ -52,6 +53,7 @@ use crate::config::Configuration;
 use crate::daemon::{Daemon, SelectionContext};
 use crate::observer::{Observer, StepEvent};
 use crate::protocol::{Protocol, RuleId, View};
+use specstab_telemetry::RunCounters;
 use specstab_topology::{Graph, VertexId};
 
 /// Why a run stopped.
@@ -91,6 +93,10 @@ pub struct RunSummary<S> {
     pub moves: u64,
     /// Why the run stopped.
     pub stop: StopReason,
+    /// Deterministic telemetry tallies of this run (steps, moves, guard
+    /// evaluations, delta bytes), accumulated in plain locals by the step
+    /// loop and flushed to the process-global aggregate exactly once, here.
+    pub counters: RunCounters,
 }
 
 /// Reusable scratch buffers for the zero-allocation step loop.
@@ -356,7 +362,18 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             stamps.clear();
             stamps.resize(n, 0);
             *generation = 0;
+        } else {
+            // The scratch arrives already sized for this graph: cross-run
+            // buffer reuse, the amortization `run_with_scratch` exists for.
+            specstab_telemetry::global().record_scratch_reuse();
         }
+        // Telemetry tallies live in plain locals (flushed once at run end):
+        // no atomics on the hot path, no cross-thread contamination. Daemon
+        // preview evaluations happen behind a `Fn` closure, so they go
+        // through a `Cell` instead of a `&mut` local.
+        let mut counters = RunCounters::new();
+        let preview_evals = std::cell::Cell::new(0u64);
+        counters.guard_evals += n as u64;
         for v in self.graph.vertices() {
             if self.enabled_rule(&config, v).is_some() {
                 enabled.push(v);
@@ -381,6 +398,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             selection.clear();
             {
                 let apply_into = |set: &[VertexId], out: &mut Configuration<P::State>| {
+                    preview_evals.set(preview_evals.get() + set.len() as u64);
                     self.apply_set_into(&config, set, out);
                 };
                 let ctx = SelectionContext::new(enabled, &config, self.graph, steps, &apply_into);
@@ -418,6 +436,8 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 deltas.push((v, before, state));
                 fired.push((v, rule));
             }
+            counters.guard_evals += selection.len() as u64;
+            counters.delta_bytes += (deltas.len() * 2 * std::mem::size_of::<P::State>()) as u64;
             // Incremental enablement update: only activated vertices and
             // their neighbors can change status. Stamp-dedup while
             // collecting; the set is sorted afterwards either trivially
@@ -444,6 +464,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             } else {
                 touched.sort_unstable();
             }
+            counters.guard_evals += touched.len() as u64;
             for &v in touched.iter() {
                 enabled_mask[v.index()] = self.enabled_rule_unchecked(next, v).is_some();
             }
@@ -498,7 +519,11 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 next.set(*v, after.clone());
             }
         };
-        RunSummary { final_config: config, steps, moves, stop }
+        counters.steps = steps as u64;
+        counters.moves = moves;
+        counters.guard_evals += preview_evals.get();
+        specstab_telemetry::global().record_run(&counters);
+        RunSummary { final_config: config, steps, moves, stop, counters }
     }
 
     /// The original clone-based step loop, retained verbatim in behavior as
@@ -523,7 +548,14 @@ impl<'a, P: Protocol> Simulator<'a, P> {
     ) -> RunSummary<P::State> {
         assert_eq!(init.len(), self.graph.n(), "configuration size must match graph");
         daemon.reset();
+        let n = self.graph.n();
         let mut config = init;
+        // Honest counters for the reference loop too: it rescans all n
+        // vertices every step, so its guard_evals exceed the incremental
+        // loop's — the differential suite compares results, not telemetry.
+        let mut counters = RunCounters::new();
+        let preview_evals = std::cell::Cell::new(0u64);
+        counters.guard_evals += n as u64;
         let mut enabled = self.enabled_vertices(&config);
         for obs in observers.iter_mut() {
             obs.on_start(&config, self.graph);
@@ -541,6 +573,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 break StopReason::ObserverRequest;
             }
             let apply_into = |set: &[VertexId], out: &mut Configuration<P::State>| {
+                preview_evals.set(preview_evals.get() + set.len() as u64);
                 *out = self.apply_action(&config, set).0;
             };
             let ctx = SelectionContext::new(&enabled, &config, self.graph, steps, &apply_into);
@@ -559,6 +592,8 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 .map(|&(v, _)| (v, config.get(v).clone(), next.get(v).clone()))
                 .collect();
             let next_enabled = self.enabled_vertices(&next);
+            counters.guard_evals += (selection.len() + n) as u64;
+            counters.delta_bytes += (deltas.len() * 2 * std::mem::size_of::<P::State>()) as u64;
             steps += 1;
             moves += fired.len() as u64;
             let event = StepEvent {
@@ -576,7 +611,11 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             config = next;
             enabled = next_enabled;
         };
-        RunSummary { final_config: config, steps, moves, stop }
+        counters.steps = steps as u64;
+        counters.moves = moves;
+        counters.guard_evals += preview_evals.get();
+        specstab_telemetry::global().record_run(&counters);
+        RunSummary { final_config: config, steps, moves, stop, counters }
     }
 }
 

@@ -416,6 +416,7 @@ mod tests {
             first_legitimate: Some(2),
             legitimacy_entry: 9,
             ended_legitimate: true,
+            counters: specstab_telemetry::RunCounters::default(),
         };
         let stab = TheoremBound { value: 7, metric: BoundMetric::Stabilization };
         assert_eq!(stab.measured(&report), 7);

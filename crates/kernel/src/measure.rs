@@ -41,6 +41,10 @@ pub struct StabilizationReport {
     pub legitimacy_entry: usize,
     /// Whether the run ended inside the legitimate region.
     pub ended_legitimate: bool,
+    /// The run's deterministic engine counters (see
+    /// [`crate::engine::RunSummary::counters`]), passed through so batch
+    /// drivers can aggregate telemetry without touching the global.
+    pub counters: specstab_telemetry::RunCounters,
 }
 
 /// Parameters for [`measure_stabilization`].
@@ -143,6 +147,7 @@ impl<S> MeasurementContext<S> {
             first_legitimate: self.legit_mon.first_legitimate(),
             legitimacy_entry: self.legit_mon.entry_index(),
             ended_legitimate: self.legit_mon.currently_legitimate(),
+            counters: summary.counters,
         }
     }
 }

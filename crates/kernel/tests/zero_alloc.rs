@@ -1,16 +1,20 @@
 //! Acceptance test for the zero-allocation stepping core: steady-state
-//! steps perform **zero configuration clones**, proven by the process-wide
-//! instrumented clone counter ([`specstab_kernel::config::clone_count`]).
+//! steps perform **zero configuration clones**, proven by the
+//! `config_clones` counter of the process-wide telemetry aggregate
+//! ([`specstab_telemetry::global`]) — the promotion of the old test-only
+//! clone counter into the first-class engine counters.
 //!
-//! The counter is process-global, so everything here lives in one `#[test]`
-//! (this file is its own test binary — no other test pollutes the deltas).
+//! The counters are process-global, so everything here lives in one
+//! `#[test]` (this file is its own test binary — no other test pollutes
+//! the snapshot deltas).
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use specstab_kernel::config::{clone_count, Configuration};
+use specstab_kernel::config::Configuration;
 use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
 use specstab_kernel::engine::{RunLimits, Simulator, StepScratch, StopReason};
 use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
+use specstab_telemetry::global;
 use specstab_topology::{generators, VertexId};
 
 /// Unison-like toy: every vertex increments its clock modulo `m` while it
@@ -66,7 +70,7 @@ fn assert_zero_steady_state_clones(
     assert_eq!(warm.stop, StopReason::MaxSteps, "spin protocol never terminates");
 
     let run_init = init.clone();
-    let before = clone_count();
+    let before = global().snapshot();
     let s = sim.run_with_scratch(
         run_init,
         &mut daemon,
@@ -74,15 +78,22 @@ fn assert_zero_steady_state_clones(
         &mut [],
         scratch,
     );
-    let clones = clone_count() - before;
+    let after = global().snapshot().delta(&before);
     assert_eq!(s.steps, steps);
     assert_eq!(
-        clones,
+        after.config_clones,
         0,
-        "{}: synchronous steady state must not clone configurations ({clones} clones / {} steps)",
+        "{}: synchronous steady state must not clone configurations ({} clones / {} steps)",
         g.name(),
+        after.config_clones,
         s.steps
     );
+    // The same snapshot delta also proves the batched run flush and the
+    // cross-run scratch reuse instrument.
+    assert_eq!(after.steps, s.steps as u64, "run flush must carry the step count");
+    assert_eq!(after.moves, s.moves, "run flush must carry the move count");
+    assert_eq!(s.counters.steps, s.steps as u64, "per-run counters mirror the summary");
+    assert!(after.scratch_reuses >= 1, "warmed scratch must be detected as reused");
 
     // --- Central round-robin: exercises the incremental enabled-set merge
     // (and, on large instances, the stamp-based touched-set path with a
@@ -96,7 +107,7 @@ fn assert_zero_steady_state_clones(
         scratch,
     );
     let run_init = init;
-    let before = clone_count();
+    let before = global().snapshot();
     let s = sim.run_with_scratch(
         run_init,
         &mut central,
@@ -104,14 +115,16 @@ fn assert_zero_steady_state_clones(
         &mut [],
         scratch,
     );
-    let clones = clone_count() - before;
+    let after = global().snapshot().delta(&before);
     assert_eq!(s.steps, steps);
     assert_eq!(
-        clones,
+        after.config_clones,
         0,
         "{}: central round-robin steady state must not clone configurations",
         g.name()
     );
+    assert_eq!(s.moves, s.steps as u64, "central daemon: one move per step");
+    assert_eq!(s.counters.moves, s.moves, "per-run counters mirror the summary");
 }
 
 #[test]

@@ -1,0 +1,40 @@
+//! `events_check` — strict validator for `specstab-events/v1` NDJSON
+//! trace files.
+//!
+//! Usage: `events_check <trace.ndjson>...`
+//!
+//! Each file is parsed line-by-line through the strict JSON reader and
+//! checked against the stream discipline (schema header first, dense
+//! per-stream sequence numbers, monotonic timestamps). Exit code 0 when
+//! every file validates; 1 with a diagnostic on stderr otherwise. CI runs
+//! this over the traces the distributed-pipeline job produces.
+
+use specstab_telemetry::event::{parse_ndjson, validate_events};
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let events = parse_ndjson(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate_events(&events).map_err(|e| format!("{path}: {e}"))?;
+    Ok(events.len())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: events_check <trace.ndjson>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("{path}: ok ({n} events)"),
+            Err(e) => {
+                eprintln!("events_check: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

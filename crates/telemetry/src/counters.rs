@@ -1,0 +1,187 @@
+//! Engine counters: deterministic per-run tallies plus the process-global
+//! lock-free aggregate.
+//!
+//! The discipline that keeps counting off the hot path: the step loop
+//! accumulates into plain `u64` locals ([`RunCounters`]) and flushes **one
+//! batched relaxed-atomic add per run** into the [`global`]
+//! [`EngineCounters`]. No per-step or per-move atomics, so the steady
+//! state above 1e7 moves/s is untouched; no global reads inside a run, so
+//! concurrent workers never contaminate each other's per-run numbers.
+//!
+//! Two instruments are inherently process-wide rather than per-run and
+//! increment the global directly: scratch-buffer reuses (recorded at run
+//! entry) and full [`Configuration`] clones (recorded by the instrumented
+//! `Clone` impl in the kernel — the promotion of the old test-only clone
+//! counter). Tests compare [`CounterSnapshot`] deltas, never absolute
+//! values.
+//!
+//! [`Configuration`]: https://docs.rs/specstab-kernel
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tallies of one engine run, accumulated in plain locals by the step
+/// loop. Deterministic: a run's counters depend only on its inputs, never
+/// on scheduling or thread count.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Steps (actions) executed.
+    pub steps: u64,
+    /// Moves (vertex activations) executed.
+    pub moves: u64,
+    /// Guard evaluations: every `enabled_rule` call the engine issued —
+    /// the initial full scan, per-fire re-evaluation, touched-set
+    /// maintenance, and daemon previews.
+    pub guard_evals: u64,
+    /// Bytes of state moved through step deltas (before + after state per
+    /// recorded move).
+    pub delta_bytes: u64,
+}
+
+impl RunCounters {
+    /// Zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `other` into `self` (aggregating runs of a cell, shard, or
+    /// campaign).
+    pub fn add(&mut self, other: &Self) {
+        self.steps += other.steps;
+        self.moves += other.moves;
+        self.guard_evals += other.guard_evals;
+        self.delta_bytes += other.delta_bytes;
+    }
+}
+
+/// The process-global aggregate: relaxed atomics, written by batched
+/// per-run flushes and the two process-wide instruments.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    steps: AtomicU64,
+    moves: AtomicU64,
+    guard_evals: AtomicU64,
+    delta_bytes: AtomicU64,
+    scratch_reuses: AtomicU64,
+    config_clones: AtomicU64,
+}
+
+/// A point-in-time copy of the global counters. Monotonically increasing
+/// per field; meaningful only as deltas between two snapshots.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Total steps flushed by finished runs.
+    pub steps: u64,
+    /// Total moves flushed by finished runs.
+    pub moves: u64,
+    /// Total guard evaluations flushed by finished runs.
+    pub guard_evals: u64,
+    /// Total delta bytes flushed by finished runs.
+    pub delta_bytes: u64,
+    /// Runs that entered with already-sized scratch buffers (cross-run
+    /// buffer reuse — the amortization the `ScratchPool` exists for).
+    pub scratch_reuses: u64,
+    /// Full `Configuration::clone` calls (buffer-reusing `clone_from` is
+    /// deliberately not counted — that is the allocation-free path).
+    pub config_clones: u64,
+}
+
+impl CounterSnapshot {
+    /// Field-wise `self - earlier` (saturating, so a stale `earlier` from
+    /// another epoch degrades to zeros instead of wrapping).
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            steps: self.steps.saturating_sub(earlier.steps),
+            moves: self.moves.saturating_sub(earlier.moves),
+            guard_evals: self.guard_evals.saturating_sub(earlier.guard_evals),
+            delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
+            scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
+            config_clones: self.config_clones.saturating_sub(earlier.config_clones),
+        }
+    }
+}
+
+impl EngineCounters {
+    /// Flushes one finished run's tallies — four relaxed adds, the only
+    /// global traffic a run generates.
+    pub fn record_run(&self, run: &RunCounters) {
+        self.steps.fetch_add(run.steps, Ordering::Relaxed);
+        self.moves.fetch_add(run.moves, Ordering::Relaxed);
+        self.guard_evals.fetch_add(run.guard_evals, Ordering::Relaxed);
+        self.delta_bytes.fetch_add(run.delta_bytes, Ordering::Relaxed);
+    }
+
+    /// Records a run entering with scratch buffers already sized for its
+    /// graph (cross-run reuse).
+    pub fn record_scratch_reuse(&self) {
+        self.scratch_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one full configuration clone (called by the kernel's
+    /// instrumented `Clone` impl).
+    pub fn record_config_clone(&self) {
+        self.config_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current totals.
+    #[must_use]
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            steps: self.steps.load(Ordering::Relaxed),
+            moves: self.moves.load(Ordering::Relaxed),
+            guard_evals: self.guard_evals.load(Ordering::Relaxed),
+            delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
+            scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
+            config_clones: self.config_clones.load(Ordering::Relaxed),
+        }
+    }
+}
+
+static GLOBAL: EngineCounters = EngineCounters {
+    steps: AtomicU64::new(0),
+    moves: AtomicU64::new(0),
+    guard_evals: AtomicU64::new(0),
+    delta_bytes: AtomicU64::new(0),
+    scratch_reuses: AtomicU64::new(0),
+    config_clones: AtomicU64::new(0),
+};
+
+/// The process-global engine counters.
+#[must_use]
+pub fn global() -> &'static EngineCounters {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_counters_accumulate() {
+        let mut a = RunCounters { steps: 1, moves: 2, guard_evals: 3, delta_bytes: 4 };
+        a.add(&RunCounters { steps: 10, moves: 20, guard_evals: 30, delta_bytes: 40 });
+        assert_eq!(a, RunCounters { steps: 11, moves: 22, guard_evals: 33, delta_bytes: 44 });
+    }
+
+    #[test]
+    fn global_flush_and_snapshot_deltas() {
+        let before = global().snapshot();
+        global().record_run(&RunCounters { steps: 5, moves: 7, guard_evals: 11, delta_bytes: 13 });
+        global().record_scratch_reuse();
+        global().record_config_clone();
+        let d = global().snapshot().delta(&before);
+        // Other tests in this binary may run concurrently and also flush,
+        // so deltas are lower-bounded, not exact.
+        assert!(d.steps >= 5 && d.moves >= 7 && d.guard_evals >= 11 && d.delta_bytes >= 13);
+        assert!(d.scratch_reuses >= 1 && d.config_clones >= 1);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_wrapping() {
+        let lo = CounterSnapshot::default();
+        let hi = CounterSnapshot { steps: 3, ..Default::default() };
+        assert_eq!(lo.delta(&hi).steps, 0);
+        assert_eq!(hi.delta(&lo).steps, 3);
+    }
+}
