@@ -11,6 +11,7 @@
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
+use specstab_kernel::batch::run_batch;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
 use specstab_kernel::engine::{RunLimits, Simulator, StepScratch, StopReason};
@@ -77,6 +78,30 @@ fn bench_unison_on(group: &mut criterion::BenchmarkGroup<'_>, g: &Graph, label: 
     });
 }
 
+/// Batched replica-parallel throughput on one graph: K Γ1 replicas of the
+/// unison cell stepped lane-parallel through the SoA engine
+/// (`specstab_kernel::batch::run_batch`). Throughput counts aggregate
+/// moves across all lanes — directly comparable to `sync_unison_moves`,
+/// which steps the same cell one replica at a time.
+fn bench_batched_unison_on(group: &mut criterion::BenchmarkGroup<'_>, g: &Graph, label: &str) {
+    let n = g.n();
+    let steps = steps_for(n);
+    let clock = CherryClock::new(n as i64, n as i64 + 1).expect("safe parameters");
+    let unison = AsyncUnison::new(clock);
+    let init = Configuration::from_fn(n, |_| clock.value(0).expect("0 in domain"));
+    for k in [16usize, 64] {
+        let inits: Vec<_> = (0..k).map(|_| init.clone()).collect();
+        group.throughput(Throughput::Elements((steps * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("batched_sync_unison_moves", format!("{label}-k{k}")),
+            g,
+            |b, g| {
+                b.iter(|| run_batch(g, &unison, &inits, steps).len());
+            },
+        );
+    }
+}
+
 /// Unison engine throughput across the size ladder, ending at the campaign
 /// grid's large instances.
 pub fn bench_engine(c: &mut Criterion) {
@@ -84,11 +109,14 @@ pub fn bench_engine(c: &mut Criterion) {
     for (rows, cols) in [(4usize, 5usize), (8, 8), (12, 12)] {
         let g = generators::torus(rows, cols).expect("valid torus");
         bench_unison_on(&mut group, &g, &format!("torus-{rows}x{cols}"));
+        bench_batched_unison_on(&mut group, &g, &format!("torus-{rows}x{cols}"));
     }
     let g = generators::ring(1024).expect("valid ring");
     bench_unison_on(&mut group, &g, "ring-1024");
+    bench_batched_unison_on(&mut group, &g, "ring-1024");
     let g = generators::torus(32, 32).expect("valid torus");
     bench_unison_on(&mut group, &g, "torus-32x32");
+    bench_batched_unison_on(&mut group, &g, "torus-32x32");
     group.finish();
 }
 

@@ -83,7 +83,7 @@ fn usage() -> ! {
 /// Renders the protocol registry (the `--list-protocols` output).
 fn registry_table() -> String {
     let mut out = String::from("registered protocols:\n");
-    let rows: Vec<[String; 5]> = registry::PROTOCOLS
+    let rows: Vec<[String; 6]> = registry::PROTOCOLS
         .iter()
         .map(|p| {
             [
@@ -91,11 +91,12 @@ fn registry_table() -> String {
                 p.states.to_string(),
                 p.topology.to_string(),
                 if p.has_witness { "yes".into() } else { "-".into() },
+                if p.batched { "yes".into() } else { "-".into() },
                 p.summary.to_string(),
             ]
         })
         .collect();
-    let headers = ["name", "states", "topology", "witness", "summary"];
+    let headers = ["name", "states", "topology", "witness", "batched", "summary"];
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in &rows {
         for (i, cell) in row.iter().enumerate() {

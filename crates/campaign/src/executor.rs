@@ -35,9 +35,29 @@ use specstab_topology::spec::parse_spec;
 use specstab_topology::Graph;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Process-wide toggle for the lane-packed batched group path. On by
+/// default; the differential test suite flips it off to force the scalar
+/// reference path on otherwise-batchable groups.
+static BATCHING: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the batched group path for this process.
+///
+/// Batched and scalar execution produce bit-identical cell outcomes (the
+/// equivalence the kernel's differential suite proves), so this toggle
+/// never changes artifacts — it exists for tests and for A/B timing runs.
+pub fn set_batching_enabled(on: bool) {
+    BATCHING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the batched group path is currently enabled.
+#[must_use]
+pub fn batching_enabled() -> bool {
+    BATCHING.load(Ordering::Relaxed)
+}
 
 /// Campaign-wide execution parameters.
 #[derive(Clone, Debug)]
@@ -552,6 +572,23 @@ fn run_harness_group<H: ProtocolHarness>(
     scratch: &mut ScratchPool,
 ) -> Vec<CellResult> {
     let harness = H::build(graph, diam);
+    // Group keys include the daemon, so one shared check covers the chunk:
+    // synchronous groups of batch-capable protocols step all their seed
+    // replicas lane-parallel through the packed engine. Any reason the
+    // batched path can't serve the chunk bit-identically (protocol not
+    // packed, toggle off, or a per-cell setup error that the scalar path
+    // reports cell by cell) falls back to the scalar loop below and is
+    // counted in the process-wide telemetry.
+    if let Ok(h) = &harness {
+        if cells.first().expect("group runs are nonempty").daemon == "sync" {
+            if batching_enabled() && h.supports_batch() {
+                if let Some(results) = run_batched_group(h, cells, graph, diam, config) {
+                    return results;
+                }
+            }
+            specstab_telemetry::global().record_batch_fallback();
+        }
+    }
     cells
         .iter()
         .map(|cell| {
@@ -574,6 +611,81 @@ fn run_harness_group<H: ProtocolHarness>(
             }
         })
         .collect()
+}
+
+/// Runs one synchronous group chunk through the lane-packed batched
+/// engine: every cell's initial configuration becomes one replica lane of
+/// a single structure-of-arrays run (see `specstab_kernel::batch`).
+///
+/// Per-lane seeding, initial-configuration construction and measurement
+/// semantics replicate [`run_harness_cell`] exactly, so the per-cell
+/// outcomes are bit-identical to the scalar path. Returns `None` when any
+/// cell's setup fails (bad daemon spec, witness error, ...) — the scalar
+/// loop then reruns the chunk and attributes the error to the right cell.
+///
+/// `wall_nanos` is the batch total split evenly across the lanes: lanes
+/// run fused, so no truer per-cell attribution exists (telemetry only,
+/// never an artifact input).
+fn run_batched_group<H: ProtocolHarness>(
+    harness: &H,
+    cells: &[Cell],
+    graph: &Graph,
+    diam: u32,
+    config: &CampaignConfig,
+) -> Option<Vec<CellResult>> {
+    let started = Instant::now();
+    let mut seeds = Vec::with_capacity(cells.len());
+    let mut classes = Vec::with_capacity(cells.len());
+    let mut inits = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let cell_seed = cell.cell_seed(config.seed);
+        let daemon = harness.daemon(&cell.daemon, mix(cell_seed, 0x000D_AE17)).ok()?;
+        let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
+        let init = match cell.init {
+            InitMode::Burst(0) => random_configuration(graph, harness.protocol(), &mut rng),
+            InitMode::Burst(faults) => {
+                let healthy = harness.legitimate_configuration(graph, &mut rng).ok()?;
+                burst_configuration(graph, harness.protocol(), healthy, faults, &mut rng)
+            }
+            InitMode::Witness => harness.witness_configuration(graph).ok()?,
+        };
+        seeds.push(cell_seed);
+        classes.push(daemon.class());
+        inits.push(init);
+    }
+    let reports =
+        harness.batched_measure(graph, inits, config.max_steps, config.early_stop_margin)?;
+    // All cells of the chunk share the "sync" daemon, so the synchronous
+    // theorem bound applies to every lane.
+    let bound = harness.sync_bound(graph, diam);
+    let total_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let per_cell_nanos = total_nanos / cells.len().max(1) as u64;
+    Some(
+        cells
+            .iter()
+            .zip(seeds)
+            .zip(classes)
+            .zip(reports)
+            .map(|(((cell, cell_seed), class), (report, _final_config))| CellResult {
+                cell: cell.clone(),
+                n: graph.n(),
+                diam,
+                class: Some(class),
+                cell_seed,
+                outcome: Ok(CellOutcome {
+                    steps_run: report.steps_run,
+                    stabilization_steps: report.stabilization_steps,
+                    legitimacy_entry: report.legitimacy_entry,
+                    moves: report.moves,
+                    ended_legitimate: report.ended_legitimate,
+                    bound: bound.map(|b| b.value),
+                    violated_bound: bound.is_some_and(|b| b.violated_by(&report)),
+                }),
+                wall_nanos: per_cell_nanos,
+                counters: report.counters,
+            })
+            .collect(),
+    )
 }
 
 /// Runs one cell on an already-built harness: resolve the daemon,

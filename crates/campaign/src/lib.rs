@@ -78,7 +78,10 @@ pub mod stats;
 pub mod trace;
 
 pub use artifact::PartialArtifact;
-pub use executor::{run_campaign, run_campaign_sequential, CampaignConfig, CampaignResult};
+pub use executor::{
+    batching_enabled, run_campaign, run_campaign_sequential, set_batching_enabled, CampaignConfig,
+    CampaignResult,
+};
 pub use matrix::{Cell, ScenarioMatrix};
 pub use merge::merge_partials;
 pub use plan::CampaignPlan;

@@ -84,6 +84,9 @@ pub fn sum_shard_counters(events: &[Event]) -> CounterSnapshot {
             total.delta_bytes += counters.delta_bytes;
             total.scratch_reuses += counters.scratch_reuses;
             total.config_clones += counters.config_clones;
+            total.batch_lanes += counters.batch_lanes;
+            total.batch_idle_lane_steps += counters.batch_idle_lane_steps;
+            total.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
         }
     }
     total
@@ -139,6 +142,9 @@ mod tests {
             delta_bytes: 4 * k,
             scratch_reuses: 5 * k,
             config_clones: 6 * k,
+            batch_lanes: 7 * k,
+            batch_idle_lane_steps: 8 * k,
+            batch_scalar_fallbacks: 9 * k,
         };
         let ev = |shard: u64, kind: EventKind| Event { shard: Some(shard), seq: 1, t_us: 0, kind };
         let events = vec![

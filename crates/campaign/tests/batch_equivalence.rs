@@ -1,0 +1,56 @@
+//! Batched-vs-scalar equivalence at campaign granularity.
+//!
+//! The lane-packed batched group path (`specstab_kernel::batch`, wired in
+//! through `executor::run_batched_group`) must be an invisible
+//! optimization: flipping it off and rerunning the same matrix has to
+//! produce a byte-identical campaign artifact. This suite lives in its own
+//! test binary because the toggle and the batch telemetry counters are
+//! process-wide.
+
+use specstab_campaign::artifact;
+use specstab_campaign::executor::{run_campaign_sequential, set_batching_enabled, CampaignConfig};
+use specstab_campaign::matrix::ScenarioMatrix;
+
+#[test]
+fn batched_campaign_artifact_is_byte_identical_to_scalar() {
+    // Sync ssme cells across two topologies, full bursts, partial bursts
+    // and the Theorem 4 witness — every init mode the batched group
+    // runner has to reproduce seed-exactly.
+    let m = ScenarioMatrix::builder()
+        .topologies(["ring:8", "torus:3x4"])
+        .protocols(["ssme"])
+        .daemons(["sync", "dist:0.5"])
+        .fault_bursts([0, 2])
+        .with_witness()
+        .seeds(0..6)
+        .build();
+    let cfg = CampaignConfig { max_steps: 200_000, ..CampaignConfig::default() };
+
+    let before = specstab_telemetry::global().snapshot();
+    set_batching_enabled(true);
+    let batched = run_campaign_sequential(&m, &cfg);
+    let mid = specstab_telemetry::global().snapshot();
+    assert!(
+        mid.batch_lanes > before.batch_lanes,
+        "the batched path must actually engage on sync ssme groups"
+    );
+
+    set_batching_enabled(false);
+    let scalar = run_campaign_sequential(&m, &cfg);
+    let after = specstab_telemetry::global().snapshot();
+    set_batching_enabled(true);
+    assert_eq!(
+        after.batch_lanes, mid.batch_lanes,
+        "no lanes may launch while batching is disabled"
+    );
+    assert!(
+        after.batch_scalar_fallbacks > mid.batch_scalar_fallbacks,
+        "disabled batching must be counted as scalar fallbacks on sync groups"
+    );
+
+    assert_eq!(
+        artifact::to_json(&batched, true),
+        artifact::to_json(&scalar, true),
+        "batched and scalar campaign artifacts must be byte-identical"
+    );
+}

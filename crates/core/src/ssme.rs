@@ -17,11 +17,13 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use specstab_kernel::batch::PackedProtocol;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::{Graph, VertexId};
 use specstab_unison::clock::{CherryClock, ClockValue};
+use specstab_unison::packed::UnisonLaneScratch;
 use specstab_unison::protocol::AsyncUnison;
 use std::error::Error;
 use std::fmt;
@@ -262,6 +264,34 @@ impl Protocol for Ssme {
 
     fn state_domain(&self, v: VertexId) -> Option<Vec<ClockValue>> {
         self.unison.state_domain(v)
+    }
+}
+
+impl PackedProtocol for Ssme {
+    // SSME *is* the unison with a particular clock: the privilege
+    // predicate reads configurations but never changes the rules, so the
+    // lane-packed stepper delegates verbatim.
+    type Lane = i32;
+    type LaneScratch = UnisonLaneScratch;
+
+    fn pack(&self, state: &ClockValue) -> i32 {
+        self.unison.pack(state)
+    }
+
+    fn unpack(&self, lane: i32) -> ClockValue {
+        self.unison.unpack(lane)
+    }
+
+    fn step_lanes(
+        &self,
+        graph: &Graph,
+        lanes: usize,
+        soa: &[i32],
+        next: &mut [i32],
+        fired: &mut [bool],
+        scratch: &mut UnisonLaneScratch,
+    ) {
+        self.unison.step_lanes(graph, lanes, soa, next, fired, scratch);
     }
 }
 

@@ -1,0 +1,488 @@
+//! Replica-parallel batched stepping: K seed-replicas of one campaign
+//! cell packed into structure-of-arrays state and stepped together under
+//! the synchronous daemon.
+//!
+//! A campaign cell replays the identical (topology, protocol, daemon)
+//! across hundreds of seeds — perfectly homogeneous work that the scalar
+//! engine steps one configuration at a time. The batch engine packs K
+//! replicas **replica-major**: `soa[v * lanes + lane]` holds vertex `v`
+//! of replica `lane`, so one cache line carries the same vertex across
+//! tens of replicas and the per-vertex guard arithmetic auto-vectorizes
+//! over the lane axis. The CSR topology is walked **once per step for
+//! all replicas** by [`PackedProtocol::step_lanes`].
+//!
+//! # Why only the synchronous daemon batches
+//!
+//! Under the synchronous daemon the activated set *is* the enabled set,
+//! deterministically — no RNG, no selection state — so every lane's move
+//! sequence is bit-identical to its scalar run by construction. Daemons
+//! with divergent per-replica choices (central, distributed, k-bounded)
+//! would force lane-divergent control flow through the shared topology
+//! walk; those combinations take the scalar fallback (counted by
+//! `batch_scalar_fallbacks` in the telemetry snapshot).
+//!
+//! # Lane masking
+//!
+//! Replicas converge at different steps. A stopped lane keeps riding the
+//! batch GPU-warp style — its guards are still evaluated, but its commits
+//! are masked off so its state (and hence its extracted final
+//! configuration) freezes at the stop step. The masked work is surfaced
+//! as `batch_idle_lane_steps` (occupancy = `1 - idle / (lanes * iterations)`).
+//!
+//! # Equivalence contract
+//!
+//! [`run_batch`] reproduces, per lane, exactly what
+//! [`Simulator::run`](crate::engine::Simulator::run) produces under a
+//! synchronous daemon: the same step/move counts, the same
+//! [`StopReason`] (checked in the scalar engine's order — terminal, step
+//! limit, observer request), the same final configuration.
+//! [`run_batch_measured`] additionally replicates the
+//! [`MeasurementContext`](crate::measure::MeasurementContext) monitor
+//! stack (safety monitor, legitimacy monitor, optional
+//! `StopAfterStable`) per lane, index for index. The differential
+//! proptest suites assert both claims against the scalar engine.
+
+use crate::config::Configuration;
+use crate::engine::StopReason;
+use crate::measure::StabilizationReport;
+use crate::observer::ConfigPredicate;
+use crate::protocol::Protocol;
+use specstab_telemetry::RunCounters;
+use specstab_topology::{Graph, VertexId};
+
+/// A protocol whose per-vertex state packs into a fixed-width lane and
+/// whose guards evaluate lane-parallel over replica-major SoA state.
+///
+/// # Contract
+///
+/// For every vertex `v` and lane `l`, [`PackedProtocol::step_lanes`] must
+/// set `fired[v * lanes + l]` to whether `v` is enabled in lane `l`'s
+/// configuration and, when enabled, write the successor state to
+/// `next[v * lanes + l]` — exactly the states the scalar
+/// `enabled_rule`/`apply` pair would produce. Under the synchronous
+/// daemon "enabled" and "activated" coincide, which is what makes the
+/// whole-graph form sufficient.
+pub trait PackedProtocol: Protocol {
+    /// Packed per-vertex state: a fixed-width copyable lane word.
+    type Lane: Copy + Send + 'static;
+    /// Reusable per-batch scratch for `step_lanes` (lane accumulators
+    /// etc.); `Default` must produce an empty instance that `step_lanes`
+    /// (re)sizes on first use.
+    type LaneScratch: Default;
+
+    /// Packs one scalar state into its lane representation.
+    fn pack(&self, state: &Self::State) -> Self::Lane;
+
+    /// Unpacks a lane word back into the scalar state.
+    ///
+    /// Only ever called on lane words the packed step produced (or
+    /// [`PackedProtocol::pack`] created), so implementations may assume
+    /// in-domain values.
+    fn unpack(&self, lane: Self::Lane) -> Self::State;
+
+    /// One synchronous step for all lanes: evaluate every vertex's guard
+    /// in every lane over `soa` (replica-major, `soa[v * lanes + lane]`),
+    /// writing enablement into `fired` and successor states into `next`.
+    /// Entries of `next` whose `fired` bit is clear are ignored by the
+    /// caller. Implementations walk the CSR topology once, amortized
+    /// over all lanes.
+    fn step_lanes(
+        &self,
+        graph: &Graph,
+        lanes: usize,
+        soa: &[Self::Lane],
+        next: &mut [Self::Lane],
+        fired: &mut [bool],
+        scratch: &mut Self::LaneScratch,
+    );
+}
+
+/// Per-lane outcome of a plain (monitor-free) batched run.
+#[derive(Clone, Debug)]
+pub struct LaneSummary<S> {
+    /// The lane's final configuration (frozen at its stop step).
+    pub final_config: Configuration<S>,
+    /// Steps the lane executed before stopping.
+    pub steps: usize,
+    /// Moves (vertex activations) the lane executed.
+    pub moves: u64,
+    /// Why the lane stopped.
+    pub stop: StopReason,
+}
+
+/// Packs `inits` into replica-major SoA state.
+fn pack_soa<P: PackedProtocol>(
+    protocol: &P,
+    n: usize,
+    inits: &[Configuration<P::State>],
+) -> Vec<P::Lane> {
+    let lanes = inits.len();
+    let mut soa = Vec::with_capacity(n * lanes);
+    for v in 0..n {
+        for init in inits {
+            soa.push(protocol.pack(init.get(VertexId::new(v))));
+        }
+    }
+    soa
+}
+
+/// Per-lane enabled/activated counts for this iteration.
+fn count_fired(n: usize, lanes: usize, fired: &[bool], out: &mut [u32]) {
+    out.fill(0);
+    for v in 0..n {
+        let row = &fired[v * lanes..v * lanes + lanes];
+        for (cnt, &f) in out.iter_mut().zip(row) {
+            *cnt += u32::from(f);
+        }
+    }
+}
+
+/// Commits fired successor states for unmasked lanes (`commit[l]`),
+/// leaving masked lanes' state frozen.
+fn commit_fired<L: Copy>(
+    n: usize,
+    lanes: usize,
+    commit: &[bool],
+    fired: &[bool],
+    next: &[L],
+    soa: &mut [L],
+) {
+    for v in 0..n {
+        let base = v * lanes;
+        for l in 0..lanes {
+            if fired[base + l] && commit[l] {
+                soa[base + l] = next[base + l];
+            }
+        }
+    }
+}
+
+/// Shared per-lane bookkeeping for both batch runners.
+struct LaneState {
+    steps: Vec<usize>,
+    moves: Vec<u64>,
+    stop: Vec<Option<StopReason>>,
+    commit: Vec<bool>,
+    fired_count: Vec<u32>,
+    counters: Vec<RunCounters>,
+    active: usize,
+    idle_lane_steps: u64,
+}
+
+impl LaneState {
+    fn new(lanes: usize) -> Self {
+        Self {
+            steps: vec![0; lanes],
+            moves: vec![0; lanes],
+            stop: vec![None; lanes],
+            commit: vec![false; lanes],
+            fired_count: vec![0; lanes],
+            counters: vec![RunCounters::new(); lanes],
+            active: lanes,
+            idle_lane_steps: 0,
+        }
+    }
+
+    /// Flushes per-lane counters and the batch occupancy tallies to the
+    /// global telemetry aggregate (one batched flush per lane, mirroring
+    /// the scalar engine's once-per-run discipline).
+    fn flush_telemetry(&mut self, lanes: usize) {
+        let telemetry = specstab_telemetry::global();
+        for l in 0..lanes {
+            self.counters[l].steps = self.steps[l] as u64;
+            self.counters[l].moves = self.moves[l];
+            telemetry.record_run(&self.counters[l]);
+        }
+        telemetry.record_batch(lanes as u64, self.idle_lane_steps);
+    }
+}
+
+/// Runs `inits.len()` replicas of `protocol` to termination (or
+/// `max_steps`) under the synchronous daemon, batched.
+///
+/// Per lane, the result is exactly what a scalar
+/// [`Simulator::run`](crate::engine::Simulator::run) with a
+/// [`SynchronousDaemon`](crate::daemon::SynchronousDaemon) and no
+/// observers produces from the same initial configuration.
+///
+/// # Panics
+///
+/// Panics when `inits` is empty or a configuration's size does not match
+/// the graph.
+#[must_use]
+pub fn run_batch<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    inits: &[Configuration<P::State>],
+    max_steps: usize,
+) -> Vec<LaneSummary<P::State>> {
+    let n = graph.n();
+    let lanes = inits.len();
+    assert!(lanes > 0, "a batch needs at least one replica lane");
+    for init in inits {
+        assert_eq!(init.len(), n, "configuration size must match graph");
+    }
+    let mut soa = pack_soa(protocol, n, inits);
+    let mut next = soa.clone();
+    let mut fired = vec![false; n * lanes];
+    let mut scratch = P::LaneScratch::default();
+    let mut ls = LaneState::new(lanes);
+
+    while ls.active > 0 {
+        ls.idle_lane_steps += (lanes - ls.active) as u64;
+        protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
+        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        for l in 0..lanes {
+            ls.commit[l] = false;
+            if ls.stop[l].is_some() {
+                continue;
+            }
+            ls.counters[l].guard_evals += n as u64;
+            // The scalar engine's loop-top order: terminal first, then the
+            // step limit (no observers on the plain path).
+            if ls.fired_count[l] == 0 {
+                ls.stop[l] = Some(StopReason::Terminal);
+                ls.active -= 1;
+            } else if ls.steps[l] >= max_steps {
+                ls.stop[l] = Some(StopReason::MaxSteps);
+                ls.active -= 1;
+            } else {
+                ls.commit[l] = true;
+            }
+        }
+        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
+        for l in 0..lanes {
+            if ls.commit[l] {
+                ls.steps[l] += 1;
+                ls.moves[l] += u64::from(ls.fired_count[l]);
+                ls.counters[l].delta_bytes +=
+                    u64::from(ls.fired_count[l]) * 2 * std::mem::size_of::<P::State>() as u64;
+            }
+        }
+    }
+
+    ls.flush_telemetry(lanes);
+    (0..lanes)
+        .map(|l| LaneSummary {
+            final_config: Configuration::from_fn(n, |v| {
+                protocol.unpack(soa[v.index() * lanes + l])
+            }),
+            steps: ls.steps[l],
+            moves: ls.moves[l],
+            stop: ls.stop[l].expect("every lane stopped"),
+        })
+        .collect()
+}
+
+/// Per-lane replica of the `MeasurementContext` monitor stack: safety
+/// monitor, legitimacy monitor and optional `StopAfterStable` counter,
+/// updated with the exact indices and order the scalar observers see.
+struct LaneMonitors {
+    violations: usize,
+    first_violation: Option<usize>,
+    last_violation: Option<usize>,
+    first_legitimate: Option<usize>,
+    last_illegitimate: Option<usize>,
+    seen: usize,
+    consecutive: usize,
+}
+
+impl LaneMonitors {
+    fn start<S>(
+        config: &Configuration<S>,
+        graph: &Graph,
+        safety: &ConfigPredicate<S>,
+        legitimacy: &ConfigPredicate<S>,
+        early_stop: Option<&(&ConfigPredicate<S>, usize)>,
+    ) -> Self {
+        let mut m = Self {
+            violations: 0,
+            first_violation: None,
+            last_violation: None,
+            first_legitimate: None,
+            last_illegitimate: None,
+            seen: 0,
+            consecutive: 0,
+        };
+        m.check(0, config, graph, safety, legitimacy);
+        if let Some((pred, _)) = early_stop {
+            m.consecutive = usize::from(pred(config, graph));
+        }
+        m
+    }
+
+    fn check<S>(
+        &mut self,
+        index: usize,
+        config: &Configuration<S>,
+        graph: &Graph,
+        safety: &ConfigPredicate<S>,
+        legitimacy: &ConfigPredicate<S>,
+    ) {
+        if !safety(config, graph) {
+            self.violations += 1;
+            self.first_violation.get_or_insert(index);
+            self.last_violation = Some(index);
+        }
+        self.seen = index + 1;
+        if legitimacy(config, graph) {
+            self.first_legitimate.get_or_insert(index);
+        } else {
+            self.last_illegitimate = Some(index);
+        }
+    }
+
+    fn step<S>(
+        &mut self,
+        index: usize,
+        config: &Configuration<S>,
+        graph: &Graph,
+        safety: &ConfigPredicate<S>,
+        legitimacy: &ConfigPredicate<S>,
+        early_stop: Option<&(&ConfigPredicate<S>, usize)>,
+    ) {
+        self.check(index, config, graph, safety, legitimacy);
+        if let Some((pred, _)) = early_stop {
+            if pred(config, graph) {
+                self.consecutive += 1;
+            } else {
+                self.consecutive = 0;
+            }
+        }
+    }
+
+    fn should_stop(&self, margin: Option<usize>) -> bool {
+        margin.is_some_and(|m| self.consecutive > m)
+    }
+
+    fn ended_legitimate(&self) -> bool {
+        match (self.first_legitimate, self.last_illegitimate) {
+            (Some(_), None) => true,
+            (Some(f), Some(l)) => f > l || self.seen > l + 1,
+            _ => false,
+        }
+    }
+}
+
+/// [`run_batch`] with the full per-lane measurement stack: each lane gets
+/// the [`StabilizationReport`] a scalar
+/// [`MeasurementContext`](crate::measure::MeasurementContext) (optionally
+/// with early stop) would produce from the same initial configuration,
+/// plus its final configuration.
+///
+/// `early_stop` mirrors
+/// [`MeasurementContext::with_early_stop`](crate::measure::MeasurementContext::with_early_stop):
+/// `(predicate, margin)` stops a lane once the predicate has held for
+/// `margin + 1` consecutive configurations.
+///
+/// # Panics
+///
+/// Panics when `inits` is empty or a configuration's size does not match
+/// the graph.
+#[must_use]
+pub fn run_batch_measured<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    inits: Vec<Configuration<P::State>>,
+    max_steps: usize,
+    safety: &ConfigPredicate<P::State>,
+    legitimacy: &ConfigPredicate<P::State>,
+    early_stop: Option<(&ConfigPredicate<P::State>, usize)>,
+) -> Vec<(StabilizationReport, Configuration<P::State>)> {
+    let n = graph.n();
+    let lanes = inits.len();
+    assert!(lanes > 0, "a batch needs at least one replica lane");
+    for init in &inits {
+        assert_eq!(init.len(), n, "configuration size must match graph");
+    }
+    let mut soa = pack_soa(protocol, n, &inits);
+    let mut next = soa.clone();
+    let mut fired = vec![false; n * lanes];
+    let mut scratch = P::LaneScratch::default();
+    let mut ls = LaneState::new(lanes);
+    // The init configurations double as per-lane mirrors for predicate
+    // evaluation, repaired incrementally from the fired set each commit —
+    // O(moves) per step per lane, no clones.
+    let mut mirrors = inits;
+    let mut monitors: Vec<LaneMonitors> = mirrors
+        .iter()
+        .map(|m| LaneMonitors::start(m, graph, safety, legitimacy, early_stop.as_ref()))
+        .collect();
+
+    while ls.active > 0 {
+        ls.idle_lane_steps += (lanes - ls.active) as u64;
+        protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
+        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        for (l, monitor) in monitors.iter().enumerate() {
+            ls.commit[l] = false;
+            if ls.stop[l].is_some() {
+                continue;
+            }
+            ls.counters[l].guard_evals += n as u64;
+            // The scalar engine's loop-top order: terminal, step limit,
+            // observer request.
+            if ls.fired_count[l] == 0 {
+                ls.stop[l] = Some(StopReason::Terminal);
+                ls.active -= 1;
+            } else if ls.steps[l] >= max_steps {
+                ls.stop[l] = Some(StopReason::MaxSteps);
+                ls.active -= 1;
+            } else if monitor.should_stop(early_stop.as_ref().map(|&(_, m)| m)) {
+                ls.stop[l] = Some(StopReason::ObserverRequest);
+                ls.active -= 1;
+            } else {
+                ls.commit[l] = true;
+            }
+        }
+        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
+        // Repair the per-lane mirrors from the fired set, then run the
+        // monitor checks at the post-commit step index (the scalar
+        // observers see `event.step` = steps-after-increment).
+        for v in 0..n {
+            let base = v * lanes;
+            for l in 0..lanes {
+                if fired[base + l] && ls.commit[l] {
+                    mirrors[l].set(VertexId::new(v), protocol.unpack(next[base + l]));
+                }
+            }
+        }
+        for l in 0..lanes {
+            if ls.commit[l] {
+                ls.steps[l] += 1;
+                ls.moves[l] += u64::from(ls.fired_count[l]);
+                ls.counters[l].delta_bytes +=
+                    u64::from(ls.fired_count[l]) * 2 * std::mem::size_of::<P::State>() as u64;
+                monitors[l].step(
+                    ls.steps[l],
+                    &mirrors[l],
+                    graph,
+                    safety,
+                    legitimacy,
+                    early_stop.as_ref(),
+                );
+            }
+        }
+    }
+
+    ls.flush_telemetry(lanes);
+    monitors
+        .into_iter()
+        .zip(mirrors)
+        .enumerate()
+        .map(|(l, (m, final_config))| {
+            let report = StabilizationReport {
+                steps_run: ls.steps[l],
+                moves: ls.moves[l],
+                stop: ls.stop[l].expect("every lane stopped"),
+                last_violation: m.last_violation,
+                violation_count: m.violations,
+                stabilization_steps: m.last_violation.map_or(0, |i| i + 1),
+                first_legitimate: m.first_legitimate,
+                legitimacy_entry: m.last_illegitimate.map_or(0, |i| i + 1),
+                ended_legitimate: m.ended_legitimate(),
+                counters: ls.counters[l],
+            };
+            (report, final_config)
+        })
+        .collect()
+}

@@ -119,6 +119,8 @@ pub struct StepScratch<S> {
     fired: Vec<(VertexId, RuleId)>,
     deltas: Vec<(VertexId, S, S)>,
     enabled: Vec<VertexId>,
+    /// Scratch for the re-merged window of the enabled list (only the
+    /// vertex-index range whose status changed gets rebuilt per step).
     next_enabled: Vec<VertexId>,
     enabled_mask: Vec<bool>,
     /// Generation-stamped dense mark array: `stamps[v] == generation` means
@@ -465,36 +467,62 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 touched.sort_unstable();
             }
             counters.guard_evals += touched.len() as u64;
+            // Re-evaluate the touched set into the mask, tracking the
+            // vertex-index window that actually changed status. Most steps
+            // under a central daemon change nothing or a couple of slots
+            // clustered around the activated vertex, so the sorted enabled
+            // list is patched in place over that window instead of being
+            // rebuilt — the rebuild was O(|enabled|) per step and capped
+            // central-daemon throughput on large graphs.
+            let mut change_lo = usize::MAX;
+            let mut change_hi = 0usize;
             for &v in touched.iter() {
-                enabled_mask[v.index()] = self.enabled_rule_unchecked(next, v).is_some();
+                let now = self.enabled_rule_unchecked(next, v).is_some();
+                if enabled_mask[v.index()] != now {
+                    enabled_mask[v.index()] = now;
+                    change_lo = change_lo.min(v.index());
+                    change_hi = change_hi.max(v.index());
+                }
             }
-            // Merge the surviving old enabled list with the re-evaluated
-            // touched set (both sorted): untouched vertices keep their
-            // status, touched ones take the fresh mask bit.
-            next_enabled.clear();
-            {
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < enabled.len() && j < touched.len() {
-                    let (e, t) = (enabled[i], touched[j]);
-                    if e < t {
-                        next_enabled.push(e);
-                        i += 1;
-                    } else {
+            if change_lo != usize::MAX {
+                // Merge the window slice of the old enabled list with the
+                // touched vertices falling in the window (both sorted):
+                // untouched vertices keep their status, touched ones take
+                // the fresh mask bit. Outside the window nothing changed.
+                let lo = VertexId::new(change_lo);
+                let hi = VertexId::new(change_hi);
+                let a = enabled.partition_point(|&e| e < lo);
+                let b = enabled.partition_point(|&e| e <= hi);
+                let ta = touched.partition_point(|&t| t < lo);
+                let tb = touched.partition_point(|&t| t <= hi);
+                next_enabled.clear();
+                {
+                    let old = &enabled[a..b];
+                    let tw = &touched[ta..tb];
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < old.len() && j < tw.len() {
+                        let (e, t) = (old[i], tw[j]);
+                        if e < t {
+                            next_enabled.push(e);
+                            i += 1;
+                        } else {
+                            if enabled_mask[t.index()] {
+                                next_enabled.push(t);
+                            }
+                            j += 1;
+                            if e == t {
+                                i += 1;
+                            }
+                        }
+                    }
+                    next_enabled.extend_from_slice(&old[i..]);
+                    for &t in &tw[j..] {
                         if enabled_mask[t.index()] {
                             next_enabled.push(t);
                         }
-                        j += 1;
-                        if e == t {
-                            i += 1;
-                        }
                     }
                 }
-                next_enabled.extend_from_slice(&enabled[i..]);
-                for &t in &touched[j..] {
-                    if enabled_mask[t.index()] {
-                        next_enabled.push(t);
-                    }
-                }
+                splice_window(enabled, a, b, next_enabled);
             }
             steps += 1;
             moves += fired.len() as u64;
@@ -504,7 +532,7 @@ impl<'a, P: Protocol> Simulator<'a, P> {
                 after: next,
                 activated: fired,
                 delta: deltas,
-                enabled_after: next_enabled,
+                enabled_after: enabled,
                 graph: self.graph,
             };
             for obs in observers.iter_mut() {
@@ -514,7 +542,6 @@ impl<'a, P: Protocol> Simulator<'a, P> {
             // buffer from the delta so the `next == config` invariant holds
             // again — O(|activated|), not O(n).
             std::mem::swap(&mut config, next);
-            std::mem::swap(enabled, next_enabled);
             for (v, _, after) in deltas.iter() {
                 next.set(*v, after.clone());
             }
@@ -616,6 +643,25 @@ impl<'a, P: Protocol> Simulator<'a, P> {
         counters.guard_evals += preview_evals.get();
         specstab_telemetry::global().record_run(&counters);
         RunSummary { final_config: config, steps, moves, stop, counters }
+    }
+}
+
+/// Replaces `v[a..b]` with `window`, shifting the tail by the length
+/// difference: the update cost is the window itself plus one bounded
+/// `memmove` when the lengths differ, never an O(|v|) element-wise
+/// rebuild.
+fn splice_window(v: &mut Vec<VertexId>, a: usize, b: usize, window: &[VertexId]) {
+    let old_len = b - a;
+    let new_len = window.len();
+    if new_len <= old_len {
+        v[a..a + new_len].copy_from_slice(window);
+        v.drain(a + new_len..b);
+    } else {
+        let grow = new_len - old_len;
+        let total = v.len();
+        v.resize(total + grow, VertexId::new(0));
+        v.copy_within(b..total, b + grow);
+        v[a..a + new_len].copy_from_slice(window);
     }
 }
 

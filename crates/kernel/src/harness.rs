@@ -223,6 +223,39 @@ pub trait ProtocolHarness: Sized {
         None
     }
 
+    /// Whether this harness provides a lane-packed protocol
+    /// implementation, i.e. whether [`ProtocolHarness::batched_measure`]
+    /// returns `Some`. Batch drivers check this before building replica
+    /// inits so unsupported protocols fall straight to the scalar path.
+    #[must_use]
+    fn supports_batch(&self) -> bool {
+        false
+    }
+
+    /// Runs `inits.len()` replicas of this protocol under the
+    /// **synchronous** daemon as one batched run (see [`crate::batch`]),
+    /// producing per lane the exact [`StabilizationReport`] (and final
+    /// configuration) a scalar measured run from the same initial
+    /// configuration yields — same monitors, same early stop with
+    /// `early_stop_margin`, same stop-reason ordering.
+    ///
+    /// `None` (the default) means "no packed implementation — use the
+    /// scalar path". Harnesses whose protocols implement
+    /// [`PackedProtocol`](crate::batch::PackedProtocol) override this to
+    /// call [`run_batch_measured`](crate::batch::run_batch_measured) with
+    /// their own predicates.
+    #[must_use]
+    fn batched_measure(
+        &self,
+        graph: &Graph,
+        inits: Vec<Configuration<HarnessState<Self>>>,
+        max_steps: usize,
+        early_stop_margin: usize,
+    ) -> Option<Vec<(StabilizationReport, Configuration<HarnessState<Self>>)>> {
+        let _ = (graph, inits, max_steps, early_stop_margin);
+        None
+    }
+
     /// Self-check of the legitimate-set contract: every configuration
     /// produced by [`ProtocolHarness::legitimate_configuration`] must
     /// satisfy the legitimacy predicate, and legitimacy must be closed

@@ -19,6 +19,8 @@
 //!   and a zoo of schedulers (synchronous, central, random distributed,
 //!   greedy adversarial, ...);
 //! * [`engine::Simulator`] — the step loop with pluggable [`observer`]s;
+//! * [`batch`] — replica-parallel batched stepping: K seed-replicas in
+//!   structure-of-arrays lanes under the synchronous daemon;
 //! * [`measure`] — stabilization-time measurement (Def. 3);
 //! * [`search`] — exhaustive worst-case analysis on small instances by
 //!   materializing the configuration game graph;
@@ -61,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod daemon;
 pub mod engine;
@@ -72,6 +75,7 @@ pub mod protocol;
 pub mod search;
 pub mod spec;
 
+pub use batch::{run_batch, run_batch_measured, LaneSummary, PackedProtocol};
 pub use config::Configuration;
 pub use daemon::{Daemon, DaemonClass};
 pub use engine::{RunLimits, RunSummary, Simulator, StepScratch};

@@ -25,6 +25,7 @@ use specstab_core::ssme::{IdAssignment, Ssme};
 use specstab_kernel::config::Configuration;
 use specstab_kernel::daemon::{parse_daemon_spec, AdversaryMoves, BoxedDaemon, GreedyAdversary};
 use specstab_kernel::harness::{BoundMetric, HarnessError, ProtocolHarness, TheoremBound};
+use specstab_kernel::measure::StabilizationReport;
 use specstab_kernel::observer::ConfigPredicate;
 use specstab_kernel::spec::Specification;
 use specstab_topology::metrics::DistanceMatrix;
@@ -147,6 +148,29 @@ impl ProtocolHarness for SsmeHarness {
             value: bounds::sync_stabilization_bound(diam),
             metric: BoundMetric::Stabilization,
         })
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn batched_measure(
+        &self,
+        graph: &Graph,
+        inits: Vec<Configuration<ClockValue>>,
+        max_steps: usize,
+        early_stop_margin: usize,
+    ) -> Option<Vec<(StabilizationReport, Configuration<ClockValue>)>> {
+        let stop = self.legitimacy_predicate();
+        Some(specstab_kernel::batch::run_batch_measured(
+            graph,
+            &self.ssme,
+            inits,
+            max_steps,
+            &self.safety_predicate(),
+            &self.legitimacy_predicate(),
+            Some((&stop, early_stop_margin)),
+        ))
     }
 }
 

@@ -32,6 +32,9 @@ pub struct ProtocolInfo {
     pub topology: &'static str,
     /// Whether the protocol defines an adversarial witness configuration.
     pub has_witness: bool,
+    /// Whether the protocol supports lane-packed batched stepping under
+    /// the synchronous daemon (see `specstab_kernel::batch`).
+    pub batched: bool,
 }
 
 /// All registered protocols, in canonical registry order (the order
@@ -43,6 +46,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "clock values {-alpha, .., beta}",
         topology: "any connected graph",
         has_witness: true,
+        batched: true,
     },
     ProtocolInfo {
         name: "dijkstra",
@@ -50,6 +54,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "counters {0, .., n-1}",
         topology: "ring (n >= 3)",
         has_witness: false,
+        batched: false,
     },
     ProtocolInfo {
         name: "dijkstra3",
@@ -57,6 +62,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "{0, 1, 2}",
         topology: "ring (n >= 3)",
         has_witness: false,
+        batched: false,
     },
     ProtocolInfo {
         name: "dijkstra4",
@@ -64,6 +70,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "(x, up) boolean pairs",
         topology: "line (n >= 2)",
         has_witness: false,
+        batched: false,
     },
     ProtocolInfo {
         name: "bfs",
@@ -71,6 +78,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "levels {0, .., n}",
         topology: "any connected graph",
         has_witness: false,
+        batched: false,
     },
     ProtocolInfo {
         name: "matching",
@@ -78,6 +86,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "pointer in neig(v) + {bot}, married flag",
         topology: "any connected graph",
         has_witness: false,
+        batched: false,
     },
 ];
 

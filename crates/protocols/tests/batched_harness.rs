@@ -1,0 +1,71 @@
+//! The `SsmeHarness` batched path against the scalar measurement stack:
+//! `batched_measure` must hand back, per lane, exactly the
+//! `StabilizationReport` the campaign executor's scalar cell runner
+//! produces with the harness's own predicates and early-stop margin.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use specstab_kernel::config::Configuration;
+use specstab_kernel::daemon::SynchronousDaemon;
+use specstab_kernel::engine::Simulator;
+use specstab_kernel::harness::ProtocolHarness;
+use specstab_kernel::measure::MeasurementContext;
+use specstab_kernel::protocol::random_configuration;
+use specstab_protocols::harness::SsmeHarness;
+use specstab_topology::metrics::DistanceMatrix;
+use specstab_topology::{generators, Graph};
+use specstab_unison::clock::ClockValue;
+
+fn graph_for(case: u8) -> Graph {
+    match case % 3 {
+        0 => generators::ring(8).unwrap(),
+        1 => generators::torus(3, 4).unwrap(),
+        _ => generators::path(6).unwrap(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Harness batched measurement ≡ harness scalar measurement, lane for
+    /// lane, K ∈ {1, 3, 64, 100}.
+    #[test]
+    fn ssme_batched_measure_matches_scalar(
+        case in 0u8..3,
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+    ) {
+        let k = [1usize, 3, 64, 100][k_pick];
+        let graph = graph_for(case);
+        let diam = DistanceMatrix::new(&graph).diameter();
+        let harness = SsmeHarness::build(&graph, diam).unwrap();
+        prop_assert!(harness.supports_batch());
+        let inits: Vec<Configuration<ClockValue>> = (0..k)
+            .map(|l| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (0x55ED * l as u64 + 1));
+                random_configuration(&graph, harness.protocol(), &mut rng)
+            })
+            .collect();
+        let measured = harness
+            .batched_measure(&graph, inits.clone(), 5_000, 3)
+            .expect("ssme supports the batched path");
+        prop_assert_eq!(measured.len(), k);
+        for ((report, _), init) in measured.iter().zip(&inits) {
+            let sim = Simulator::new(&graph, harness.protocol());
+            let scalar =
+                MeasurementContext::new(harness.safety_predicate(), harness.legitimacy_predicate())
+                    .with_early_stop(harness.legitimacy_predicate(), 3)
+                    .run(&sim, &mut SynchronousDaemon::new(), init.clone(), 5_000);
+            prop_assert_eq!(report.steps_run, scalar.steps_run);
+            prop_assert_eq!(report.moves, scalar.moves);
+            prop_assert_eq!(report.stop, scalar.stop);
+            prop_assert_eq!(report.last_violation, scalar.last_violation);
+            prop_assert_eq!(report.violation_count, scalar.violation_count);
+            prop_assert_eq!(report.stabilization_steps, scalar.stabilization_steps);
+            prop_assert_eq!(report.first_legitimate, scalar.first_legitimate);
+            prop_assert_eq!(report.legitimacy_entry, scalar.legitimacy_entry);
+            prop_assert_eq!(report.ended_legitimate, scalar.ended_legitimate);
+        }
+    }
+}

@@ -5,17 +5,50 @@
 //!
 //! Each file is parsed line-by-line through the strict JSON reader and
 //! checked against the stream discipline (schema header first, dense
-//! per-stream sequence numbers, monotonic timestamps). Exit code 0 when
-//! every file validates; 1 with a diagnostic on stderr otherwise. CI runs
-//! this over the traces the distributed-pipeline job produces.
+//! per-stream sequence numbers, monotonic timestamps) plus the batch
+//! counter invariant (a stream with zero launched lanes cannot carry idle
+//! lane-steps). Exit code 0 when every file validates; 1 with a
+//! diagnostic on stderr otherwise. CI runs this over the traces the
+//! distributed-pipeline job produces.
 
-use specstab_telemetry::event::{parse_ndjson, validate_events};
+use specstab_telemetry::counters::CounterSnapshot;
+use specstab_telemetry::event::{parse_ndjson, validate_events, Event, EventKind};
 
-fn check_file(path: &str) -> Result<usize, String> {
+/// Batch counter invariant on every counter-carrying event: idle
+/// lane-steps are only accumulated inside a batch loop, so they cannot
+/// appear without launched lanes. Returns the last (most aggregated)
+/// counter snapshot for the summary line.
+fn check_batch_counters(events: &[Event]) -> Result<CounterSnapshot, String> {
+    let mut totals = CounterSnapshot::default();
+    for e in events {
+        let counters = match &e.kind {
+            EventKind::ShardEnd { counters, .. } => counters,
+            EventKind::CampaignEnd { counters, .. } => counters,
+            _ => continue,
+        };
+        if counters.batch_lanes == 0 && counters.batch_idle_lane_steps != 0 {
+            return Err(format!(
+                "event seq {}: {} idle lane-steps with zero batch lanes launched",
+                e.seq, counters.batch_idle_lane_steps
+            ));
+        }
+        totals = *counters;
+    }
+    Ok(totals)
+}
+
+fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let events = parse_ndjson(&text).map_err(|e| format!("{path}: {e}"))?;
     validate_events(&events).map_err(|e| format!("{path}: {e}"))?;
-    Ok(events.len())
+    let totals = check_batch_counters(&events).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!(
+        "{path}: ok ({} events; batch: {} lanes, {} idle lane-steps, {} scalar fallbacks)",
+        events.len(),
+        totals.batch_lanes,
+        totals.batch_idle_lane_steps,
+        totals.batch_scalar_fallbacks
+    ))
 }
 
 fn main() {
@@ -27,7 +60,7 @@ fn main() {
     let mut failed = false;
     for path in &paths {
         match check_file(path) {
-            Ok(n) => println!("{path}: ok ({n} events)"),
+            Ok(line) => println!("{line}"),
             Err(e) => {
                 eprintln!("events_check: {e}");
                 failed = true;

@@ -64,6 +64,9 @@ pub struct EngineCounters {
     delta_bytes: AtomicU64,
     scratch_reuses: AtomicU64,
     config_clones: AtomicU64,
+    batch_lanes: AtomicU64,
+    batch_idle_lane_steps: AtomicU64,
+    batch_scalar_fallbacks: AtomicU64,
 }
 
 /// A point-in-time copy of the global counters. Monotonically increasing
@@ -84,6 +87,17 @@ pub struct CounterSnapshot {
     /// Full `Configuration::clone` calls (buffer-reusing `clone_from` is
     /// deliberately not counted — that is the allocation-free path).
     pub config_clones: u64,
+    /// Replica lanes launched by batched runs (one per seed-replica that
+    /// entered a batch, regardless of how long it stayed active).
+    pub batch_lanes: u64,
+    /// Lane-steps spent masked idle: batch iterations where an
+    /// already-stopped lane rode along while siblings kept stepping
+    /// (occupancy = 1 - idle / (lanes x iterations)).
+    pub batch_idle_lane_steps: u64,
+    /// Batch-eligible cell groups (synchronous daemon) that fell back to
+    /// the scalar path because the protocol has no packed implementation
+    /// or batching was disabled.
+    pub batch_scalar_fallbacks: u64,
 }
 
 impl CounterSnapshot {
@@ -98,6 +112,13 @@ impl CounterSnapshot {
             delta_bytes: self.delta_bytes.saturating_sub(earlier.delta_bytes),
             scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
             config_clones: self.config_clones.saturating_sub(earlier.config_clones),
+            batch_lanes: self.batch_lanes.saturating_sub(earlier.batch_lanes),
+            batch_idle_lane_steps: self
+                .batch_idle_lane_steps
+                .saturating_sub(earlier.batch_idle_lane_steps),
+            batch_scalar_fallbacks: self
+                .batch_scalar_fallbacks
+                .saturating_sub(earlier.batch_scalar_fallbacks),
         }
     }
 }
@@ -124,6 +145,18 @@ impl EngineCounters {
         self.config_clones.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Flushes one finished batched run: the lanes it launched and the
+    /// lane-steps spent masked idle after individual lanes stopped.
+    pub fn record_batch(&self, lanes: u64, idle_lane_steps: u64) {
+        self.batch_lanes.fetch_add(lanes, Ordering::Relaxed);
+        self.batch_idle_lane_steps.fetch_add(idle_lane_steps, Ordering::Relaxed);
+    }
+
+    /// Records a batch-eligible group taking the scalar fallback path.
+    pub fn record_batch_fallback(&self) {
+        self.batch_scalar_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copies the current totals.
     #[must_use]
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -134,6 +167,9 @@ impl EngineCounters {
             delta_bytes: self.delta_bytes.load(Ordering::Relaxed),
             scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
             config_clones: self.config_clones.load(Ordering::Relaxed),
+            batch_lanes: self.batch_lanes.load(Ordering::Relaxed),
+            batch_idle_lane_steps: self.batch_idle_lane_steps.load(Ordering::Relaxed),
+            batch_scalar_fallbacks: self.batch_scalar_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -145,6 +181,9 @@ static GLOBAL: EngineCounters = EngineCounters {
     delta_bytes: AtomicU64::new(0),
     scratch_reuses: AtomicU64::new(0),
     config_clones: AtomicU64::new(0),
+    batch_lanes: AtomicU64::new(0),
+    batch_idle_lane_steps: AtomicU64::new(0),
+    batch_scalar_fallbacks: AtomicU64::new(0),
 };
 
 /// The process-global engine counters.
@@ -170,11 +209,15 @@ mod tests {
         global().record_run(&RunCounters { steps: 5, moves: 7, guard_evals: 11, delta_bytes: 13 });
         global().record_scratch_reuse();
         global().record_config_clone();
+        global().record_batch(64, 17);
+        global().record_batch_fallback();
         let d = global().snapshot().delta(&before);
         // Other tests in this binary may run concurrently and also flush,
         // so deltas are lower-bounded, not exact.
         assert!(d.steps >= 5 && d.moves >= 7 && d.guard_evals >= 11 && d.delta_bytes >= 13);
         assert!(d.scratch_reuses >= 1 && d.config_clones >= 1);
+        assert!(d.batch_lanes >= 64 && d.batch_idle_lane_steps >= 17);
+        assert!(d.batch_scalar_fallbacks >= 1);
     }
 
     #[test]

@@ -190,7 +190,17 @@ pub(crate) fn counters_json(c: &CounterSnapshot) -> Json {
         ("delta_bytes", Json::UInt(c.delta_bytes)),
         ("scratch_reuses", Json::UInt(c.scratch_reuses)),
         ("config_clones", Json::UInt(c.config_clones)),
+        ("batch_lanes", Json::UInt(c.batch_lanes)),
+        ("batch_idle_lane_steps", Json::UInt(c.batch_idle_lane_steps)),
+        ("batch_scalar_fallbacks", Json::UInt(c.batch_scalar_fallbacks)),
     ])
+}
+
+/// Optional counter field: absent in traces written before the batch
+/// counters existed, which still carry the `specstab-events/v1` schema —
+/// absent reads as zero so old traces keep validating.
+fn opt_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key).map_or(Ok(0), Json::as_u64)
 }
 
 fn counters_from_json(j: &Json) -> Result<CounterSnapshot, String> {
@@ -201,6 +211,9 @@ fn counters_from_json(j: &Json) -> Result<CounterSnapshot, String> {
         delta_bytes: j.req("delta_bytes")?.as_u64()?,
         scratch_reuses: j.req("scratch_reuses")?.as_u64()?,
         config_clones: j.req("config_clones")?.as_u64()?,
+        batch_lanes: opt_u64(j, "batch_lanes")?,
+        batch_idle_lane_steps: opt_u64(j, "batch_idle_lane_steps")?,
+        batch_scalar_fallbacks: opt_u64(j, "batch_scalar_fallbacks")?,
     })
 }
 
@@ -541,6 +554,9 @@ mod tests {
             delta_bytes: 4,
             scratch_reuses: 5,
             config_clones: 6,
+            batch_lanes: 7,
+            batch_idle_lane_steps: 8,
+            batch_scalar_fallbacks: 9,
         };
         vec![
             EventKind::Stream { schema: EVENTS_SCHEMA.into(), source: "shard".into() },
@@ -603,6 +619,25 @@ mod tests {
                     Event::from_json_line(&line).unwrap_or_else(|e| panic!("parsing {line}: {e}"));
                 assert_eq!(back, event, "round trip of {}", event.kind.tag());
             }
+        }
+    }
+
+    #[test]
+    fn pre_batch_counter_objects_still_parse_with_zeros() {
+        // Traces written before the batch counters existed carry the same
+        // schema tag; the three batch fields are optional and default to 0.
+        let line = "{\"event\":\"shard_end\",\"seq\":0,\"t_us\":0,\"cells\":1,\"wall_us\":2,\
+                    \"counters\":{\"steps\":1,\"moves\":2,\"guard_evals\":3,\"delta_bytes\":4,\
+                    \"scratch_reuses\":5,\"config_clones\":6}}";
+        let event = Event::from_json_line(line).expect("legacy counters parse");
+        match event.kind {
+            EventKind::ShardEnd { counters, .. } => {
+                assert_eq!(counters.moves, 2);
+                assert_eq!(counters.batch_lanes, 0);
+                assert_eq!(counters.batch_idle_lane_steps, 0);
+                assert_eq!(counters.batch_scalar_fallbacks, 0);
+            }
+            other => panic!("expected shard_end, got {other:?}"),
         }
     }
 

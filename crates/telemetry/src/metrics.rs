@@ -82,6 +82,9 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
                 agg.delta_bytes += counters.delta_bytes;
                 agg.scratch_reuses += counters.scratch_reuses;
                 agg.config_clones += counters.config_clones;
+                agg.batch_lanes += counters.batch_lanes;
+                agg.batch_idle_lane_steps += counters.batch_idle_lane_steps;
+                agg.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
                 shard_totals = agg;
                 shard_cells += n;
                 shard_wall_max = shard_wall_max.max(*wall_us);

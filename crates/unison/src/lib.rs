@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod clock;
+pub mod packed;
 pub mod params;
 pub mod protocol;
 pub mod spec;
