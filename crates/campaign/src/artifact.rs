@@ -170,6 +170,24 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in `<path>.tmp`
+/// first and are renamed into place, so a killed process never leaves a
+/// truncated artifact that poisons a later merge or spool resume (readers
+/// either see the old complete file or the new complete file, never a
+/// prefix).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the temp-file write or the rename; on a
+/// failed rename the temp file is left behind for post-mortem.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Schema identifier of the partial-artifact format. Bump on any change to
 /// the layout below; [`PartialArtifact::from_json`] rejects every other
 /// value.

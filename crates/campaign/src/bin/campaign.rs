@@ -19,6 +19,10 @@
 //!
 //! # Same pipeline, orchestrated locally over 3 worker processes:
 //! campaign run --workers 3 --seeds 12 --json out.json
+//!
+//! # Campaign as a service: lease shards to elastic pull-workers over HTTP
+//! campaign serve --plan plan.json --listen 0.0.0.0:7177 --spool spool/ --json out.json
+//! campaign work  --coordinator http://coordinator:7177     # on any machine, any count
 //! ```
 //!
 //! Protocols are registry names (see `--list-protocols`); combinations a
@@ -26,7 +30,7 @@
 //! protocols without a witness — are skipped up front with a note, so
 //! `--protocols all` sweeps exactly the runnable grid.
 
-use specstab_campaign::artifact::{to_csv, to_json, PartialArtifact};
+use specstab_campaign::artifact::{to_csv, to_json, write_atomic, PartialArtifact};
 use specstab_campaign::executor::{
     resolve_topology, run_campaign_with_progress, CampaignConfig, CampaignResult,
 };
@@ -34,6 +38,7 @@ use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
 use specstab_campaign::merge::merge_partials;
 use specstab_campaign::plan::{group_boundaries, CampaignPlan};
 use specstab_campaign::report::speculation_profile_table;
+use specstab_campaign::serve::{run_worker, Coordinator, ServeOptions, WorkOptions};
 use specstab_campaign::shard::{execute_shard, run_plan_subprocess, shard_trace_path, PoolOptions};
 use specstab_campaign::trace::{emit_result_events, sum_shard_counters};
 use specstab_protocols::registry;
@@ -45,7 +50,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign [run|plan|shard|merge] [options]\n\
+        "usage: campaign [run|plan|shard|merge|serve|work] [options]\n\
          \n\
          campaign [run] [--topologies <spec,..>] [--protocols <name,..|all>] \
          [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
@@ -56,10 +61,22 @@ fn usage() -> ! {
          [--trace <path>]\n\
          campaign merge [--json <path>] [--csv <path>] [--cells-in-json] [--trace <path>] \
          <partial.json>..\n\
+         campaign serve --plan <path> [--listen <addr>] [--spool <dir>] [--lease-ms <n>] \
+         [--stop-after-uploads <n>] [--json <path>] [--csv <path>] [--cells-in-json] \
+         [--trace <path>] [--metrics <path>]\n\
+         campaign work  --coordinator <http://host:port> [--worker-id <id>] [--threads <n>] \
+         [--lease-only]\n\
          \n\
          run --workers N executes the plan/shard/merge pipeline over N local worker\n\
          processes (--threads then sets threads PER WORKER, default 1); artifacts are\n\
          byte-identical to the in-process run (--workers 0).\n\
+         \n\
+         serve coordinates a plan over HTTP: pull-workers (campaign work) lease shards,\n\
+         execute, and upload partials; expired leases are re-dispatched; every accepted\n\
+         partial is spooled to disk (default spool: serve_spool/) so a killed coordinator\n\
+         resumes without re-running completed shards. GET /status serves a live\n\
+         specstab-metrics/v1 snapshot. The final artifact is byte-identical to a\n\
+         single-process run of the same plan.\n\
          \n\
          --trace writes a specstab-events/v1 NDJSON event stream (with --workers N the\n\
          per-shard worker streams are merged deterministically into it); --metrics\n\
@@ -359,13 +376,13 @@ fn emit_result(result: &CampaignResult, json: Option<&str>, csv: Option<&str>, c
     print!("{}", speculation_profile_table(result));
     if let Some(path) = json {
         let body = to_json(result, cells);
-        if let Err(e) = std::fs::write(path, body) {
+        if let Err(e) = write_atomic(Path::new(path), &body) {
             fail(&format!("writing {path}: {e}"));
         }
         eprintln!("campaign: JSON artifact -> {path}");
     }
     if let Some(path) = csv {
-        if let Err(e) = std::fs::write(path, to_csv(result)) {
+        if let Err(e) = write_atomic(Path::new(path), &to_csv(result)) {
             fail(&format!("writing {path}: {e}"));
         }
         eprintln!("campaign: CSV artifact -> {path}");
@@ -629,7 +646,9 @@ fn cmd_shard(argv: &[String]) -> ! {
     );
     finish_trace(trace, trace_path.as_deref(), None);
     let out = out.unwrap_or_else(|| format!("shard-{shard_id}.partial.json"));
-    if let Err(e) = std::fs::write(&out, partial.to_json()) {
+    // Atomic write: a shard worker killed mid-write must never leave a
+    // truncated partial for a later merge or coordinator spool resume.
+    if let Err(e) = write_atomic(Path::new(&out), &partial.to_json()) {
         fail(&format!("writing {out}: {e}"));
     }
     eprintln!(
@@ -637,6 +656,104 @@ fn cmd_shard(argv: &[String]) -> ! {
         partial.start,
         partial.end,
         started.elapsed()
+    );
+    std::process::exit(0);
+}
+
+/// `campaign serve`: the networked coordinator — lease shards to
+/// pull-workers over HTTP, fold uploads incrementally, spool checkpoints,
+/// write the final artifact when the tiling completes.
+fn cmd_serve(argv: &[String]) -> ! {
+    let mut plan_path: Option<String> = None;
+    let mut listen = String::from("127.0.0.1:7177");
+    let mut options = ServeOptions::default();
+    let mut json: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut cells_in_json = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--cells-in-json" {
+            cells_in_json = true;
+            i += 1;
+            continue;
+        }
+        let Some(val) = argv.get(i + 1).cloned() else { usage() };
+        match argv[i].as_str() {
+            "--plan" => plan_path = Some(val),
+            "--listen" => listen = val,
+            "--spool" => options.spool = PathBuf::from(val),
+            "--lease-ms" => options.lease_ms = val.parse().unwrap_or_else(|_| usage()),
+            "--stop-after-uploads" => {
+                options.stop_after_uploads = Some(val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--json" => json = Some(val),
+            "--csv" => csv = Some(val),
+            "--trace" => trace_path = Some(val),
+            "--metrics" => metrics = Some(val),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let Some(plan_path) = plan_path else { usage() };
+    if metrics.is_some() && trace_path.is_none() {
+        fail("--metrics requires --trace (the sidecar is distilled from the event stream)");
+    }
+    options.trace_path = trace_path.as_deref().map(PathBuf::from);
+    let text = std::fs::read_to_string(&plan_path)
+        .unwrap_or_else(|e| fail(&format!("reading {plan_path}: {e}")));
+    let plan = CampaignPlan::from_json(&text)
+        .unwrap_or_else(|e| fail(&format!("parsing {plan_path}: {e}")));
+    let coordinator = Coordinator::bind(plan, &listen, options).unwrap_or_else(|e| fail(&e));
+    let outcome = coordinator.run().unwrap_or_else(|e| fail(&e));
+    let Some(result) = outcome else {
+        eprintln!("campaign: serve stopped before completion (fault injection)");
+        std::process::exit(3);
+    };
+    if let (Some(trace), Some(out)) = (trace_path.as_deref(), metrics.as_deref()) {
+        let text = std::fs::read_to_string(trace)
+            .unwrap_or_else(|e| fail(&format!("reading {trace}: {e}")));
+        let events = parse_ndjson(&text).unwrap_or_else(|e| fail(&format!("parsing {trace}: {e}")));
+        if let Err(e) = std::fs::write(out, metrics_from_events(&events).render()) {
+            fail(&format!("writing {out}: {e}"));
+        }
+        eprintln!("campaign: metrics sidecar -> {out}");
+    }
+    emit_result(&result, json.as_deref(), csv.as_deref(), cells_in_json);
+}
+
+/// `campaign work`: the elastic pull-worker loop against a coordinator.
+fn cmd_work(argv: &[String]) -> ! {
+    let mut opts = WorkOptions {
+        coordinator: String::new(),
+        worker_id: format!("worker-{}", std::process::id()),
+        threads: 1,
+        lease_only: false,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--lease-only" {
+            opts.lease_only = true;
+            i += 1;
+            continue;
+        }
+        let Some(val) = argv.get(i + 1).cloned() else { usage() };
+        match argv[i].as_str() {
+            "--coordinator" => opts.coordinator = val,
+            "--worker-id" => opts.worker_id = val,
+            "--threads" => opts.threads = val.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if opts.coordinator.is_empty() {
+        usage();
+    }
+    let summary = run_worker(&opts).unwrap_or_else(|e| fail(&e));
+    eprintln!(
+        "campaign: worker {} done ({} executed, {} duplicates, {} abandoned)",
+        opts.worker_id, summary.executed, summary.duplicates, summary.abandoned
     );
     std::process::exit(0);
 }
@@ -704,6 +821,8 @@ fn main() {
         Some("plan") => cmd_plan(&argv[1..]),
         Some("shard") => cmd_shard(&argv[1..]),
         Some("merge") => cmd_merge(&argv[1..]),
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("work") => cmd_work(&argv[1..]),
         Some("run") => cmd_run(&argv[1..]),
         // Bare flags: the historical single-process interface (`campaign
         // --topologies ...`), equivalent to `campaign run`.

@@ -37,7 +37,13 @@
 //!   carries the full bit-exact state of every statistics accumulator;
 //! * [`merge`] — folds any tiling set of partials, in any order, into a
 //!   [`CampaignResult`] whose artifacts are byte-identical to a
-//!   single-process sweep;
+//!   single-process sweep, incrementally via [`merge::MergeAccumulator`]
+//!   (duplicate uploads acknowledged and dropped) or in one shot;
+//! * [`serve`] — the networked transport: `campaign serve` is an HTTP
+//!   coordinator leasing shards to elastic `campaign work` pull-workers,
+//!   re-dispatching expired leases, folding uploads incrementally, and
+//!   spooling every accepted partial so a killed coordinator resumes from
+//!   disk;
 //! * [`trace`] — the bridge into `specstab-telemetry`: `--trace` streams
 //!   versioned `specstab-events/v1` NDJSON from every subcommand (shard
 //!   workers included), and `--metrics` derives the runtime sidecar —
@@ -73,6 +79,7 @@ pub mod matrix;
 pub mod merge;
 pub mod plan;
 pub mod report;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod trace;
@@ -83,7 +90,8 @@ pub use executor::{
     CampaignResult,
 };
 pub use matrix::{Cell, ScenarioMatrix};
-pub use merge::merge_partials;
+pub use merge::{merge_partials, Accepted, MergeAccumulator};
 pub use plan::CampaignPlan;
+pub use serve::{run_worker, Coordinator, ServeOptions, WorkOptions};
 pub use shard::execute_shard;
 pub use stats::OnlineStats;

@@ -1,11 +1,17 @@
 //! The merge layer: folds partial artifacts back into one campaign result.
 //!
-//! [`merge_partials`] accepts **any** set of partials that tiles a plan's
-//! cell range — any split granularity, supplied in any order — validates
-//! that they belong together (same schema, same campaign parameters, same
-//! total cell count, no gaps or overlaps), sorts them into canonical
-//! order, concatenates the per-cell results, and folds the per-group
-//! accumulator states with [`GroupSummary::merge`] in canonical order.
+//! [`MergeAccumulator`] accepts partials **one at a time, in any order, at
+//! any split granularity**, validating each on arrival (same campaign
+//! parameters, same total cell count, same plan matrix fingerprint, no
+//! range overlap with previously accepted partials) and detecting exact
+//! duplicates — a re-dispatched straggler's second upload of the same
+//! shard is acknowledged and dropped rather than double-counted.
+//! [`MergeAccumulator::finish`] checks the accepted set tiles the plan
+//! without gaps, sorts into canonical order, concatenates the per-cell
+//! results, and folds the per-group accumulator states with
+//! [`GroupSummary::merge`](crate::executor::GroupSummary::merge) in
+//! canonical order. [`merge_partials`] is the batch wrapper over the same
+//! machinery.
 //!
 //! When the shards were cut at group boundaries (the planner's invariant),
 //! no group ever spans two partials, so the fold is a pure concatenation
@@ -19,85 +25,170 @@ use crate::artifact::PartialArtifact;
 use crate::executor::{fold_groups, CampaignResult};
 use std::time::Duration;
 
+/// Outcome of feeding one partial to [`MergeAccumulator::accept`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accepted {
+    /// First partial covering this range: validated and queued for the fold.
+    Fresh,
+    /// Exact duplicate of an already-accepted partial (same shard id and
+    /// cell range): acknowledged and dropped without double-counting.
+    Duplicate,
+}
+
+/// Incremental merge state: validated partials accumulated as they land.
+///
+/// The fold itself is deferred to [`finish`](Self::finish) because
+/// byte-identity requires canonical (cell-range) order, which an
+/// out-of-order arrival stream only fixes once complete; acceptance is
+/// where per-partial validation and idempotency live.
+#[derive(Debug, Default)]
+pub struct MergeAccumulator {
+    partials: Vec<PartialArtifact>,
+}
+
+impl MergeAccumulator {
+    /// An empty accumulator; the first accepted partial pins the campaign
+    /// parameters, total cell count, and plan fingerprint.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct partials accepted so far.
+    #[must_use]
+    pub fn accepted_count(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Total cells covered by accepted partials.
+    #[must_use]
+    pub fn covered_cells(&self) -> usize {
+        self.partials.iter().map(|p| p.end - p.start).sum()
+    }
+
+    /// Whether the accepted partials cover the whole plan (accepted ranges
+    /// never overlap, so coverage equals the sum of range lengths).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.partials.first().is_some_and(|f| self.covered_cells() == f.total_cells)
+    }
+
+    /// Validates one partial against the accepted set and queues it.
+    ///
+    /// Returns [`Accepted::Duplicate`] — and drops the upload — when a
+    /// partial with the same shard id and cell range was already accepted.
+    ///
+    /// # Errors
+    ///
+    /// Rejects partials with differing campaign parameters (seed, step
+    /// budget, early-stop margin), total cell counts, or plan matrix
+    /// fingerprints (partials of two different campaigns never mix, even
+    /// when their counts and configuration coincide), and cell ranges that
+    /// overlap previously accepted partials without being exact duplicates.
+    pub fn accept(&mut self, p: PartialArtifact) -> Result<Accepted, String> {
+        if let Some(first) = self.partials.first() {
+            let (seed, max_steps, margin) =
+                (first.config.seed, first.config.max_steps, first.config.early_stop_margin);
+            if p.config.seed != seed
+                || p.config.max_steps != max_steps
+                || p.config.early_stop_margin != margin
+            {
+                return Err(format!(
+                    "shard {} ran with different campaign parameters \
+                     (seed {} / max_steps {} / margin {}, expected {seed} / {max_steps} / {margin})",
+                    p.shard_id, p.config.seed, p.config.max_steps, p.config.early_stop_margin
+                ));
+            }
+            if p.total_cells != first.total_cells {
+                return Err(format!(
+                    "shard {} describes a plan of {} cells, expected {}",
+                    p.shard_id, p.total_cells, first.total_cells
+                ));
+            }
+            if p.plan_fingerprint != first.plan_fingerprint {
+                return Err(format!(
+                    "shard {} belongs to a different plan (matrix fingerprint {:#018x}, \
+                     expected {:#018x})",
+                    p.shard_id, p.plan_fingerprint, first.plan_fingerprint
+                ));
+            }
+        }
+        if self
+            .partials
+            .iter()
+            .any(|q| q.shard_id == p.shard_id && q.start == p.start && q.end == p.end)
+        {
+            return Ok(Accepted::Duplicate);
+        }
+        if self.partials.iter().any(|q| p.start < q.end && q.start < p.end) {
+            return Err(format!(
+                "shard {} (cells {}..{}) overlaps previously merged cells",
+                p.shard_id, p.start, p.end
+            ));
+        }
+        self.partials.push(p);
+        Ok(Accepted::Fresh)
+    }
+
+    /// Checks the accepted set tiles the plan and folds it into a
+    /// [`CampaignResult`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty accumulator and accepted sets whose ranges leave
+    /// gaps in the plan's cell range.
+    pub fn finish(mut self) -> Result<CampaignResult, String> {
+        let Some(first) = self.partials.first() else {
+            return Err("nothing to merge: no partial artifacts supplied".into());
+        };
+        let config = first.config.clone();
+        let total = first.total_cells;
+        self.partials.sort_by_key(|p| p.start);
+        let mut expected = 0usize;
+        for p in &self.partials {
+            if p.start != expected {
+                debug_assert!(p.start > expected, "overlaps are rejected at accept time");
+                return Err(format!("cells {expected}..{} are covered by no partial", p.start));
+            }
+            expected = p.end;
+        }
+        if expected != total {
+            return Err(format!("cells {expected}..{total} are covered by no partial"));
+        }
+
+        let mut cells = Vec::with_capacity(total);
+        let mut group_states = Vec::new();
+        for p in self.partials {
+            cells.extend(p.cells);
+            group_states.extend(p.groups);
+        }
+        Ok(CampaignResult {
+            cells,
+            groups: fold_groups(group_states),
+            threads_used: 1,
+            wall: Duration::ZERO,
+            config,
+        })
+    }
+}
+
 /// Merges partial artifacts (any order, any granularity) into a
-/// [`CampaignResult`].
+/// [`CampaignResult`]. Exact duplicates (same shard id and cell range) are
+/// dropped rather than double-counted.
 ///
 /// # Errors
 ///
 /// Rejects an empty set, partials with differing campaign parameters
 /// (seed, step budget, early-stop margin), total cell counts, or plan
 /// matrix fingerprints (partials of two different campaigns never mix,
-/// even when their counts and configuration coincide), duplicate shard
-/// coverage, and ranges that leave gaps.
-pub fn merge_partials(mut partials: Vec<PartialArtifact>) -> Result<CampaignResult, String> {
-    let Some(first) = partials.first() else {
-        return Err("nothing to merge: no partial artifacts supplied".into());
-    };
-    let config = first.config.clone();
-    let (seed, max_steps, margin, total, fingerprint) = (
-        config.seed,
-        config.max_steps,
-        config.early_stop_margin,
-        first.total_cells,
-        first.plan_fingerprint,
-    );
-    for p in &partials {
-        if p.config.seed != seed
-            || p.config.max_steps != max_steps
-            || p.config.early_stop_margin != margin
-        {
-            return Err(format!(
-                "shard {} ran with different campaign parameters \
-                 (seed {} / max_steps {} / margin {}, expected {seed} / {max_steps} / {margin})",
-                p.shard_id, p.config.seed, p.config.max_steps, p.config.early_stop_margin
-            ));
-        }
-        if p.total_cells != total {
-            return Err(format!(
-                "shard {} describes a plan of {} cells, expected {total}",
-                p.shard_id, p.total_cells
-            ));
-        }
-        if p.plan_fingerprint != fingerprint {
-            return Err(format!(
-                "shard {} belongs to a different plan (matrix fingerprint {:#018x}, \
-                 expected {fingerprint:#018x})",
-                p.shard_id, p.plan_fingerprint
-            ));
-        }
-    }
-    partials.sort_by_key(|p| p.start);
-    let mut expected = 0usize;
-    for p in &partials {
-        if p.start != expected {
-            return Err(if p.start > expected {
-                format!("cells {expected}..{} are covered by no partial", p.start)
-            } else {
-                format!(
-                    "shard {} (cells {}..{}) overlaps previously merged cells",
-                    p.shard_id, p.start, p.end
-                )
-            });
-        }
-        expected = p.end;
-    }
-    if expected != total {
-        return Err(format!("cells {expected}..{total} are covered by no partial"));
-    }
-
-    let mut cells = Vec::with_capacity(total);
-    let mut group_states = Vec::new();
+/// even when their counts and configuration coincide), non-duplicate
+/// overlapping shard coverage, and ranges that leave gaps.
+pub fn merge_partials(partials: Vec<PartialArtifact>) -> Result<CampaignResult, String> {
+    let mut acc = MergeAccumulator::new();
     for p in partials {
-        cells.extend(p.cells);
-        group_states.extend(p.groups);
+        acc.accept(p)?;
     }
-    Ok(CampaignResult {
-        cells,
-        groups: fold_groups(group_states),
-        threads_used: 1,
-        wall: Duration::ZERO,
-        config,
-    })
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -146,7 +237,11 @@ mod tests {
         assert!(merge_partials(Vec::new()).is_err(), "empty set");
         let gap = vec![all[0].clone(), all[2].clone()];
         assert!(merge_partials(gap).unwrap_err().contains("covered by no partial"));
-        let overlap = vec![all[0].clone(), all[0].clone(), all[1].clone(), all[2].clone()];
+        // Overlap that is not an exact duplicate (different shard id over
+        // the same range) is corruption, not a straggler retry.
+        let mut imposter = all[0].clone();
+        imposter.shard_id = 99;
+        let overlap = vec![all[0].clone(), imposter, all[1].clone(), all[2].clone()];
         assert!(merge_partials(overlap).unwrap_err().contains("overlaps"));
         let mut wrong_seed = all.clone();
         wrong_seed[1].config.seed ^= 1;
@@ -161,5 +256,35 @@ mod tests {
         assert!(merge_partials(wrong_plan).unwrap_err().contains("different plan"));
         let missing_tail = vec![all[0].clone(), all[1].clone()];
         assert!(merge_partials(missing_tail).unwrap_err().contains("covered by no partial"));
+    }
+
+    #[test]
+    fn duplicate_uploads_are_acknowledged_and_dropped() {
+        let m = matrix();
+        let cfg = config();
+        let golden = to_json(&run_campaign_sequential(&m, &cfg), true);
+        let plan = CampaignPlan::new(&m, &cfg, 3);
+        let all: Vec<_> =
+            (0..3).map(|id| execute_shard(&plan, id, 1).expect("valid shard")).collect();
+
+        // The straggler story: shard 1 is re-dispatched and eventually both
+        // executions upload. The accumulator folds it exactly once.
+        let mut acc = MergeAccumulator::new();
+        assert_eq!(acc.accept(all[1].clone()).unwrap(), Accepted::Fresh);
+        assert_eq!(acc.accept(all[1].clone()).unwrap(), Accepted::Duplicate);
+        assert_eq!(acc.accept(all[0].clone()).unwrap(), Accepted::Fresh);
+        assert!(!acc.is_complete());
+        assert_eq!(acc.accept(all[2].clone()).unwrap(), Accepted::Fresh);
+        assert_eq!(acc.accept(all[0].clone()).unwrap(), Accepted::Duplicate);
+        assert!(acc.is_complete());
+        assert_eq!(acc.accepted_count(), 3);
+        assert_eq!(acc.covered_cells(), all[0].total_cells);
+        let merged = acc.finish().expect("tiles");
+        assert_eq!(to_json(&merged, true), golden, "duplicates must not perturb the bytes");
+
+        // Same behaviour through the batch wrapper.
+        let dup = vec![all[2].clone(), all[0].clone(), all[2].clone(), all[1].clone()];
+        let merged = merge_partials(dup).expect("duplicates dropped, tiling complete");
+        assert_eq!(to_json(&merged, true), golden);
     }
 }

@@ -187,6 +187,48 @@ fn executed_shards_merge_byte_identically() {
     }
 }
 
+/// Validation error paths of the merge layer, at the artifact level: the
+/// wire and spool feed `PartialArtifact::from_json` + `merge_partials`
+/// with whatever the network delivered, so every rejection branch needs
+/// pinning, not just the happy path the proptests sweep.
+#[test]
+fn merge_rejects_schema_fingerprint_gap_and_overlap_corruption() {
+    let ranges = random_split(3, 7);
+    let all: Vec<PartialArtifact> =
+        ranges.iter().enumerate().map(|(id, &(s, e))| partial_for_range(id, s, e)).collect();
+
+    // Schema mismatch: a partial from a different (future or foreign)
+    // format version never reaches the merge.
+    let wrong_schema = all[0].to_json().replace("specstab-campaign-partial/v1", "who-knows/v9");
+    let err = PartialArtifact::from_json(&wrong_schema).unwrap_err();
+    assert!(err.contains("schema"), "got {err}");
+
+    // Plan-fingerprint mismatch: same counts and configuration, different
+    // campaign.
+    let mut foreign = all.clone();
+    foreign[1].plan_fingerprint ^= 0x1;
+    let err = merge_partials(foreign).unwrap_err();
+    assert!(err.contains("different plan"), "got {err}");
+
+    // Gap tiling: a missing middle shard is named by cell range.
+    let gap = vec![all[0].clone(), all[2].clone()];
+    let err = merge_partials(gap).unwrap_err();
+    assert!(err.contains("covered by no partial"), "got {err}");
+
+    // Overlap tiling: a non-duplicate partial intruding into merged cells
+    // (distinct shard id, same range) is corruption and is rejected...
+    let mut imposter = all[1].clone();
+    imposter.shard_id = 42;
+    let err = merge_partials(vec![all[0].clone(), all[1].clone(), imposter]).unwrap_err();
+    assert!(err.contains("overlaps previously merged cells"), "got {err}");
+
+    // ...while an exact duplicate (a re-dispatched straggler's second
+    // upload) is idempotently dropped and the merge still succeeds.
+    let with_dup = vec![all[2].clone(), all[0].clone(), all[1].clone(), all[2].clone()];
+    let merged = merge_partials(with_dup).expect("duplicate dropped, tiling complete");
+    assert_eq!(to_json(&merged, true), reference().golden_json);
+}
+
 /// Plans round-trip through JSON and executing a shard from the parsed
 /// plan equals executing it from the original.
 #[test]

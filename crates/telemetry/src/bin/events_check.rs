@@ -37,10 +37,42 @@ fn check_batch_counters(events: &[Event]) -> Result<CounterSnapshot, String> {
     Ok(totals)
 }
 
+/// Lease discipline for coordinator traces: every `lease_expired` must
+/// reference a `(shard_id, lease_id)` pair previously granted to the same
+/// worker, and lease ids must never be reused by a later grant.
+fn check_lease_discipline(events: &[Event]) -> Result<(), String> {
+    let mut granted: Vec<(u64, u64, &str)> = Vec::new();
+    for e in events {
+        match &e.kind {
+            EventKind::LeaseGranted { shard_id, worker, lease_id, .. } => {
+                if granted.iter().any(|(_, id, _)| id == lease_id) {
+                    return Err(format!("event seq {}: lease id {lease_id} reused", e.seq));
+                }
+                granted.push((*shard_id, *lease_id, worker));
+            }
+            EventKind::LeaseExpired { shard_id, worker, lease_id } => {
+                let known = granted
+                    .iter()
+                    .any(|(s, id, w)| s == shard_id && id == lease_id && *w == worker);
+                if !known {
+                    return Err(format!(
+                        "event seq {}: lease {lease_id} on shard {shard_id} expired for \
+                         worker {worker} but was never granted",
+                        e.seq
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let events = parse_ndjson(&text).map_err(|e| format!("{path}: {e}"))?;
     validate_events(&events).map_err(|e| format!("{path}: {e}"))?;
+    check_lease_discipline(&events).map_err(|e| format!("{path}: {e}"))?;
     let totals = check_batch_counters(&events).map_err(|e| format!("{path}: {e}"))?;
     Ok(format!(
         "{path}: ok ({} events; batch: {} lanes, {} idle lane-steps, {} scalar fallbacks)",

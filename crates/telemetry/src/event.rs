@@ -122,6 +122,48 @@ pub enum EventKind {
         /// Engine-counter totals accumulated by the shard process.
         counters: CounterSnapshot,
     },
+    /// `lease_granted`: the serve coordinator leased a shard to a worker.
+    LeaseGranted {
+        /// Shard id leased (the *lease subject*, distinct from the
+        /// stream-coordinate `shard` field every event carries).
+        shard_id: u64,
+        /// Worker the lease was granted to.
+        worker: String,
+        /// Unique lease id (coordinator-scoped, never reused).
+        lease_id: u64,
+        /// Lease duration in milliseconds.
+        lease_ms: u64,
+    },
+    /// `lease_expired`: a lease deadline passed without an upload; the
+    /// shard returns to the pending pool for re-dispatch.
+    LeaseExpired {
+        /// Shard id whose lease expired.
+        shard_id: u64,
+        /// Worker that held the expired lease.
+        worker: String,
+        /// The expired lease's id.
+        lease_id: u64,
+    },
+    /// `partial_accepted`: the coordinator validated and folded an
+    /// uploaded partial artifact (first upload of a shard only; duplicate
+    /// uploads are acknowledged and dropped without an event).
+    PartialAccepted {
+        /// Shard id the partial covers.
+        shard_id: u64,
+        /// Worker that uploaded it (`"spool"` for partials resumed from
+        /// the coordinator's spool directory).
+        worker: String,
+        /// Cells the partial carries.
+        cells: u64,
+    },
+    /// `partial_rejected`: an upload failed validation (bad schema, wrong
+    /// plan fingerprint, range mismatch) and was discarded.
+    PartialRejected {
+        /// Worker that attempted the upload.
+        worker: String,
+        /// Human-readable rejection reason.
+        reason: String,
+    },
     /// `merge_start`: partial artifacts are about to be folded.
     MergeStart {
         /// Number of partials.
@@ -161,6 +203,10 @@ impl EventKind {
             EventKind::Cell(_) => "cell",
             EventKind::Group { .. } => "group",
             EventKind::ShardEnd { .. } => "shard_end",
+            EventKind::LeaseGranted { .. } => "lease_granted",
+            EventKind::LeaseExpired { .. } => "lease_expired",
+            EventKind::PartialAccepted { .. } => "partial_accepted",
+            EventKind::PartialRejected { .. } => "partial_rejected",
             EventKind::MergeStart { .. } => "merge_start",
             EventKind::MergeEnd { .. } => "merge_end",
             EventKind::CampaignEnd { .. } => "campaign_end",
@@ -280,6 +326,26 @@ impl Event {
                 fields.push(("wall_us", Json::UInt(*wall_us)));
                 fields.push(("counters", counters_json(counters)));
             }
+            EventKind::LeaseGranted { shard_id, worker, lease_id, lease_ms } => {
+                fields.push(("shard_id", Json::UInt(*shard_id)));
+                fields.push(("worker", Json::Str(worker.clone())));
+                fields.push(("lease_id", Json::UInt(*lease_id)));
+                fields.push(("lease_ms", Json::UInt(*lease_ms)));
+            }
+            EventKind::LeaseExpired { shard_id, worker, lease_id } => {
+                fields.push(("shard_id", Json::UInt(*shard_id)));
+                fields.push(("worker", Json::Str(worker.clone())));
+                fields.push(("lease_id", Json::UInt(*lease_id)));
+            }
+            EventKind::PartialAccepted { shard_id, worker, cells } => {
+                fields.push(("shard_id", Json::UInt(*shard_id)));
+                fields.push(("worker", Json::Str(worker.clone())));
+                fields.push(("cells", Json::UInt(*cells)));
+            }
+            EventKind::PartialRejected { worker, reason } => {
+                fields.push(("worker", Json::Str(worker.clone())));
+                fields.push(("reason", Json::Str(reason.clone())));
+            }
             EventKind::MergeStart { partials } => {
                 fields.push(("partials", Json::UInt(*partials)));
             }
@@ -362,6 +428,26 @@ impl Event {
                 cells: j.req("cells")?.as_u64()?,
                 wall_us: j.req("wall_us")?.as_u64()?,
                 counters: counters_from_json(j.req("counters")?)?,
+            },
+            "lease_granted" => EventKind::LeaseGranted {
+                shard_id: j.req("shard_id")?.as_u64()?,
+                worker: j.req("worker")?.as_str()?.to_string(),
+                lease_id: j.req("lease_id")?.as_u64()?,
+                lease_ms: j.req("lease_ms")?.as_u64()?,
+            },
+            "lease_expired" => EventKind::LeaseExpired {
+                shard_id: j.req("shard_id")?.as_u64()?,
+                worker: j.req("worker")?.as_str()?.to_string(),
+                lease_id: j.req("lease_id")?.as_u64()?,
+            },
+            "partial_accepted" => EventKind::PartialAccepted {
+                shard_id: j.req("shard_id")?.as_u64()?,
+                worker: j.req("worker")?.as_str()?.to_string(),
+                cells: j.req("cells")?.as_u64()?,
+            },
+            "partial_rejected" => EventKind::PartialRejected {
+                worker: j.req("worker")?.as_str()?.to_string(),
+                reason: j.req("reason")?.as_str()?.to_string(),
             },
             "merge_start" => EventKind::MergeStart { partials: j.req("partials")?.as_u64()? },
             "merge_end" => EventKind::MergeEnd {
@@ -596,6 +682,18 @@ mod tests {
                 wall_us: 5678,
             },
             EventKind::ShardEnd { cells: 36, wall_us: 9999, counters },
+            EventKind::LeaseGranted {
+                shard_id: 4,
+                worker: "worker-\"a\"".into(),
+                lease_id: 17,
+                lease_ms: 30_000,
+            },
+            EventKind::LeaseExpired { shard_id: 4, worker: "worker-\"a\"".into(), lease_id: 17 },
+            EventKind::PartialAccepted { shard_id: 4, worker: "w2".into(), cells: 18 },
+            EventKind::PartialRejected {
+                worker: "w3".into(),
+                reason: "plan fingerprint mismatch\n(line two)".into(),
+            },
             EventKind::MergeStart { partials: 3 },
             EventKind::MergeEnd { cells: 108, groups: 9 },
             EventKind::CampaignEnd {

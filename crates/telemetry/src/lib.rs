@@ -21,8 +21,10 @@
 //!   per cell/group/shard, throughput, counter totals) built from an event
 //!   stream, kept strictly separate from the deterministic campaign
 //!   artifacts;
-//! * [`progress`] — a rate-limited stderr heartbeat (cells done/total,
-//!   throughput, ETA) for long interactive sweeps.
+//! * [`progress`] — rate-limited stderr heartbeats: cells done/total with
+//!   throughput and ETA for in-process sweeps, and a lease-table variant
+//!   (leased/completed/expired/merged) for the `campaign serve`
+//!   coordinator.
 //!
 //! The deliberate invariant threaded through all of it: **telemetry never
 //! enters deterministic artifacts**. Wall clock, counters and host facts
@@ -43,4 +45,4 @@ pub use event::{
 };
 pub use json::{obj, Json, MAX_PARSE_DEPTH};
 pub use metrics::{metrics_from_events, METRICS_SCHEMA};
-pub use progress::Heartbeat;
+pub use progress::{Heartbeat, ServeCounts, ServeHeartbeat};

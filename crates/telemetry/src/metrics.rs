@@ -32,7 +32,9 @@ fn moves_per_sec(moves: u64, wall_us: u64) -> Json {
 /// are reconstructed by summing `shard_end` events, with total wall clock
 /// taken as the slowest shard. Cell and group rows are carried over in
 /// stream order, which for a merged trace is the deterministic
-/// `(shard, seq)` order.
+/// `(shard, seq)` order. Traces containing lease-lifecycle events (a
+/// `campaign serve` coordinator) additionally get a `serve` object with
+/// lease/upload counts and per-worker accepted-cell tallies.
 #[must_use]
 pub fn metrics_from_events(events: &[Event]) -> Json {
     let mut cells = Vec::new();
@@ -43,6 +45,13 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
     let mut shard_cells = 0u64;
     let mut shard_wall_max = 0u64;
     let mut total_moves = 0u64;
+    let mut leases_granted = 0u64;
+    let mut leases_expired = 0u64;
+    let mut partials_accepted = 0u64;
+    let mut partials_rejected = 0u64;
+    // Per-worker accepted shard/cell tallies, in first-seen order so the
+    // sidecar stays deterministic for a deterministically merged trace.
+    let mut workers: Vec<(String, u64, u64)> = Vec::new();
 
     for e in events {
         match &e.kind {
@@ -99,6 +108,19 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
             EventKind::CampaignEnd { cells, errors, violations, wall_us, counters } => {
                 campaign_end = Some((*cells, *errors, *violations, *wall_us, *counters));
             }
+            EventKind::LeaseGranted { .. } => leases_granted += 1,
+            EventKind::LeaseExpired { .. } => leases_expired += 1,
+            EventKind::PartialAccepted { worker, cells, .. } => {
+                partials_accepted += 1;
+                match workers.iter_mut().find(|(w, _, _)| w == worker) {
+                    Some((_, shards, total)) => {
+                        *shards += 1;
+                        *total += cells;
+                    }
+                    None => workers.push((worker.clone(), 1, *cells)),
+                }
+            }
+            EventKind::PartialRejected { .. } => partials_rejected += 1,
             _ => {}
         }
     }
@@ -120,13 +142,38 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
         ]),
     };
 
-    obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str(METRICS_SCHEMA.into())),
         ("totals", totals),
         ("shards", Json::Arr(shards)),
         ("groups", Json::Arr(groups)),
         ("cells", Json::Arr(cells)),
-    ])
+    ];
+    // Only coordinator traces carry lease-lifecycle events; plain runs keep
+    // their sidecar shape unchanged.
+    if leases_granted + leases_expired + partials_accepted + partials_rejected > 0 {
+        let worker_rows = workers
+            .into_iter()
+            .map(|(worker, shards_accepted, cells_accepted)| {
+                obj(vec![
+                    ("worker", Json::Str(worker)),
+                    ("shards_accepted", Json::UInt(shards_accepted)),
+                    ("cells_accepted", Json::UInt(cells_accepted)),
+                ])
+            })
+            .collect();
+        fields.push((
+            "serve",
+            obj(vec![
+                ("leases_granted", Json::UInt(leases_granted)),
+                ("leases_expired", Json::UInt(leases_expired)),
+                ("partials_accepted", Json::UInt(partials_accepted)),
+                ("partials_rejected", Json::UInt(partials_rejected)),
+                ("workers", Json::Arr(worker_rows)),
+            ]),
+        ));
+    }
+    obj(fields)
 }
 
 #[cfg(test)]
@@ -218,6 +265,54 @@ mod tests {
         assert_eq!(totals.req("wall_us").unwrap().as_u64().unwrap(), 900);
         assert_eq!(totals.req("counters").unwrap().req("moves").unwrap().as_u64().unwrap(), 100);
         assert_eq!(m.req("shards").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sidecar_gains_serve_section_only_for_coordinator_traces() {
+        let plain = metrics_from_events(&[ev(None, 0, cell(0, 40))]);
+        assert!(plain.get("serve").is_none(), "plain runs carry no serve section");
+
+        let events = vec![
+            ev(
+                None,
+                0,
+                EventKind::LeaseGranted {
+                    shard_id: 0,
+                    worker: "w1".into(),
+                    lease_id: 1,
+                    lease_ms: 30_000,
+                },
+            ),
+            ev(None, 1, EventKind::LeaseExpired { shard_id: 0, worker: "w1".into(), lease_id: 1 }),
+            ev(
+                None,
+                2,
+                EventKind::LeaseGranted {
+                    shard_id: 0,
+                    worker: "w2".into(),
+                    lease_id: 2,
+                    lease_ms: 30_000,
+                },
+            ),
+            ev(None, 3, EventKind::PartialAccepted { shard_id: 0, worker: "w2".into(), cells: 9 }),
+            ev(None, 4, EventKind::PartialAccepted { shard_id: 1, worker: "w2".into(), cells: 3 }),
+            ev(
+                None,
+                5,
+                EventKind::PartialRejected { worker: "w3".into(), reason: "bad schema".into() },
+            ),
+        ];
+        let serve = metrics_from_events(&events);
+        let serve = serve.req("serve").unwrap();
+        assert_eq!(serve.req("leases_granted").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(serve.req("leases_expired").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(serve.req("partials_accepted").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(serve.req("partials_rejected").unwrap().as_u64().unwrap(), 1);
+        let workers = serve.req("workers").unwrap().as_arr().unwrap();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].req("worker").unwrap().as_str().unwrap(), "w2");
+        assert_eq!(workers[0].req("shards_accepted").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(workers[0].req("cells_accepted").unwrap().as_u64().unwrap(), 12);
     }
 
     #[test]
