@@ -32,7 +32,8 @@
 
 use specstab_campaign::artifact::{to_csv, to_json, write_atomic, PartialArtifact};
 use specstab_campaign::executor::{
-    resolve_topology, run_campaign_with_progress, CampaignConfig, CampaignResult,
+    resolve_topology, run_campaign_with_progress, set_batching_enabled, CampaignConfig,
+    CampaignResult,
 };
 use specstab_campaign::matrix::{Cell, InitMode, ScenarioMatrix};
 use specstab_campaign::merge::merge_partials;
@@ -54,22 +55,27 @@ fn usage() -> ! {
          \n\
          campaign [run] [--topologies <spec,..>] [--protocols <name,..|all>] \
          [--daemons <spec,..>] [--faults <k|witness,..>] [--seeds <count>] [--threads <n>] \
-         [--workers <n>] [--max-steps <n>] [--seed <base>] [--json <path>] [--csv <path>] \
-         [--trace <path>] [--metrics <path>] [--cells-in-json] [--list-protocols]\n\
+         [--workers <n>] [--max-steps <n>] [--seed <base>] [--batch on|off] [--json <path>] \
+         [--csv <path>] [--trace <path>] [--metrics <path>] [--cells-in-json] \
+         [--list-protocols]\n\
          campaign plan  [matrix options as above] --shards <n> [--out <path>]\n\
-         campaign shard --plan <path> --shard <id> [--threads <n>] [--out <path>] \
-         [--trace <path>]\n\
+         campaign shard --plan <path> --shard <id> [--threads <n>] [--batch on|off] \
+         [--out <path>] [--trace <path>]\n\
          campaign merge [--json <path>] [--csv <path>] [--cells-in-json] [--trace <path>] \
          <partial.json>..\n\
          campaign serve --plan <path> [--listen <addr>] [--spool <dir>] [--lease-ms <n>] \
          [--stop-after-uploads <n>] [--json <path>] [--csv <path>] [--cells-in-json] \
          [--trace <path>] [--metrics <path>]\n\
          campaign work  --coordinator <http://host:port> [--worker-id <id>] [--threads <n>] \
-         [--lease-only]\n\
+         [--batch on|off] [--lease-only]\n\
          \n\
          run --workers N executes the plan/shard/merge pipeline over N local worker\n\
          processes (--threads then sets threads PER WORKER, default 1); artifacts are\n\
          byte-identical to the in-process run (--workers 0).\n\
+         \n\
+         --batch toggles the lane-packed batched group engine (default on; forwarded to\n\
+         run's worker subprocesses). Batched and scalar execution produce byte-identical\n\
+         artifacts — off exists for A/B timing and differential testing.\n\
          \n\
          serve coordinates a plan over HTTP: pull-workers (campaign work) lease shards,\n\
          execute, and upload partials; expired leases are re-dispatched; every accepted\n\
@@ -157,6 +163,16 @@ struct Args {
     trace: Option<String>,
     metrics: Option<String>,
     cells_in_json: bool,
+    batch: bool,
+}
+
+/// Parses a `--batch` value (`on`/`off`).
+fn parse_batch(val: &str) -> bool {
+    match val {
+        "on" => true,
+        "off" => false,
+        _ => usage(),
+    }
 }
 
 fn parse_args(argv: &[String]) -> Args {
@@ -187,6 +203,7 @@ fn parse_args(argv: &[String]) -> Args {
         trace: None,
         metrics: None,
         cells_in_json: false,
+        batch: true,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -222,6 +239,7 @@ fn parse_args(argv: &[String]) -> Args {
             "--shards" => args.shards = val.parse().unwrap_or_else(|_| usage()),
             "--max-steps" => args.max_steps = val.parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = val.parse().unwrap_or_else(|_| usage()),
+            "--batch" => args.batch = parse_batch(&val),
             "--json" => args.json = Some(val),
             "--csv" => args.csv = Some(val),
             "--out" => args.out = Some(val),
@@ -414,6 +432,7 @@ fn emit_result(result: &CampaignResult, json: Option<&str>, csv: Option<&str>, c
 /// `--workers N` local shard subprocesses (byte-identical either way).
 fn cmd_run(argv: &[String]) -> ! {
     let args = parse_args(argv);
+    set_batching_enabled(args.batch);
     if args.metrics.is_some() && args.trace.is_none() {
         fail("--metrics requires --trace (the sidecar is distilled from the event stream)");
     }
@@ -500,6 +519,7 @@ fn cmd_run(argv: &[String]) -> ! {
             threads_per_worker: args.threads.max(1),
             trace_dir: trace.as_ref().map(|_| work_dir.as_path()),
             progress: Some(&heartbeat),
+            batch_off: !args.batch,
         },
     );
     heartbeat.finish();
@@ -612,6 +632,7 @@ fn cmd_shard(argv: &[String]) -> ! {
             "--plan" => plan_path = Some(val),
             "--shard" => shard_id = Some(val.parse().unwrap_or_else(|_| usage())),
             "--threads" => threads = val.parse().unwrap_or_else(|_| usage()),
+            "--batch" => set_batching_enabled(parse_batch(&val)),
             "--out" => out = Some(val),
             "--trace" => trace_path = Some(val),
             _ => usage(),
@@ -743,6 +764,7 @@ fn cmd_work(argv: &[String]) -> ! {
             "--coordinator" => opts.coordinator = val,
             "--worker-id" => opts.worker_id = val,
             "--threads" => opts.threads = val.parse().unwrap_or_else(|_| usage()),
+            "--batch" => set_batching_enabled(parse_batch(&val)),
             _ => usage(),
         }
         i += 2;

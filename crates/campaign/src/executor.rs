@@ -21,6 +21,7 @@ use crate::matrix::{Cell, InitMode, ScenarioMatrix};
 use crate::stats::OnlineStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use specstab_kernel::batch::BatchDaemon;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::daemon::DaemonClass;
 use specstab_kernel::engine::{Simulator, StepScratch};
@@ -29,7 +30,7 @@ use specstab_kernel::harness::{HarnessState, ProtocolHarness};
 use specstab_kernel::measure::MeasurementContext;
 use specstab_kernel::protocol::{random_configuration, Protocol};
 use specstab_protocols::registry::{self, HarnessVisitor, ProtocolInfo};
-use specstab_telemetry::{Heartbeat, RunCounters};
+use specstab_telemetry::{BatchDaemonClass, Heartbeat, RunCounters};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::spec::parse_spec;
 use specstab_topology::Graph;
@@ -58,6 +59,16 @@ pub fn set_batching_enabled(on: bool) {
 pub fn batching_enabled() -> bool {
     BATCHING.load(Ordering::Relaxed)
 }
+
+/// Largest graph the lane-divergent central round-robin groups are routed
+/// to the packed engine on. A round-robin pass costs a dense
+/// O(n · lanes) guard sweep to commit one move per lane, while the scalar
+/// engine's incremental enabled-set maintenance pays O(degree) per step;
+/// measured on the bench tori the packed path wins ~2x at n = 20 and
+/// loses past n ≈ 64, so larger rr groups take the scalar loop (counted
+/// as fallbacks in telemetry). Synchronous groups have no such crossover:
+/// every lane commits work each pass.
+const RR_BATCH_MAX_N: usize = 32;
 
 /// Campaign-wide execution parameters.
 #[derive(Clone, Debug)]
@@ -573,20 +584,28 @@ fn run_harness_group<H: ProtocolHarness>(
 ) -> Vec<CellResult> {
     let harness = H::build(graph, diam);
     // Group keys include the daemon, so one shared check covers the chunk:
-    // synchronous groups of batch-capable protocols step all their seed
-    // replicas lane-parallel through the packed engine. Any reason the
-    // batched path can't serve the chunk bit-identically (protocol not
-    // packed, toggle off, or a per-cell setup error that the scalar path
-    // reports cell by cell) falls back to the scalar loop below and is
-    // counted in the process-wide telemetry.
+    // synchronous and central round-robin groups of batch-capable
+    // protocols step all their seed replicas lane-parallel through the
+    // packed engine. Any reason the batched path can't serve the chunk
+    // bit-identically (protocol not packed, toggle off, or a per-cell
+    // setup error that the scalar path reports cell by cell) falls back
+    // to the scalar loop below and is counted per daemon class in the
+    // process-wide telemetry.
     if let Ok(h) = &harness {
-        if cells.first().expect("group runs are nonempty").daemon == "sync" {
-            if batching_enabled() && h.supports_batch() {
-                if let Some(results) = run_batched_group(h, cells, graph, diam, config) {
+        let mode = match cells.first().expect("group runs are nonempty").daemon.as_str() {
+            "sync" => Some((BatchDaemon::Sync, BatchDaemonClass::Sync)),
+            "central-rr" => Some((BatchDaemon::CentralRr, BatchDaemonClass::CentralRr)),
+            _ => None,
+        };
+        if let Some((mode, class)) = mode {
+            let size_ok = mode != BatchDaemon::CentralRr || graph.n() <= RR_BATCH_MAX_N;
+            if batching_enabled() && h.supports_batch() && size_ok {
+                if let Some(results) = run_batched_group(h, mode, cells, graph, diam, config) {
+                    specstab_telemetry::global().record_batch_routed(class);
                     return results;
                 }
             }
-            specstab_telemetry::global().record_batch_fallback();
+            specstab_telemetry::global().record_batch_fallback(class);
         }
     }
     cells
@@ -613,9 +632,10 @@ fn run_harness_group<H: ProtocolHarness>(
         .collect()
 }
 
-/// Runs one synchronous group chunk through the lane-packed batched
-/// engine: every cell's initial configuration becomes one replica lane of
-/// a single structure-of-arrays run (see `specstab_kernel::batch`).
+/// Runs one group chunk (synchronous or central round-robin) through the
+/// lane-packed batched engine: every cell's initial configuration becomes
+/// one replica lane of a single structure-of-arrays run (see
+/// `specstab_kernel::batch`).
 ///
 /// Per-lane seeding, initial-configuration construction and measurement
 /// semantics replicate [`run_harness_cell`] exactly, so the per-cell
@@ -628,6 +648,7 @@ fn run_harness_group<H: ProtocolHarness>(
 /// never an artifact input).
 fn run_batched_group<H: ProtocolHarness>(
     harness: &H,
+    mode: BatchDaemon,
     cells: &[Cell],
     graph: &Graph,
     diam: u32,
@@ -654,10 +675,10 @@ fn run_batched_group<H: ProtocolHarness>(
         inits.push(init);
     }
     let reports =
-        harness.batched_measure(graph, inits, config.max_steps, config.early_stop_margin)?;
-    // All cells of the chunk share the "sync" daemon, so the synchronous
-    // theorem bound applies to every lane.
-    let bound = harness.sync_bound(graph, diam);
+        harness.batched_measure(graph, mode, inits, config.max_steps, config.early_stop_margin)?;
+    // The chunk shares one daemon; the synchronous theorem bounds only
+    // apply to the lanes when that daemon is "sync".
+    let bound = (mode == BatchDaemon::Sync).then(|| harness.sync_bound(graph, diam)).flatten();
     let total_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let per_cell_nanos = total_nanos / cells.len().max(1) as u64;
     Some(

@@ -69,6 +69,33 @@ struct WorkerTally {
     moves: u64,
 }
 
+/// Campaign-wide batched-vs-scalar routing tally, accumulated from the
+/// `x-specstab-batch-routing` header workers send with each upload
+/// (`routed_sync,routed_rr,fallback_sync,fallback_rr`). Spooled partials
+/// replayed on resume carry no header and contribute zeros.
+#[derive(Debug, Default, Clone, Copy)]
+struct BatchRoutingTally {
+    routed_sync: u64,
+    routed_rr: u64,
+    fallback_sync: u64,
+    fallback_rr: u64,
+}
+
+impl BatchRoutingTally {
+    fn parse(header: &str) -> Self {
+        let mut parts = header.split(',').map(|p| p.trim().parse::<u64>().unwrap_or(0));
+        let mut next = || parts.next().unwrap_or(0);
+        Self { routed_sync: next(), routed_rr: next(), fallback_sync: next(), fallback_rr: next() }
+    }
+
+    fn add(&mut self, other: Self) {
+        self.routed_sync += other.routed_sync;
+        self.routed_rr += other.routed_rr;
+        self.fallback_sync += other.fallback_sync;
+        self.fallback_rr += other.fallback_rr;
+    }
+}
+
 /// The serve coordinator (see the module docs for the model).
 pub struct Coordinator {
     plan: CampaignPlan,
@@ -84,6 +111,7 @@ pub struct Coordinator {
     uploads_accepted: u64,
     uploads_rejected: u64,
     workers: Vec<WorkerTally>,
+    batch_routing: BatchRoutingTally,
     started: Instant,
 }
 
@@ -127,6 +155,7 @@ impl Coordinator {
             uploads_accepted: 0,
             uploads_rejected: 0,
             workers: Vec::new(),
+            batch_routing: BatchRoutingTally::default(),
             started: Instant::now(),
         };
         coordinator.emit(EventKind::CampaignStart {
@@ -169,7 +198,7 @@ impl Coordinator {
                 .map_err(|e| format!("reading spooled {}: {e}", path.display()))?;
             let partial = PartialArtifact::from_json(&text)
                 .map_err(|e| format!("parsing spooled {}: {e}", path.display()))?;
-            match self.fold_partial(partial, "spool", false)? {
+            match self.fold_partial(partial, "spool", BatchRoutingTally::default(), false)? {
                 UploadReply::Accepted { .. } => {}
                 UploadReply::Rejected { reason } => {
                     return Err(format!("spooled {} rejected: {reason}", path.display()));
@@ -283,6 +312,7 @@ impl Coordinator {
         &mut self,
         partial: PartialArtifact,
         worker: &str,
+        routing: BatchRoutingTally,
         spool_it: bool,
     ) -> Result<UploadReply, String> {
         // Range check against the plan's own shard table first: the merge
@@ -323,6 +353,7 @@ impl Coordinator {
                         .map_err(|e| format!("spooling {}: {e}", path.display()))?;
                 }
                 self.states[shard_id] = ShardState::Done;
+                self.batch_routing.add(routing);
                 match self.workers.iter_mut().find(|t| t.worker == worker) {
                     Some(t) => {
                         t.shards_accepted += 1;
@@ -385,6 +416,15 @@ impl Coordinator {
                     ("uploads_accepted", Json::UInt(self.uploads_accepted)),
                     ("uploads_rejected", Json::UInt(self.uploads_rejected)),
                     ("wall_us", Json::UInt(wall_us)),
+                    (
+                        "batch_groups",
+                        obj(vec![
+                            ("routed_sync", Json::UInt(self.batch_routing.routed_sync)),
+                            ("routed_rr", Json::UInt(self.batch_routing.routed_rr)),
+                            ("fallback_sync", Json::UInt(self.batch_routing.fallback_sync)),
+                            ("fallback_rr", Json::UInt(self.batch_routing.fallback_rr)),
+                        ]),
+                    ),
                     ("workers", Json::Arr(workers)),
                 ]),
             ),
@@ -411,11 +451,14 @@ impl Coordinator {
             },
             ("POST", "/upload") => {
                 let worker = req.header("x-specstab-worker").unwrap_or("anonymous").to_string();
+                let routing = req
+                    .header("x-specstab-batch-routing")
+                    .map_or_else(BatchRoutingTally::default, BatchRoutingTally::parse);
                 let parsed = std::str::from_utf8(&req.body)
                     .map_err(|_| "non-UTF-8 upload body".to_string())
                     .and_then(PartialArtifact::from_json);
                 let reply = match parsed {
-                    Ok(partial) => self.fold_partial(partial, &worker, true)?,
+                    Ok(partial) => self.fold_partial(partial, &worker, routing, true)?,
                     Err(reason) => UploadReply::Rejected { reason },
                 };
                 match &reply {

@@ -134,9 +134,19 @@ fn execute_leased(
 }
 
 /// Uploads a partial with bounded-jittered retries. `Ok(true)` means a
-/// fresh acceptance, `Ok(false)` a duplicate acknowledgement.
-fn upload(url: &CoordinatorUrl, opts: &WorkOptions, body: &str) -> Result<Option<bool>, String> {
-    let headers = [("x-specstab-worker", opts.worker_id.as_str())];
+/// fresh acceptance, `Ok(false)` a duplicate acknowledgement. `routing`
+/// is the worker's batched-vs-scalar routing tally for this shard
+/// (`routed_sync,routed_rr,fallback_sync,fallback_rr`), carried as a
+/// header so the coordinator's `/status` can report how much of the
+/// campaign ran lane-packed without touching the partial artifact bytes.
+fn upload(
+    url: &CoordinatorUrl,
+    opts: &WorkOptions,
+    body: &str,
+    routing: &str,
+) -> Result<Option<bool>, String> {
+    let headers =
+        [("x-specstab-worker", opts.worker_id.as_str()), ("x-specstab-batch-routing", routing)];
     let mut last_err = String::new();
     for attempt in 0..UPLOAD_ATTEMPTS {
         match request(url, "POST", "/upload", &headers, body.as_bytes()) {
@@ -236,8 +246,17 @@ pub fn run_worker(opts: &WorkOptions) -> Result<WorkerSummary, String> {
             );
             return Ok(summary);
         }
+        let before = specstab_telemetry::global().snapshot();
         let partial = execute_leased(&url, opts, &plan, &lease)?;
-        match upload(&url, opts, &partial.to_json())? {
+        let d = specstab_telemetry::global().snapshot().delta(&before);
+        let routing = format!(
+            "{},{},{},{}",
+            d.batch_routed_sync_groups,
+            d.batch_routed_rr_groups,
+            d.batch_fallback_sync_groups,
+            d.batch_fallback_rr_groups
+        );
+        match upload(&url, opts, &partial.to_json(), &routing)? {
             Some(true) => summary.executed += 1,
             Some(false) => {
                 summary.duplicates += 1;

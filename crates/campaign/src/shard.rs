@@ -85,6 +85,9 @@ pub struct PoolOptions<'a> {
     /// reported as 0 because partials are only parsed after the pool
     /// drains, so the heartbeat shows cells/s without a moves/s segment.
     pub progress: Option<&'a Heartbeat>,
+    /// When set, workers get `--batch off` (the orchestrator's `--batch`
+    /// toggle forwarded; default keeps the lane-packed engine on).
+    pub batch_off: bool,
 }
 
 /// Runs every shard of the plan at `plan_path` through worker subprocesses
@@ -128,6 +131,9 @@ pub fn run_plan_subprocess(
             .arg(&job.out);
         if let Some(trace) = &job.trace {
             cmd.arg("--trace").arg(trace);
+        }
+        if opts.batch_off {
+            cmd.arg("--batch").arg("off");
         }
         cmd.stdout(Stdio::null())
             .stderr(Stdio::piped())

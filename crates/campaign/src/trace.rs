@@ -85,8 +85,13 @@ pub fn sum_shard_counters(events: &[Event]) -> CounterSnapshot {
             total.scratch_reuses += counters.scratch_reuses;
             total.config_clones += counters.config_clones;
             total.batch_lanes += counters.batch_lanes;
+            total.batch_lane_steps += counters.batch_lane_steps;
             total.batch_idle_lane_steps += counters.batch_idle_lane_steps;
             total.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
+            total.batch_routed_sync_groups += counters.batch_routed_sync_groups;
+            total.batch_routed_rr_groups += counters.batch_routed_rr_groups;
+            total.batch_fallback_sync_groups += counters.batch_fallback_sync_groups;
+            total.batch_fallback_rr_groups += counters.batch_fallback_rr_groups;
         }
     }
     total
@@ -143,8 +148,13 @@ mod tests {
             scratch_reuses: 5 * k,
             config_clones: 6 * k,
             batch_lanes: 7 * k,
+            batch_lane_steps: 10 * k,
             batch_idle_lane_steps: 8 * k,
             batch_scalar_fallbacks: 9 * k,
+            batch_routed_sync_groups: 11 * k,
+            batch_routed_rr_groups: 12 * k,
+            batch_fallback_sync_groups: 13 * k,
+            batch_fallback_rr_groups: 14 * k,
         };
         let ev = |shard: u64, kind: EventKind| Event { shard: Some(shard), seq: 1, t_us: 0, kind };
         let events = vec![

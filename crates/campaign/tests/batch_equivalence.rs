@@ -5,14 +5,20 @@
 //! optimization: flipping it off and rerunning the same matrix has to
 //! produce a byte-identical campaign artifact. This suite lives in its own
 //! test binary because the toggle and the batch telemetry counters are
-//! process-wide.
+//! process-wide; the tests additionally serialize on [`TOGGLE`] so their
+//! enable/disable windows never overlap.
 
 use specstab_campaign::artifact;
 use specstab_campaign::executor::{run_campaign_sequential, set_batching_enabled, CampaignConfig};
 use specstab_campaign::matrix::ScenarioMatrix;
+use std::sync::Mutex;
+
+/// Serializes the process-wide batching toggle across tests in this binary.
+static TOGGLE: Mutex<()> = Mutex::new(());
 
 #[test]
 fn batched_campaign_artifact_is_byte_identical_to_scalar() {
+    let _guard = TOGGLE.lock().unwrap();
     // Sync ssme cells across two topologies, full bursts, partial bursts
     // and the Theorem 4 witness — every init mode the batched group
     // runner has to reproduce seed-exactly.
@@ -34,6 +40,10 @@ fn batched_campaign_artifact_is_byte_identical_to_scalar() {
         mid.batch_lanes > before.batch_lanes,
         "the batched path must actually engage on sync ssme groups"
     );
+    assert!(
+        mid.batch_routed_sync_groups > before.batch_routed_sync_groups,
+        "sync groups must be counted under the sync routing class"
+    );
 
     set_batching_enabled(false);
     let scalar = run_campaign_sequential(&m, &cfg);
@@ -47,10 +57,76 @@ fn batched_campaign_artifact_is_byte_identical_to_scalar() {
         after.batch_scalar_fallbacks > mid.batch_scalar_fallbacks,
         "disabled batching must be counted as scalar fallbacks on sync groups"
     );
+    assert!(
+        after.batch_fallback_sync_groups > mid.batch_fallback_sync_groups,
+        "disabled sync groups must land in the sync fallback class"
+    );
 
     assert_eq!(
         artifact::to_json(&batched, true),
         artifact::to_json(&scalar, true),
         "batched and scalar campaign artifacts must be byte-identical"
     );
+}
+
+#[test]
+fn batched_dijkstra_central_rr_artifact_is_byte_identical_to_scalar() {
+    let _guard = TOGGLE.lock().unwrap();
+    // All three Dijkstra protocols under both batchable daemons plus a
+    // daemon that never batches (`central-rand`), so routed sync groups,
+    // routed rr groups, and scalar-only groups coexist in one artifact.
+    // The ring matrix carries the two ring protocols (K-state with the
+    // standard grid K = n, well under the 256-state u8 lane gate); the
+    // four-state protocol needs a line, so it gets its own path matrix.
+    let rings = ScenarioMatrix::builder()
+        .topologies(["ring:8", "ring:13"])
+        .protocols(["dijkstra", "dijkstra3"])
+        .daemons(["sync", "central-rr", "central-rand"])
+        .fault_bursts([0, 1])
+        .seeds(0..5)
+        .build();
+    let lines = ScenarioMatrix::builder()
+        .topologies(["path:8", "path:13"])
+        .protocols(["dijkstra4"])
+        .daemons(["sync", "central-rr", "central-rand"])
+        .fault_bursts([0, 1])
+        .seeds(0..5)
+        .build();
+    let cfg = CampaignConfig { max_steps: 200_000, ..CampaignConfig::default() };
+
+    let before = specstab_telemetry::global().snapshot();
+    set_batching_enabled(true);
+    let batched: Vec<_> =
+        [&rings, &lines].iter().map(|m| run_campaign_sequential(m, &cfg)).collect();
+    let mid = specstab_telemetry::global().snapshot();
+    assert!(
+        mid.batch_routed_rr_groups > before.batch_routed_rr_groups,
+        "central-rr Dijkstra groups must route through the rr lane engine"
+    );
+    assert!(
+        mid.batch_routed_sync_groups > before.batch_routed_sync_groups,
+        "sync Dijkstra groups must route through the sync lane engine"
+    );
+
+    set_batching_enabled(false);
+    let scalar: Vec<_> =
+        [&rings, &lines].iter().map(|m| run_campaign_sequential(m, &cfg)).collect();
+    let after = specstab_telemetry::global().snapshot();
+    set_batching_enabled(true);
+    assert_eq!(
+        after.batch_lanes, mid.batch_lanes,
+        "no lanes may launch while batching is disabled"
+    );
+    assert!(
+        after.batch_fallback_rr_groups > mid.batch_fallback_rr_groups,
+        "disabled central-rr groups must land in the rr fallback class"
+    );
+
+    for (b, s) in batched.iter().zip(&scalar) {
+        assert_eq!(
+            artifact::to_json(b, true),
+            artifact::to_json(s, true),
+            "batched and scalar central-rr campaign artifacts must be byte-identical"
+        );
+    }
 }

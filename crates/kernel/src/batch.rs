@@ -11,15 +11,28 @@
 //! over the lane axis. The CSR topology is walked **once per step for
 //! all replicas** by [`PackedProtocol::step_lanes`].
 //!
-//! # Why only the synchronous daemon batches
+//! # Which daemons batch
 //!
-//! Under the synchronous daemon the activated set *is* the enabled set,
-//! deterministically — no RNG, no selection state — so every lane's move
-//! sequence is bit-identical to its scalar run by construction. Daemons
-//! with divergent per-replica choices (central, distributed, k-bounded)
-//! would force lane-divergent control flow through the shared topology
-//! walk; those combinations take the scalar fallback (counted by
-//! `batch_scalar_fallbacks` in the telemetry snapshot).
+//! Two daemon classes have schedules that are deterministic given the
+//! enabled set, which is exactly what lane-packing needs
+//! ([`BatchDaemon`]):
+//!
+//! - **Synchronous** ([`BatchDaemon::Sync`]): the activated set *is* the
+//!   enabled set — no RNG, no selection state — so every lane's move
+//!   sequence is bit-identical to its scalar run by construction.
+//! - **Central round-robin** ([`BatchDaemon::CentralRr`]): the scalar
+//!   daemon picks the first enabled vertex at or after a cursor (wrapping
+//!   to the lowest enabled vertex) and advances the cursor past the pick.
+//!   Lanes diverge — each holds its own cursor and picks its own vertex —
+//!   but the *guard evaluation* stays lane-uniform: one shared topology
+//!   walk computes every lane's enabled set, then a cheap per-lane scan
+//!   resolves each lane's pick and commits exactly one vertex per lane
+//!   per pass (GPU-warp-style divergence, masked not branched).
+//!
+//! Daemons whose choices need randomness (central random, distributed,
+//! k-bounded) would need per-lane RNG streams; those combinations take
+//! the scalar fallback (counted by `batch_scalar_fallbacks` in the
+//! telemetry snapshot).
 //!
 //! # Lane masking
 //!
@@ -31,9 +44,9 @@
 //!
 //! # Equivalence contract
 //!
-//! [`run_batch`] reproduces, per lane, exactly what
-//! [`Simulator::run`](crate::engine::Simulator::run) produces under a
-//! synchronous daemon: the same step/move counts, the same
+//! [`run_batch_with`] reproduces, per lane, exactly what
+//! [`Simulator::run`](crate::engine::Simulator::run) produces under the
+//! matching scalar daemon: the same step/move counts, the same
 //! [`StopReason`] (checked in the scalar engine's order — terminal, step
 //! limit, observer request), the same final configuration.
 //! [`run_batch_measured`] additionally replicates the
@@ -50,6 +63,31 @@ use crate::protocol::Protocol;
 use specstab_telemetry::RunCounters;
 use specstab_topology::{Graph, VertexId};
 
+/// A fixed-width integer lane word: the primitive the SoA engine can
+/// merge branch-free. The blanket-free list of impls (u8/u16/u32/u64 and
+/// their signed twins) covers every packed state representation; the
+/// `blend` is a bitwise select (`self ^ ((self ^ other) & mask)`), pure
+/// integer arithmetic the autovectorizer turns into SIMD blends — unlike
+/// a per-element `if`, whose mispredictions dominate the commit pass on
+/// real (step-varying) fired masks.
+pub trait LaneWord: Copy + Send + 'static {
+    /// Branch-free `if take { other } else { self }`.
+    fn blend(self, other: Self, take: bool) -> Self;
+}
+
+macro_rules! lane_word {
+    ($($t:ty),*) => {$(
+        impl LaneWord for $t {
+            #[inline(always)]
+            fn blend(self, other: Self, take: bool) -> Self {
+                let mask = (take as $t).wrapping_neg();
+                self ^ ((self ^ other) & mask)
+            }
+        }
+    )*};
+}
+lane_word!(u8, u16, u32, u64, i8, i16, i32, i64);
+
 /// A protocol whose per-vertex state packs into a fixed-width lane and
 /// whose guards evaluate lane-parallel over replica-major SoA state.
 ///
@@ -59,12 +97,14 @@ use specstab_topology::{Graph, VertexId};
 /// set `fired[v * lanes + l]` to whether `v` is enabled in lane `l`'s
 /// configuration and, when enabled, write the successor state to
 /// `next[v * lanes + l]` — exactly the states the scalar
-/// `enabled_rule`/`apply` pair would produce. Under the synchronous
-/// daemon "enabled" and "activated" coincide, which is what makes the
-/// whole-graph form sufficient.
+/// `enabled_rule`/`apply` pair would produce. The whole-graph form
+/// serves both batched daemons: under [`BatchDaemon::Sync`] "enabled"
+/// and "activated" coincide, and under [`BatchDaemon::CentralRr`] the
+/// runner commits only each lane's round-robin pick from the enabled
+/// set, leaving the other `next` entries unused.
 pub trait PackedProtocol: Protocol {
     /// Packed per-vertex state: a fixed-width copyable lane word.
-    type Lane: Copy + Send + 'static;
+    type Lane: LaneWord;
     /// Reusable per-batch scratch for `step_lanes` (lane accumulators
     /// etc.); `Default` must produce an empty instance that `step_lanes`
     /// (re)sizes on first use.
@@ -97,6 +137,91 @@ pub trait PackedProtocol: Protocol {
     );
 }
 
+/// Daemon schedule a batched run replays: which scalar daemon every lane
+/// must be bit-identical to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchDaemon {
+    /// The synchronous daemon: every enabled vertex fires each step.
+    Sync,
+    /// The central round-robin daemon: each lane holds its own cursor and
+    /// commits the first enabled vertex at or after it (wrapping to the
+    /// lowest enabled vertex), then advances the cursor past the pick —
+    /// the exact schedule of the scalar `central-rr` daemon after
+    /// `reset()`.
+    CentralRr,
+}
+
+/// Per-lane round-robin selection state for [`BatchDaemon::CentralRr`]:
+/// cursors persist across passes, the scan scratch is reused.
+struct RrState {
+    cursor: Vec<u32>,
+    pick: Vec<u32>,
+    first_any: Vec<u32>,
+    first_ge: Vec<u32>,
+}
+
+impl RrState {
+    fn new(lanes: usize) -> Self {
+        Self {
+            // The scalar daemon's `reset()` zeroes the cursor at run start.
+            cursor: vec![0; lanes],
+            pick: vec![u32::MAX; lanes],
+            first_any: vec![u32::MAX; lanes],
+            first_ge: vec![u32::MAX; lanes],
+        }
+    }
+
+    /// One row-major scan over the fired matrix resolving, per lane, the
+    /// enabled count and the round-robin pick: the first enabled vertex
+    /// at or after the lane's cursor, else the first enabled vertex
+    /// overall — the branch-free mirror of the scalar daemon's
+    /// `partition_point` fast path over its sorted enabled slice. The
+    /// per-lane scan state is u32 (graphs are far below 2^32 vertices),
+    /// halving the scan's memory traffic and letting the `min` folds
+    /// vectorize.
+    fn select(&mut self, _n: usize, lanes: usize, fired: &[bool], fired_count: &mut [u32]) {
+        fired_count.fill(0);
+        self.first_any.fill(u32::MAX);
+        self.first_ge.fill(u32::MAX);
+        let cursor = &self.cursor[..lanes];
+        for (v, row) in fired.chunks_exact(lanes).enumerate() {
+            let v32 = v as u32;
+            for ((((&f, cnt), any), ge), &cur) in row
+                .iter()
+                .zip(fired_count.iter_mut())
+                .zip(self.first_any.iter_mut())
+                .zip(self.first_ge.iter_mut())
+                .zip(cursor)
+            {
+                *cnt += u32::from(f);
+                *any = (*any).min(u32::MAX.blend(v32, f));
+                *ge = (*ge).min(u32::MAX.blend(v32, f & (v32 >= cur)));
+            }
+        }
+        for ((pick, &ge), &any) in self.pick.iter_mut().zip(&self.first_ge).zip(&self.first_any) {
+            *pick = if ge != u32::MAX { ge } else { any };
+        }
+    }
+
+    /// Commits each unmasked lane's pick and advances its cursor.
+    fn commit<L: Copy>(
+        &mut self,
+        n: usize,
+        lanes: usize,
+        commit: &[bool],
+        next: &[L],
+        soa: &mut [L],
+    ) {
+        for l in 0..lanes {
+            if commit[l] {
+                let p = self.pick[l] as usize;
+                soa[p * lanes + l] = next[p * lanes + l];
+                self.cursor[l] = ((p + 1) % n) as u32;
+            }
+        }
+    }
+}
+
 /// Per-lane outcome of a plain (monitor-free) batched run.
 #[derive(Clone, Debug)]
 pub struct LaneSummary<S> {
@@ -127,10 +252,9 @@ fn pack_soa<P: PackedProtocol>(
 }
 
 /// Per-lane enabled/activated counts for this iteration.
-fn count_fired(n: usize, lanes: usize, fired: &[bool], out: &mut [u32]) {
+fn count_fired(_n: usize, lanes: usize, fired: &[bool], out: &mut [u32]) {
     out.fill(0);
-    for v in 0..n {
-        let row = &fired[v * lanes..v * lanes + lanes];
+    for row in fired.chunks_exact(lanes) {
         for (cnt, &f) in out.iter_mut().zip(row) {
             *cnt += u32::from(f);
         }
@@ -139,20 +263,26 @@ fn count_fired(n: usize, lanes: usize, fired: &[bool], out: &mut [u32]) {
 
 /// Commits fired successor states for unmasked lanes (`commit[l]`),
 /// leaving masked lanes' state frozen.
-fn commit_fired<L: Copy>(
-    n: usize,
+fn commit_fired<L: LaneWord>(
+    _n: usize,
     lanes: usize,
     commit: &[bool],
     fired: &[bool],
     next: &[L],
     soa: &mut [L],
 ) {
-    for v in 0..n {
-        let base = v * lanes;
-        for l in 0..lanes {
-            if fired[base + l] && commit[l] {
-                soa[base + l] = next[base + l];
-            }
+    // Branch-free blend per element: the fired mask changes every step,
+    // so a per-element `if` mispredicts its way through the whole matrix;
+    // the bitwise select is data-independent and vectorizes. The
+    // chunk/zip shape matters — indexed accesses against a runtime
+    // `lanes` keep per-element bounds checks alive and block the
+    // vectorizer (measured ~10x slower than this form).
+    let commit = &commit[..lanes];
+    for (srow, (nrow, frow)) in
+        soa.chunks_exact_mut(lanes).zip(next.chunks_exact(lanes).zip(fired.chunks_exact(lanes)))
+    {
+        for (((s, &nx), &f), &c) in srow.iter_mut().zip(nrow).zip(frow).zip(commit) {
+            *s = s.blend(nx, f & c);
         }
     }
 }
@@ -166,6 +296,7 @@ struct LaneState {
     fired_count: Vec<u32>,
     counters: Vec<RunCounters>,
     active: usize,
+    passes: u64,
     idle_lane_steps: u64,
 }
 
@@ -179,13 +310,17 @@ impl LaneState {
             fired_count: vec![0; lanes],
             counters: vec![RunCounters::new(); lanes],
             active: lanes,
+            passes: 0,
             idle_lane_steps: 0,
         }
     }
 
     /// Flushes per-lane counters and the batch occupancy tallies to the
     /// global telemetry aggregate (one batched flush per lane, mirroring
-    /// the scalar engine's once-per-run discipline).
+    /// the scalar engine's once-per-run discipline). The lane-step total
+    /// (`lanes x passes`) is reported explicitly so occupancy stays
+    /// comparable across lane widths — a u8-packed batch runs 64 replicas
+    /// per cache line where an i32-packed one runs 16.
     fn flush_telemetry(&mut self, lanes: usize) {
         let telemetry = specstab_telemetry::global();
         for l in 0..lanes {
@@ -193,17 +328,12 @@ impl LaneState {
             self.counters[l].moves = self.moves[l];
             telemetry.record_run(&self.counters[l]);
         }
-        telemetry.record_batch(lanes as u64, self.idle_lane_steps);
+        telemetry.record_batch(lanes as u64, lanes as u64 * self.passes, self.idle_lane_steps);
     }
 }
 
-/// Runs `inits.len()` replicas of `protocol` to termination (or
-/// `max_steps`) under the synchronous daemon, batched.
-///
-/// Per lane, the result is exactly what a scalar
-/// [`Simulator::run`](crate::engine::Simulator::run) with a
-/// [`SynchronousDaemon`](crate::daemon::SynchronousDaemon) and no
-/// observers produces from the same initial configuration.
+/// [`run_batch_with`] under the synchronous daemon (the original batched
+/// entry point, kept as the common case's short name).
 ///
 /// # Panics
 ///
@@ -213,6 +343,31 @@ impl LaneState {
 pub fn run_batch<P: PackedProtocol>(
     graph: &Graph,
     protocol: &P,
+    inits: &[Configuration<P::State>],
+    max_steps: usize,
+) -> Vec<LaneSummary<P::State>> {
+    run_batch_with(graph, protocol, BatchDaemon::Sync, inits, max_steps)
+}
+
+/// Runs `inits.len()` replicas of `protocol` to termination (or
+/// `max_steps`) under `daemon`, batched.
+///
+/// Per lane, the result is exactly what a scalar
+/// [`Simulator::run`](crate::engine::Simulator::run) with the matching
+/// daemon ([`SynchronousDaemon`](crate::daemon::SynchronousDaemon), or a
+/// freshly `reset()` central round-robin
+/// [`CentralDaemon`](crate::daemon::CentralDaemon)) and no observers
+/// produces from the same initial configuration.
+///
+/// # Panics
+///
+/// Panics when `inits` is empty or a configuration's size does not match
+/// the graph.
+#[must_use]
+pub fn run_batch_with<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: BatchDaemon,
     inits: &[Configuration<P::State>],
     max_steps: usize,
 ) -> Vec<LaneSummary<P::State>> {
@@ -227,11 +382,19 @@ pub fn run_batch<P: PackedProtocol>(
     let mut fired = vec![false; n * lanes];
     let mut scratch = P::LaneScratch::default();
     let mut ls = LaneState::new(lanes);
+    let mut rr = match daemon {
+        BatchDaemon::Sync => None,
+        BatchDaemon::CentralRr => Some(RrState::new(lanes)),
+    };
 
     while ls.active > 0 {
+        ls.passes += 1;
         ls.idle_lane_steps += (lanes - ls.active) as u64;
         protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
-        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        match rr.as_mut() {
+            None => count_fired(n, lanes, &fired, &mut ls.fired_count),
+            Some(rr) => rr.select(n, lanes, &fired, &mut ls.fired_count),
+        }
         for l in 0..lanes {
             ls.commit[l] = false;
             if ls.stop[l].is_some() {
@@ -250,13 +413,19 @@ pub fn run_batch<P: PackedProtocol>(
                 ls.commit[l] = true;
             }
         }
-        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
+        match rr.as_mut() {
+            None => commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa),
+            Some(rr) => rr.commit(n, lanes, &ls.commit, &next, &mut soa),
+        }
         for l in 0..lanes {
             if ls.commit[l] {
+                // A committed pass is one step; it moves the whole fired
+                // set under Sync and exactly the picked vertex under
+                // CentralRr.
+                let moved = if rr.is_some() { 1 } else { u64::from(ls.fired_count[l]) };
                 ls.steps[l] += 1;
-                ls.moves[l] += u64::from(ls.fired_count[l]);
-                ls.counters[l].delta_bytes +=
-                    u64::from(ls.fired_count[l]) * 2 * std::mem::size_of::<P::State>() as u64;
+                ls.moves[l] += moved;
+                ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
             }
         }
     }
@@ -364,11 +533,40 @@ impl LaneMonitors {
     }
 }
 
-/// [`run_batch`] with the full per-lane measurement stack: each lane gets
-/// the [`StabilizationReport`] a scalar
+/// [`run_batch_measured_with`] under the synchronous daemon (the original
+/// measured entry point, kept as the common case's short name).
+///
+/// # Panics
+///
+/// Panics when `inits` is empty or a configuration's size does not match
+/// the graph.
+#[must_use]
+pub fn run_batch_measured<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    inits: Vec<Configuration<P::State>>,
+    max_steps: usize,
+    safety: &ConfigPredicate<P::State>,
+    legitimacy: &ConfigPredicate<P::State>,
+    early_stop: Option<(&ConfigPredicate<P::State>, usize)>,
+) -> Vec<(StabilizationReport, Configuration<P::State>)> {
+    run_batch_measured_with(
+        graph,
+        protocol,
+        BatchDaemon::Sync,
+        inits,
+        max_steps,
+        safety,
+        legitimacy,
+        early_stop,
+    )
+}
+
+/// [`run_batch_with`] with the full per-lane measurement stack: each lane
+/// gets the [`StabilizationReport`] a scalar
 /// [`MeasurementContext`](crate::measure::MeasurementContext) (optionally
-/// with early stop) would produce from the same initial configuration,
-/// plus its final configuration.
+/// with early stop) would produce from the same initial configuration
+/// under the matching daemon, plus its final configuration.
 ///
 /// `early_stop` mirrors
 /// [`MeasurementContext::with_early_stop`](crate::measure::MeasurementContext::with_early_stop):
@@ -380,9 +578,11 @@ impl LaneMonitors {
 /// Panics when `inits` is empty or a configuration's size does not match
 /// the graph.
 #[must_use]
-pub fn run_batch_measured<P: PackedProtocol>(
+#[allow(clippy::too_many_arguments)]
+pub fn run_batch_measured_with<P: PackedProtocol>(
     graph: &Graph,
     protocol: &P,
+    daemon: BatchDaemon,
     inits: Vec<Configuration<P::State>>,
     max_steps: usize,
     safety: &ConfigPredicate<P::State>,
@@ -408,11 +608,19 @@ pub fn run_batch_measured<P: PackedProtocol>(
         .iter()
         .map(|m| LaneMonitors::start(m, graph, safety, legitimacy, early_stop.as_ref()))
         .collect();
+    let mut rr = match daemon {
+        BatchDaemon::Sync => None,
+        BatchDaemon::CentralRr => Some(RrState::new(lanes)),
+    };
 
     while ls.active > 0 {
+        ls.passes += 1;
         ls.idle_lane_steps += (lanes - ls.active) as u64;
         protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
-        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        match rr.as_mut() {
+            None => count_fired(n, lanes, &fired, &mut ls.fired_count),
+            Some(rr) => rr.select(n, lanes, &fired, &mut ls.fired_count),
+        }
         for (l, monitor) in monitors.iter().enumerate() {
             ls.commit[l] = false;
             if ls.stop[l].is_some() {
@@ -434,24 +642,39 @@ pub fn run_batch_measured<P: PackedProtocol>(
                 ls.commit[l] = true;
             }
         }
-        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
-        // Repair the per-lane mirrors from the fired set, then run the
+        // Commit, then repair the per-lane mirrors to match, then run the
         // monitor checks at the post-commit step index (the scalar
-        // observers see `event.step` = steps-after-increment).
-        for v in 0..n {
-            let base = v * lanes;
-            for l in 0..lanes {
-                if fired[base + l] && ls.commit[l] {
-                    mirrors[l].set(VertexId::new(v), protocol.unpack(next[base + l]));
+        // observers see `event.step` = steps-after-increment). Under Sync
+        // the repair covers the whole fired set; under CentralRr only the
+        // lane's picked vertex changed.
+        match rr.as_mut() {
+            None => {
+                commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
+                for v in 0..n {
+                    let base = v * lanes;
+                    for l in 0..lanes {
+                        if fired[base + l] && ls.commit[l] {
+                            mirrors[l].set(VertexId::new(v), protocol.unpack(next[base + l]));
+                        }
+                    }
+                }
+            }
+            Some(rr) => {
+                rr.commit(n, lanes, &ls.commit, &next, &mut soa);
+                for l in 0..lanes {
+                    if ls.commit[l] {
+                        let p = rr.pick[l] as usize;
+                        mirrors[l].set(VertexId::new(p), protocol.unpack(next[p * lanes + l]));
+                    }
                 }
             }
         }
         for l in 0..lanes {
             if ls.commit[l] {
+                let moved = if rr.is_some() { 1 } else { u64::from(ls.fired_count[l]) };
                 ls.steps[l] += 1;
-                ls.moves[l] += u64::from(ls.fired_count[l]);
-                ls.counters[l].delta_bytes +=
-                    u64::from(ls.fired_count[l]) * 2 * std::mem::size_of::<P::State>() as u64;
+                ls.moves[l] += moved;
+                ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
                 monitors[l].step(
                     ls.steps[l],
                     &mirrors[l],

@@ -29,6 +29,7 @@
 //! loop, so the zero-allocation stepping invariants of [`crate::engine`]
 //! are preserved.
 
+use crate::batch::BatchDaemon;
 use crate::config::Configuration;
 use crate::daemon::{parse_daemon_spec, BoxedDaemon};
 use crate::engine::Simulator;
@@ -227,32 +228,42 @@ pub trait ProtocolHarness: Sized {
     /// implementation, i.e. whether [`ProtocolHarness::batched_measure`]
     /// returns `Some`. Batch drivers check this before building replica
     /// inits so unsupported protocols fall straight to the scalar path.
+    /// The check covers both batched daemons ([`BatchDaemon`]): the
+    /// round-robin lane engine is protocol-agnostic, so a packed protocol
+    /// supports every batched daemon mode.
+    ///
+    /// Harnesses may return `false` for *instances* outside their packed
+    /// domain (e.g. the K-state Dijkstra ring packs u8 lanes and only
+    /// batches when `K <= 256`); such instances take the counted scalar
+    /// fallback.
     #[must_use]
     fn supports_batch(&self) -> bool {
         false
     }
 
-    /// Runs `inits.len()` replicas of this protocol under the
-    /// **synchronous** daemon as one batched run (see [`crate::batch`]),
-    /// producing per lane the exact [`StabilizationReport`] (and final
-    /// configuration) a scalar measured run from the same initial
-    /// configuration yields — same monitors, same early stop with
-    /// `early_stop_margin`, same stop-reason ordering.
+    /// Runs `inits.len()` replicas of this protocol under `daemon` as one
+    /// batched run (see [`crate::batch`]), producing per lane the exact
+    /// [`StabilizationReport`] (and final configuration) a scalar
+    /// measured run from the same initial configuration under the
+    /// matching scalar daemon yields — same monitors, same early stop
+    /// with `early_stop_margin`, same stop-reason ordering.
     ///
     /// `None` (the default) means "no packed implementation — use the
     /// scalar path". Harnesses whose protocols implement
     /// [`PackedProtocol`](crate::batch::PackedProtocol) override this to
-    /// call [`run_batch_measured`](crate::batch::run_batch_measured) with
-    /// their own predicates.
+    /// call
+    /// [`run_batch_measured_with`](crate::batch::run_batch_measured_with)
+    /// with their own predicates.
     #[must_use]
     fn batched_measure(
         &self,
         graph: &Graph,
+        daemon: BatchDaemon,
         inits: Vec<Configuration<HarnessState<Self>>>,
         max_steps: usize,
         early_stop_margin: usize,
     ) -> Option<Vec<(StabilizationReport, Configuration<HarnessState<Self>>)>> {
-        let _ = (graph, inits, max_steps, early_stop_margin);
+        let _ = (graph, daemon, inits, max_steps, early_stop_margin);
         None
     }
 

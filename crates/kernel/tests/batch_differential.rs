@@ -1,17 +1,22 @@
 //! Differential suite for replica-parallel batched stepping: every lane
-//! of [`run_batch`] / [`run_batch_measured`] must be observationally
+//! of [`run_batch`] / [`run_batch_measured`] (and their `_with` variants
+//! under the central round-robin daemon) must be observationally
 //! identical to an independent scalar run of the same initial
-//! configuration under the synchronous daemon — same step/move counts,
-//! same stop reason, same final configuration, and (for the measured
-//! runner) the same [`StabilizationReport`] monitor fields index for
-//! index, across topologies × seeds × lane counts K ∈ {1, 3, 64, 100}.
+//! configuration under the matching scalar daemon — same step/move
+//! counts, same stop reason, same final configuration, and (for the
+//! measured runner) the same [`StabilizationReport`] monitor fields
+//! index for index, across topologies × seeds × lane counts
+//! K ∈ {1, 3, 64, 100}.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use specstab_kernel::batch::{run_batch, run_batch_measured, PackedProtocol};
+use specstab_kernel::batch::{
+    run_batch, run_batch_measured, run_batch_measured_with, run_batch_with, BatchDaemon,
+    PackedProtocol,
+};
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::SynchronousDaemon;
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
 use specstab_kernel::engine::{RunLimits, Simulator};
 use specstab_kernel::measure::{MeasurementContext, StabilizationReport};
 use specstab_kernel::observer::ConfigPredicate;
@@ -202,6 +207,87 @@ proptest! {
             let plain = sim.run(
                 init.clone(),
                 &mut SynchronousDaemon::new(),
+                RunLimits::with_max_steps(report.steps_run),
+                &mut [],
+            );
+            prop_assert_eq!(final_config, &plain.final_config);
+        }
+    }
+
+    /// Lane-divergent batched central round-robin runs equal K independent
+    /// scalar runs under the scalar `central-rr` daemon — each lane keeps
+    /// its own cursor and commits one vertex per pass, so lanes disagree
+    /// about which vertex moves from the very first step.
+    #[test]
+    fn batch_central_rr_equals_scalar_runs(
+        case in 0u8..4,
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        tight in 0u8..2,
+    ) {
+        let max_steps = if tight == 0 { 5 } else { 2_000 };
+        let k = [1, 3, 64, 100][k_pick];
+        let graph = graph_for(case);
+        let inits = random_inits(&graph, k, seed);
+        let lanes = run_batch_with(&graph, &MaxProto, BatchDaemon::CentralRr, &inits, max_steps);
+        prop_assert_eq!(lanes.len(), k);
+        for (lane, init) in lanes.iter().zip(&inits) {
+            let mut daemon = CentralDaemon::new(CentralStrategy::RoundRobin);
+            let sim = Simulator::new(&graph, &MaxProto);
+            let scalar =
+                sim.run(init.clone(), &mut daemon, RunLimits::with_max_steps(max_steps), &mut []);
+            prop_assert_eq!(lane.steps, scalar.steps);
+            prop_assert_eq!(lane.moves, scalar.moves);
+            prop_assert_eq!(lane.stop, scalar.stop);
+            prop_assert_eq!(&lane.final_config, &scalar.final_config);
+        }
+    }
+
+    /// Measured batched central round-robin runs replicate the scalar
+    /// `MeasurementContext` monitor stack lane for lane.
+    #[test]
+    fn batch_central_rr_measured_equals_scalar_measurement(
+        case in 0u8..4,
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        early_pick in 0u8..2,
+    ) {
+        let early = early_pick == 1;
+        let k = [1, 3, 64, 100][k_pick];
+        let graph = graph_for(case);
+        let inits = random_inits(&graph, k, seed);
+        let stop_pred = all_equal();
+        let early_stop = early.then_some((&stop_pred, 2usize));
+        let measured = run_batch_measured_with(
+            &graph,
+            &MaxProto,
+            BatchDaemon::CentralRr,
+            inits.clone(),
+            1_000,
+            &zero_holds_max(),
+            &all_equal(),
+            early_stop,
+        );
+        prop_assert_eq!(measured.len(), k);
+        for ((report, final_config), init) in measured.iter().zip(&inits) {
+            let sim = Simulator::new(&graph, &MaxProto);
+            let mut ctx = MeasurementContext::new(zero_holds_max(), all_equal());
+            if early {
+                ctx = ctx.with_early_stop(all_equal(), 2);
+            }
+            let scalar = ctx.run(
+                &sim,
+                &mut CentralDaemon::new(CentralStrategy::RoundRobin),
+                init.clone(),
+                1_000,
+            );
+            assert_reports_match(report, &scalar);
+            // Same truncated-replay cross-check as the synchronous case:
+            // the round-robin daemon is deterministic, so equal step
+            // counts mean equal configurations.
+            let plain = sim.run(
+                init.clone(),
+                &mut CentralDaemon::new(CentralStrategy::RoundRobin),
                 RunLimits::with_max_steps(report.steps_run),
                 &mut [],
             );

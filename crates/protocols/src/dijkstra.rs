@@ -17,6 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use specstab_kernel::batch::PackedProtocol;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
 use specstab_kernel::spec::Specification;
@@ -168,6 +169,65 @@ impl Protocol for DijkstraRing {
 
     fn state_domain(&self, _v: VertexId) -> Option<Vec<u64>> {
         Some((0..self.k).collect())
+    }
+}
+
+/// Lane-packed K-state stepping: counters pack into `u8` lanes — 64
+/// replicas per cache line — whenever `K ≤ 256`, which is the bound the
+/// harness gates batched routing on. The guard is one byte compare
+/// against the ring predecessor's row and the bottom increment is a
+/// branch-free select (`s == K-1 ? 0 : s+1`), so both per-vertex loops
+/// are straight-line byte ops over the lane axis that autovectorize.
+impl PackedProtocol for DijkstraRing {
+    type Lane = u8;
+    type LaneScratch = ();
+
+    fn pack(&self, state: &u64) -> u8 {
+        debug_assert!(self.k <= 256, "u8 lanes hold at most 256 counter states");
+        u8::try_from(*state).expect("counter fits u8 lanes (K <= 256)")
+    }
+
+    fn unpack(&self, lane: u8) -> u64 {
+        u64::from(lane)
+    }
+
+    fn step_lanes(
+        &self,
+        _graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        _scratch: &mut (),
+    ) {
+        let n = self.n;
+        let km1 = u8::try_from(self.k - 1).expect("K <= 256 for packed stepping");
+        for v in 0..n {
+            let p = if v == 0 { n - 1 } else { v - 1 };
+            let base = v * lanes;
+            let rv = &soa[base..base + lanes];
+            let rp = &soa[p * lanes..p * lanes + lanes];
+            let fired_row = &mut fired[base..base + lanes];
+            let next_row = &mut next[base..base + lanes];
+            // Zip iteration instead of indexing: a runtime `lanes` keeps
+            // per-element bounds checks alive under indexed access, which
+            // blocks autovectorization of the byte compares.
+            if v == 0 {
+                for (((f, nx), &s), &p) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
+                {
+                    *f = s == p;
+                    *nx = if s == km1 { 0 } else { s + 1 };
+                }
+            } else {
+                for (((f, nx), &s), &p) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
+                {
+                    *f = s != p;
+                    *nx = p;
+                }
+            }
+        }
     }
 }
 
@@ -389,6 +449,36 @@ mod tests {
         let cg = build_config_graph(&g, &p, &all, SearchDaemon::Central, 1_000_000).unwrap();
         let worst = worst_steps_to(&cg, |c| spec.is_legitimate(c, &g));
         assert!(worst.is_err(), "K=2 on ring-4 should diverge under the central daemon");
+    }
+
+    #[test]
+    fn packed_runs_match_scalar_lane_for_lane_under_both_daemons() {
+        use specstab_kernel::batch::{run_batch_with, BatchDaemon};
+        let (g, p) = ring_proto(7);
+        let inits: Vec<_> = (0..9)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(4_000 + s);
+                random_configuration(&g, &p, &mut rng)
+            })
+            .collect();
+        for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
+            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            for (lane, init) in lanes.iter().zip(&inits) {
+                let sim = Simulator::new(&g, &p);
+                let limits = RunLimits::with_max_steps(400);
+                let scalar = if daemon == BatchDaemon::Sync {
+                    let mut d = SynchronousDaemon::new();
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                } else {
+                    let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                };
+                assert_eq!(lane.steps, scalar.steps);
+                assert_eq!(lane.moves, scalar.moves);
+                assert_eq!(lane.stop, scalar.stop);
+                assert_eq!(lane.final_config, scalar.final_config);
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use specstab_kernel::batch::PackedProtocol;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
 use specstab_kernel::spec::Specification;
@@ -222,6 +223,98 @@ impl Protocol for DijkstraFourState {
     }
 }
 
+/// Lane-packed four-state stepping: the `(x, up)` pair bit-packs into a
+/// `u8` lane (bit 0 = `x`, bit 1 = `up`), 64 replicas per cache line.
+/// Pack/unpack preserve the raw bits; the freezing of the special
+/// machines' `up` bit happens on *read* inside the step (exactly like
+/// the scalar [`DijkstraFourState::canonical`]-on-read semantics), so a
+/// never-moving machine keeps its original possibly-non-canonical state
+/// in the final configuration — bit-for-bit what the scalar engine does.
+/// All three row loops are branchless bit ops over the lane axis.
+impl PackedProtocol for DijkstraFourState {
+    type Lane = u8;
+    type LaneScratch = ();
+
+    fn pack(&self, state: &FourState) -> u8 {
+        u8::from(state.x) | (u8::from(state.up) << 1)
+    }
+
+    fn unpack(&self, lane: u8) -> FourState {
+        FourState { x: lane & 1 != 0, up: lane & 2 != 0 }
+    }
+
+    fn step_lanes(
+        &self,
+        _graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        _scratch: &mut (),
+    ) {
+        let n = self.n;
+        // canonical(i, s) as an (or, and) bit-mask pair: bottom forces
+        // `up` set, top forces it clear, interior is the identity.
+        let canon = |i: usize| -> (u8, u8) {
+            if i == 0 {
+                (0b10, 0b11)
+            } else if i == n - 1 {
+                (0b00, 0b01)
+            } else {
+                (0b00, 0b11)
+            }
+        };
+        for v in 0..n {
+            let base = v * lanes;
+            let rv = &soa[base..base + lanes];
+            let fired_row = &mut fired[base..base + lanes];
+            let next_row = &mut next[base..base + lanes];
+            // Zip iteration instead of indexing: a runtime `lanes` keeps
+            // per-element bounds checks alive under indexed access, which
+            // blocks autovectorization of the bit ops.
+            if v == 0 {
+                // bottom :: x = x_R ∧ ¬up_R → x := ¬x (up stays frozen true)
+                let (ro, ra) = canon(1);
+                let row_r = &soa[lanes..2 * lanes];
+                for (((f, nx), &s), &rr) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
+                {
+                    let r = (rr | ro) & ra;
+                    *f = (s ^ r) & 1 == 0 && r & 2 == 0;
+                    *nx = ((s & 1) ^ 1) | 0b10;
+                }
+            } else if v == n - 1 {
+                // top :: x ≠ x_L → x := ¬x (up stays frozen false)
+                let row_l = &soa[(v - 1) * lanes..v * lanes];
+                for (((f, nx), &s), &lv) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l)
+                {
+                    *f = (s ^ lv) & 1 != 0;
+                    *nx = (s & 1) ^ 1;
+                }
+            } else {
+                // normal: FLIP (x ≠ x_L → x := ¬x, up := true) wins over
+                // LOWER (x = x_R ∧ up ∧ ¬up_R → up := false), like the
+                // scalar arbitration.
+                let (lo, la) = canon(v - 1);
+                let (ro, ra) = canon(v + 1);
+                let row_l = &soa[(v - 1) * lanes..v * lanes];
+                let row_r = &soa[(v + 1) * lanes..(v + 2) * lanes];
+                for ((((f, nx), &s), &ll), &rr) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+                {
+                    let lv = (ll | lo) & la;
+                    let r = (rr | ro) & ra;
+                    let flip = (s ^ lv) & 1 != 0;
+                    let lower = (s ^ r) & 1 == 0 && s & 2 != 0 && r & 2 == 0;
+                    *f = flip | lower;
+                    *nx = if flip { ((s & 1) ^ 1) | 0b10 } else { s & 1 };
+                }
+            }
+        }
+    }
+}
+
 /// `specME` for the four-state line: safety = at most one privilege,
 /// legitimacy = exactly one.
 #[derive(Clone, Debug)]
@@ -382,6 +475,41 @@ mod tests {
             config = sim.apply_action(&config, &enabled[..1]).0;
         }
         assert!(bottom > 0 && top > 0);
+    }
+
+    #[test]
+    fn packed_runs_match_scalar_lane_for_lane_under_both_daemons() {
+        use specstab_kernel::batch::{run_batch_with, BatchDaemon};
+        use specstab_kernel::daemon::SynchronousDaemon;
+        use specstab_kernel::engine::RunLimits;
+        let (g, p) = line(8);
+        // Raw (non-canonical) initial states on the special machines are
+        // part of the contract: canonicalization happens on read.
+        let mut inits: Vec<_> = (0..8)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(6_000 + s);
+                random_configuration(&g, &p, &mut rng)
+            })
+            .collect();
+        inits.push(Configuration::from_fn(8, |v| FourState { x: v.index() % 2 == 0, up: true }));
+        for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
+            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            for (lane, init) in lanes.iter().zip(&inits) {
+                let sim = Simulator::new(&g, &p);
+                let limits = RunLimits::with_max_steps(400);
+                let scalar = if daemon == BatchDaemon::Sync {
+                    let mut d = SynchronousDaemon::new();
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                } else {
+                    let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                };
+                assert_eq!(lane.steps, scalar.steps);
+                assert_eq!(lane.moves, scalar.moves);
+                assert_eq!(lane.stop, scalar.stop);
+                assert_eq!(lane.final_config, scalar.final_config);
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use specstab_kernel::batch::PackedProtocol;
 use specstab_kernel::config::Configuration;
 use specstab_kernel::protocol::{Protocol, RuleId, RuleInfo, View};
 use specstab_kernel::spec::Specification;
@@ -198,6 +199,82 @@ impl Protocol for DijkstraThreeState {
     }
 }
 
+/// Lane-packed three-state stepping: `S ∈ {0, 1, 2}` packs into `u8`
+/// lanes untouched (64 replicas per cache line). The `mod 3` arithmetic
+/// is branch-free selects on the two-bit domain (`(s+1) mod 3` is
+/// `s == 2 ? 0 : s+1`), and the left-rule preference of the scalar
+/// arbitration is one select per lane, so the bottom/top/normal row
+/// loops all autovectorize over the lane axis.
+impl PackedProtocol for DijkstraThreeState {
+    type Lane = u8;
+    type LaneScratch = ();
+
+    fn pack(&self, state: &u8) -> u8 {
+        *state
+    }
+
+    fn unpack(&self, lane: u8) -> u8 {
+        lane
+    }
+
+    fn step_lanes(
+        &self,
+        _graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        _scratch: &mut (),
+    ) {
+        let n = self.n;
+        let inc3 = |s: u8| if s == 2 { 0 } else { s + 1 };
+        let dec3 = |s: u8| if s == 0 { 2 } else { s - 1 };
+        for v in 0..n {
+            let li = (v + n - 1) % n;
+            let ri = (v + 1) % n;
+            let base = v * lanes;
+            let rv = &soa[base..base + lanes];
+            let row_l = &soa[li * lanes..li * lanes + lanes];
+            let row_r = &soa[ri * lanes..ri * lanes + lanes];
+            let fired_row = &mut fired[base..base + lanes];
+            let next_row = &mut next[base..base + lanes];
+            // Zip iteration keeps the lane loops free of per-element
+            // bounds checks (a runtime `lanes` blocks their elision under
+            // indexing), which is what lets the byte ops autovectorize.
+            if v == 0 {
+                // bottom :: (S+1) mod 3 = R → S := (S+2) mod 3
+                for (((f, nx), &s), &r) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
+                {
+                    *f = inc3(s) == r;
+                    *nx = dec3(s);
+                }
+            } else if v == n - 1 {
+                // top :: L = R ∧ (L+1) mod 3 ≠ S → S := (L+1) mod 3
+                for ((((f, nx), &s), &lv), &r) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+                {
+                    let want = inc3(lv);
+                    *f = lv == r && want != s;
+                    *nx = want;
+                }
+            } else {
+                // normal: FROM_LEFT wins over FROM_RIGHT, like the scalar
+                // arbitration.
+                for ((((f, nx), &s), &lv), &r) in
+                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+                {
+                    let s1 = inc3(s);
+                    let from_left = s1 == lv;
+                    let from_right = s1 == r;
+                    *f = from_left | from_right;
+                    *nx = if from_left { lv } else { r };
+                }
+            }
+        }
+    }
+}
+
 /// `specME` for the three-state ring: safety = at most one privilege,
 /// legitimacy = exactly one.
 #[derive(Clone, Debug)]
@@ -357,6 +434,38 @@ mod tests {
             config = sim.apply_action(&config, &enabled[..1]).0;
         }
         assert!(bottom_count > 0 && top_count > 0, "token must visit both ends");
+    }
+
+    #[test]
+    fn packed_runs_match_scalar_lane_for_lane_under_both_daemons() {
+        use specstab_kernel::batch::{run_batch_with, BatchDaemon};
+        use specstab_kernel::daemon::SynchronousDaemon;
+        use specstab_kernel::engine::RunLimits;
+        let (g, p) = ring(8);
+        let inits: Vec<_> = (0..9)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(5_000 + s);
+                random_configuration(&g, &p, &mut rng)
+            })
+            .collect();
+        for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
+            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            for (lane, init) in lanes.iter().zip(&inits) {
+                let sim = Simulator::new(&g, &p);
+                let limits = RunLimits::with_max_steps(400);
+                let scalar = if daemon == BatchDaemon::Sync {
+                    let mut d = SynchronousDaemon::new();
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                } else {
+                    let mut d = CentralDaemon::new(CentralStrategy::RoundRobin);
+                    sim.run(init.clone(), &mut d, limits, &mut [])
+                };
+                assert_eq!(lane.steps, scalar.steps);
+                assert_eq!(lane.moves, scalar.moves);
+                assert_eq!(lane.stop, scalar.stop);
+                assert_eq!(lane.final_config, scalar.final_config);
+            }
+        }
     }
 
     #[test]

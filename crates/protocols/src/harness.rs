@@ -22,6 +22,7 @@ use specstab_core::bounds;
 use specstab_core::spec_me::SpecMe;
 use specstab_core::speculation::ssme_disorder_metric;
 use specstab_core::ssme::{IdAssignment, Ssme};
+use specstab_kernel::batch::{run_batch_measured_with, BatchDaemon};
 use specstab_kernel::config::Configuration;
 use specstab_kernel::daemon::{parse_daemon_spec, AdversaryMoves, BoxedDaemon, GreedyAdversary};
 use specstab_kernel::harness::{BoundMetric, HarnessError, ProtocolHarness, TheoremBound};
@@ -157,14 +158,16 @@ impl ProtocolHarness for SsmeHarness {
     fn batched_measure(
         &self,
         graph: &Graph,
+        daemon: BatchDaemon,
         inits: Vec<Configuration<ClockValue>>,
         max_steps: usize,
         early_stop_margin: usize,
     ) -> Option<Vec<(StabilizationReport, Configuration<ClockValue>)>> {
         let stop = self.legitimacy_predicate();
-        Some(specstab_kernel::batch::run_batch_measured(
+        Some(run_batch_measured_with(
             graph,
             &self.ssme,
+            daemon,
             inits,
             max_steps,
             &self.safety_predicate(),
@@ -228,6 +231,37 @@ impl ProtocolHarness for DijkstraHarness {
             metric: BoundMetric::LegitimacyEntry,
         })
     }
+
+    /// Instance-level gate: the `u8` lane packing holds `K ≤ 256` counter
+    /// states. The standard grid instance uses `K = n`, so every ring up
+    /// to 256 machines batches; oversized rings fall back to scalar.
+    fn supports_batch(&self) -> bool {
+        self.proto.k() <= 256
+    }
+
+    fn batched_measure(
+        &self,
+        graph: &Graph,
+        daemon: BatchDaemon,
+        inits: Vec<Configuration<u64>>,
+        max_steps: usize,
+        early_stop_margin: usize,
+    ) -> Option<Vec<(StabilizationReport, Configuration<u64>)>> {
+        if !self.supports_batch() {
+            return None;
+        }
+        let stop = self.legitimacy_predicate();
+        Some(run_batch_measured_with(
+            graph,
+            &self.proto,
+            daemon,
+            inits,
+            max_steps,
+            &self.safety_predicate(),
+            &self.legitimacy_predicate(),
+            Some((&stop, early_stop_margin)),
+        ))
+    }
 }
 
 /// Dijkstra's three-state solution (1974). Ring-only.
@@ -272,6 +306,31 @@ impl ProtocolHarness for Dijkstra3Harness {
 
     fn legitimacy_predicate(&self) -> ConfigPredicate<u8> {
         legitimacy_of(&self.spec)
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn batched_measure(
+        &self,
+        graph: &Graph,
+        daemon: BatchDaemon,
+        inits: Vec<Configuration<u8>>,
+        max_steps: usize,
+        early_stop_margin: usize,
+    ) -> Option<Vec<(StabilizationReport, Configuration<u8>)>> {
+        let stop = self.legitimacy_predicate();
+        Some(run_batch_measured_with(
+            graph,
+            &self.proto,
+            daemon,
+            inits,
+            max_steps,
+            &self.safety_predicate(),
+            &self.legitimacy_predicate(),
+            Some((&stop, early_stop_margin)),
+        ))
     }
 }
 
@@ -320,6 +379,31 @@ impl ProtocolHarness for Dijkstra4Harness {
 
     fn legitimacy_predicate(&self) -> ConfigPredicate<FourState> {
         legitimacy_of(&self.spec)
+    }
+
+    fn supports_batch(&self) -> bool {
+        true
+    }
+
+    fn batched_measure(
+        &self,
+        graph: &Graph,
+        daemon: BatchDaemon,
+        inits: Vec<Configuration<FourState>>,
+        max_steps: usize,
+        early_stop_margin: usize,
+    ) -> Option<Vec<(StabilizationReport, Configuration<FourState>)>> {
+        let stop = self.legitimacy_predicate();
+        Some(run_batch_measured_with(
+            graph,
+            &self.proto,
+            daemon,
+            inits,
+            max_steps,
+            &self.safety_predicate(),
+            &self.legitimacy_predicate(),
+            Some((&stop, early_stop_margin)),
+        ))
     }
 }
 

@@ -32,8 +32,9 @@ pub struct ProtocolInfo {
     pub topology: &'static str,
     /// Whether the protocol defines an adversarial witness configuration.
     pub has_witness: bool,
-    /// Whether the protocol supports lane-packed batched stepping under
-    /// the synchronous daemon (see `specstab_kernel::batch`).
+    /// Whether the protocol supports lane-packed batched stepping
+    /// (see `specstab_kernel::batch`) — routed under the synchronous
+    /// and central round-robin daemons.
     pub batched: bool,
 }
 
@@ -54,7 +55,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "counters {0, .., n-1}",
         topology: "ring (n >= 3)",
         has_witness: false,
-        batched: false,
+        batched: true,
     },
     ProtocolInfo {
         name: "dijkstra3",
@@ -62,7 +63,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "{0, 1, 2}",
         topology: "ring (n >= 3)",
         has_witness: false,
-        batched: false,
+        batched: true,
     },
     ProtocolInfo {
         name: "dijkstra4",
@@ -70,7 +71,7 @@ pub const PROTOCOLS: &[ProtocolInfo] = &[
         states: "(x, up) boolean pairs",
         topology: "line (n >= 2)",
         has_witness: false,
-        batched: false,
+        batched: true,
     },
     ProtocolInfo {
         name: "bfs",

@@ -1,21 +1,27 @@
-//! The `SsmeHarness` batched path against the scalar measurement stack:
+//! The batchable harnesses against the scalar measurement stack:
 //! `batched_measure` must hand back, per lane, exactly the
 //! `StabilizationReport` the campaign executor's scalar cell runner
-//! produces with the harness's own predicates and early-stop margin.
+//! produces with the harness's own predicates and early-stop margin —
+//! under both batchable daemons (synchronous and central round-robin),
+//! for every lane count the executor chunks into (K ∈ {1, 3, 64, 100}).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use specstab_kernel::batch::BatchDaemon;
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::SynchronousDaemon;
+use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
 use specstab_kernel::engine::Simulator;
 use specstab_kernel::harness::ProtocolHarness;
 use specstab_kernel::measure::MeasurementContext;
 use specstab_kernel::protocol::random_configuration;
-use specstab_protocols::harness::SsmeHarness;
+use specstab_protocols::harness::{
+    Dijkstra3Harness, Dijkstra4Harness, DijkstraHarness, SsmeHarness,
+};
 use specstab_topology::metrics::DistanceMatrix;
 use specstab_topology::{generators, Graph};
-use specstab_unison::clock::ClockValue;
+
+const LANE_COUNTS: [usize; 4] = [1, 3, 64, 100];
 
 fn graph_for(case: u8) -> Graph {
     match case % 3 {
@@ -25,38 +31,39 @@ fn graph_for(case: u8) -> Graph {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Harness batched measurement ≡ harness scalar measurement, lane for
-    /// lane, K ∈ {1, 3, 64, 100}.
-    #[test]
-    fn ssme_batched_measure_matches_scalar(
-        case in 0u8..3,
-        seed in 0u64..1_000,
-        k_pick in 0usize..4,
-    ) {
-        let k = [1usize, 3, 64, 100][k_pick];
-        let graph = graph_for(case);
-        let diam = DistanceMatrix::new(&graph).diameter();
-        let harness = SsmeHarness::build(&graph, diam).unwrap();
-        prop_assert!(harness.supports_batch());
-        let inits: Vec<Configuration<ClockValue>> = (0..k)
+/// Lane-for-lane equivalence of `batched_measure` against the scalar
+/// measurement stack, for one harness/daemon/lane-count combination.
+macro_rules! check_batched {
+    ($harness:expr, $graph:expr, $daemon:expr, $k:expr, $seed:expr, $max_steps:expr) => {{
+        let harness = &$harness;
+        let graph = &$graph;
+        let daemon: BatchDaemon = $daemon;
+        let inits: Vec<Configuration<_>> = (0..$k)
             .map(|l| {
-                let mut rng = StdRng::seed_from_u64(seed ^ (0x55ED * l as u64 + 1));
-                random_configuration(&graph, harness.protocol(), &mut rng)
+                let mut rng = StdRng::seed_from_u64($seed ^ (0x55ED * l as u64 + 1));
+                random_configuration(graph, harness.protocol(), &mut rng)
             })
             .collect();
         let measured = harness
-            .batched_measure(&graph, inits.clone(), 5_000, 3)
-            .expect("ssme supports the batched path");
-        prop_assert_eq!(measured.len(), k);
+            .batched_measure(graph, daemon, inits.clone(), $max_steps, 3)
+            .expect("harness supports the batched path");
+        prop_assert_eq!(measured.len(), $k);
         for ((report, _), init) in measured.iter().zip(&inits) {
-            let sim = Simulator::new(&graph, harness.protocol());
-            let scalar =
+            let sim = Simulator::new(graph, harness.protocol());
+            let ctx =
                 MeasurementContext::new(harness.safety_predicate(), harness.legitimacy_predicate())
-                    .with_early_stop(harness.legitimacy_predicate(), 3)
-                    .run(&sim, &mut SynchronousDaemon::new(), init.clone(), 5_000);
+                    .with_early_stop(harness.legitimacy_predicate(), 3);
+            let scalar = match daemon {
+                BatchDaemon::Sync => {
+                    ctx.run(&sim, &mut SynchronousDaemon::new(), init.clone(), $max_steps)
+                }
+                BatchDaemon::CentralRr => ctx.run(
+                    &sim,
+                    &mut CentralDaemon::new(CentralStrategy::RoundRobin),
+                    init.clone(),
+                    $max_steps,
+                ),
+            };
             prop_assert_eq!(report.steps_run, scalar.steps_run);
             prop_assert_eq!(report.moves, scalar.moves);
             prop_assert_eq!(report.stop, scalar.stop);
@@ -67,5 +74,86 @@ proptest! {
             prop_assert_eq!(report.legitimacy_entry, scalar.legitimacy_entry);
             prop_assert_eq!(report.ended_legitimate, scalar.ended_legitimate);
         }
+    }};
+}
+
+fn daemon_pick(rr: bool) -> BatchDaemon {
+    if rr {
+        BatchDaemon::CentralRr
+    } else {
+        BatchDaemon::Sync
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Harness batched measurement ≡ harness scalar measurement, lane for
+    /// lane, K ∈ {1, 3, 64, 100}, both daemons.
+    #[test]
+    fn ssme_batched_measure_matches_scalar(
+        case in 0u8..3,
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        rr in 0u8..2,
+    ) {
+        let k = LANE_COUNTS[k_pick];
+        let graph = graph_for(case);
+        let diam = DistanceMatrix::new(&graph).diameter();
+        let harness = SsmeHarness::build(&graph, diam).unwrap();
+        prop_assert!(harness.supports_batch());
+        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 5_000);
+    }
+
+    #[test]
+    fn dijkstra_batched_measure_matches_scalar(
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        rr in 0u8..2,
+    ) {
+        let k = LANE_COUNTS[k_pick];
+        let graph = generators::ring(8).unwrap();
+        let harness = DijkstraHarness::build(&graph, 4).unwrap();
+        prop_assert!(harness.supports_batch());
+        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+    }
+
+    #[test]
+    fn dijkstra3_batched_measure_matches_scalar(
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        rr in 0u8..2,
+    ) {
+        let k = LANE_COUNTS[k_pick];
+        let graph = generators::ring(9).unwrap();
+        let harness = Dijkstra3Harness::build(&graph, 4).unwrap();
+        prop_assert!(harness.supports_batch());
+        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+    }
+
+    #[test]
+    fn dijkstra4_batched_measure_matches_scalar(
+        seed in 0u64..1_000,
+        k_pick in 0usize..4,
+        rr in 0u8..2,
+    ) {
+        let k = LANE_COUNTS[k_pick];
+        let graph = generators::path(7).unwrap();
+        let harness = Dijkstra4Harness::build(&graph, 6).unwrap();
+        prop_assert!(harness.supports_batch());
+        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+    }
+}
+
+/// The K ≤ 256 instance gate: an oversized K-state ring refuses the
+/// packed path and reports `supports_batch() == false`, so the executor
+/// counts it as a scalar fallback rather than mis-packing counters.
+#[test]
+fn oversized_k_state_ring_refuses_to_batch() {
+    let graph = generators::ring(300).unwrap();
+    let harness = DijkstraHarness::build(&graph, 150).unwrap();
+    assert!(!harness.supports_batch(), "K = 300 > 256 cannot pack into u8 lanes");
+    let mut rng = StdRng::seed_from_u64(7);
+    let init = random_configuration(&graph, harness.protocol(), &mut rng);
+    assert!(harness.batched_measure(&graph, BatchDaemon::Sync, vec![init], 10, 0).is_none());
 }

@@ -54,6 +54,16 @@ impl RunCounters {
     }
 }
 
+/// Daemon class of a batch-eligible campaign group, used to attribute
+/// batched-vs-scalar routing decisions per class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchDaemonClass {
+    /// Synchronous daemon groups (`sync`).
+    Sync,
+    /// Central round-robin daemon groups (`central-rr`).
+    CentralRr,
+}
+
 /// The process-global aggregate: relaxed atomics, written by batched
 /// per-run flushes and the two process-wide instruments.
 #[derive(Debug, Default)]
@@ -65,8 +75,13 @@ pub struct EngineCounters {
     scratch_reuses: AtomicU64,
     config_clones: AtomicU64,
     batch_lanes: AtomicU64,
+    batch_lane_steps: AtomicU64,
     batch_idle_lane_steps: AtomicU64,
     batch_scalar_fallbacks: AtomicU64,
+    batch_routed_sync_groups: AtomicU64,
+    batch_routed_rr_groups: AtomicU64,
+    batch_fallback_sync_groups: AtomicU64,
+    batch_fallback_rr_groups: AtomicU64,
 }
 
 /// A point-in-time copy of the global counters. Monotonically increasing
@@ -90,14 +105,28 @@ pub struct CounterSnapshot {
     /// Replica lanes launched by batched runs (one per seed-replica that
     /// entered a batch, regardless of how long it stayed active).
     pub batch_lanes: u64,
+    /// Total lane-step slots batched runs scheduled: `lanes x iterations`
+    /// summed over batches. Lane widths differ across packed protocols
+    /// (u8 packs 64 replicas per cache line, i32 packs 16), so occupancy
+    /// is reported against this explicit total rather than a width
+    /// assumption: occupancy = 1 - idle / lane-steps.
+    pub batch_lane_steps: u64,
     /// Lane-steps spent masked idle: batch iterations where an
-    /// already-stopped lane rode along while siblings kept stepping
-    /// (occupancy = 1 - idle / (lanes x iterations)).
+    /// already-stopped lane rode along while siblings kept stepping.
     pub batch_idle_lane_steps: u64,
-    /// Batch-eligible cell groups (synchronous daemon) that fell back to
-    /// the scalar path because the protocol has no packed implementation
-    /// or batching was disabled.
+    /// Batch-eligible cell groups (synchronous or central round-robin
+    /// daemon) that fell back to the scalar path because the protocol has
+    /// no packed implementation, the instance falls outside the packed
+    /// domain, or batching was disabled.
     pub batch_scalar_fallbacks: u64,
+    /// Synchronous-daemon groups routed through the batched engine.
+    pub batch_routed_sync_groups: u64,
+    /// Central round-robin groups routed through the batched engine.
+    pub batch_routed_rr_groups: u64,
+    /// Synchronous-daemon groups that took the scalar fallback.
+    pub batch_fallback_sync_groups: u64,
+    /// Central round-robin groups that took the scalar fallback.
+    pub batch_fallback_rr_groups: u64,
 }
 
 impl CounterSnapshot {
@@ -113,12 +142,25 @@ impl CounterSnapshot {
             scratch_reuses: self.scratch_reuses.saturating_sub(earlier.scratch_reuses),
             config_clones: self.config_clones.saturating_sub(earlier.config_clones),
             batch_lanes: self.batch_lanes.saturating_sub(earlier.batch_lanes),
+            batch_lane_steps: self.batch_lane_steps.saturating_sub(earlier.batch_lane_steps),
             batch_idle_lane_steps: self
                 .batch_idle_lane_steps
                 .saturating_sub(earlier.batch_idle_lane_steps),
             batch_scalar_fallbacks: self
                 .batch_scalar_fallbacks
                 .saturating_sub(earlier.batch_scalar_fallbacks),
+            batch_routed_sync_groups: self
+                .batch_routed_sync_groups
+                .saturating_sub(earlier.batch_routed_sync_groups),
+            batch_routed_rr_groups: self
+                .batch_routed_rr_groups
+                .saturating_sub(earlier.batch_routed_rr_groups),
+            batch_fallback_sync_groups: self
+                .batch_fallback_sync_groups
+                .saturating_sub(earlier.batch_fallback_sync_groups),
+            batch_fallback_rr_groups: self
+                .batch_fallback_rr_groups
+                .saturating_sub(earlier.batch_fallback_rr_groups),
         }
     }
 }
@@ -145,16 +187,36 @@ impl EngineCounters {
         self.config_clones.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Flushes one finished batched run: the lanes it launched and the
-    /// lane-steps spent masked idle after individual lanes stopped.
-    pub fn record_batch(&self, lanes: u64, idle_lane_steps: u64) {
+    /// Flushes one finished batched run: the lanes it launched, the total
+    /// lane-step slots it scheduled (`lanes x iterations` — the lane-count
+    /// parameterization that keeps u8x64 and i32x16 batches comparable),
+    /// and the lane-steps spent masked idle after individual lanes
+    /// stopped.
+    pub fn record_batch(&self, lanes: u64, lane_steps: u64, idle_lane_steps: u64) {
         self.batch_lanes.fetch_add(lanes, Ordering::Relaxed);
+        self.batch_lane_steps.fetch_add(lane_steps, Ordering::Relaxed);
         self.batch_idle_lane_steps.fetch_add(idle_lane_steps, Ordering::Relaxed);
     }
 
-    /// Records a batch-eligible group taking the scalar fallback path.
-    pub fn record_batch_fallback(&self) {
+    /// Records a batch-eligible group routed through the batched engine,
+    /// attributed to its daemon class.
+    pub fn record_batch_routed(&self, class: BatchDaemonClass) {
+        match class {
+            BatchDaemonClass::Sync => &self.batch_routed_sync_groups,
+            BatchDaemonClass::CentralRr => &self.batch_routed_rr_groups,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch-eligible group taking the scalar fallback path,
+    /// attributed to its daemon class.
+    pub fn record_batch_fallback(&self, class: BatchDaemonClass) {
         self.batch_scalar_fallbacks.fetch_add(1, Ordering::Relaxed);
+        match class {
+            BatchDaemonClass::Sync => &self.batch_fallback_sync_groups,
+            BatchDaemonClass::CentralRr => &self.batch_fallback_rr_groups,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Copies the current totals.
@@ -168,8 +230,13 @@ impl EngineCounters {
             scratch_reuses: self.scratch_reuses.load(Ordering::Relaxed),
             config_clones: self.config_clones.load(Ordering::Relaxed),
             batch_lanes: self.batch_lanes.load(Ordering::Relaxed),
+            batch_lane_steps: self.batch_lane_steps.load(Ordering::Relaxed),
             batch_idle_lane_steps: self.batch_idle_lane_steps.load(Ordering::Relaxed),
             batch_scalar_fallbacks: self.batch_scalar_fallbacks.load(Ordering::Relaxed),
+            batch_routed_sync_groups: self.batch_routed_sync_groups.load(Ordering::Relaxed),
+            batch_routed_rr_groups: self.batch_routed_rr_groups.load(Ordering::Relaxed),
+            batch_fallback_sync_groups: self.batch_fallback_sync_groups.load(Ordering::Relaxed),
+            batch_fallback_rr_groups: self.batch_fallback_rr_groups.load(Ordering::Relaxed),
         }
     }
 }
@@ -182,8 +249,13 @@ static GLOBAL: EngineCounters = EngineCounters {
     scratch_reuses: AtomicU64::new(0),
     config_clones: AtomicU64::new(0),
     batch_lanes: AtomicU64::new(0),
+    batch_lane_steps: AtomicU64::new(0),
     batch_idle_lane_steps: AtomicU64::new(0),
     batch_scalar_fallbacks: AtomicU64::new(0),
+    batch_routed_sync_groups: AtomicU64::new(0),
+    batch_routed_rr_groups: AtomicU64::new(0),
+    batch_fallback_sync_groups: AtomicU64::new(0),
+    batch_fallback_rr_groups: AtomicU64::new(0),
 };
 
 /// The process-global engine counters.
@@ -209,15 +281,20 @@ mod tests {
         global().record_run(&RunCounters { steps: 5, moves: 7, guard_evals: 11, delta_bytes: 13 });
         global().record_scratch_reuse();
         global().record_config_clone();
-        global().record_batch(64, 17);
-        global().record_batch_fallback();
+        global().record_batch(64, 640, 17);
+        global().record_batch_routed(BatchDaemonClass::Sync);
+        global().record_batch_routed(BatchDaemonClass::CentralRr);
+        global().record_batch_fallback(BatchDaemonClass::Sync);
+        global().record_batch_fallback(BatchDaemonClass::CentralRr);
         let d = global().snapshot().delta(&before);
         // Other tests in this binary may run concurrently and also flush,
         // so deltas are lower-bounded, not exact.
         assert!(d.steps >= 5 && d.moves >= 7 && d.guard_evals >= 11 && d.delta_bytes >= 13);
         assert!(d.scratch_reuses >= 1 && d.config_clones >= 1);
-        assert!(d.batch_lanes >= 64 && d.batch_idle_lane_steps >= 17);
-        assert!(d.batch_scalar_fallbacks >= 1);
+        assert!(d.batch_lanes >= 64 && d.batch_lane_steps >= 640 && d.batch_idle_lane_steps >= 17);
+        assert!(d.batch_scalar_fallbacks >= 2);
+        assert!(d.batch_routed_sync_groups >= 1 && d.batch_routed_rr_groups >= 1);
+        assert!(d.batch_fallback_sync_groups >= 1 && d.batch_fallback_rr_groups >= 1);
     }
 
     #[test]

@@ -237,8 +237,13 @@ pub(crate) fn counters_json(c: &CounterSnapshot) -> Json {
         ("scratch_reuses", Json::UInt(c.scratch_reuses)),
         ("config_clones", Json::UInt(c.config_clones)),
         ("batch_lanes", Json::UInt(c.batch_lanes)),
+        ("batch_lane_steps", Json::UInt(c.batch_lane_steps)),
         ("batch_idle_lane_steps", Json::UInt(c.batch_idle_lane_steps)),
         ("batch_scalar_fallbacks", Json::UInt(c.batch_scalar_fallbacks)),
+        ("batch_routed_sync_groups", Json::UInt(c.batch_routed_sync_groups)),
+        ("batch_routed_rr_groups", Json::UInt(c.batch_routed_rr_groups)),
+        ("batch_fallback_sync_groups", Json::UInt(c.batch_fallback_sync_groups)),
+        ("batch_fallback_rr_groups", Json::UInt(c.batch_fallback_rr_groups)),
     ])
 }
 
@@ -258,8 +263,13 @@ fn counters_from_json(j: &Json) -> Result<CounterSnapshot, String> {
         scratch_reuses: j.req("scratch_reuses")?.as_u64()?,
         config_clones: j.req("config_clones")?.as_u64()?,
         batch_lanes: opt_u64(j, "batch_lanes")?,
+        batch_lane_steps: opt_u64(j, "batch_lane_steps")?,
         batch_idle_lane_steps: opt_u64(j, "batch_idle_lane_steps")?,
         batch_scalar_fallbacks: opt_u64(j, "batch_scalar_fallbacks")?,
+        batch_routed_sync_groups: opt_u64(j, "batch_routed_sync_groups")?,
+        batch_routed_rr_groups: opt_u64(j, "batch_routed_rr_groups")?,
+        batch_fallback_sync_groups: opt_u64(j, "batch_fallback_sync_groups")?,
+        batch_fallback_rr_groups: opt_u64(j, "batch_fallback_rr_groups")?,
     })
 }
 
@@ -641,8 +651,13 @@ mod tests {
             scratch_reuses: 5,
             config_clones: 6,
             batch_lanes: 7,
+            batch_lane_steps: 70,
             batch_idle_lane_steps: 8,
             batch_scalar_fallbacks: 9,
+            batch_routed_sync_groups: 10,
+            batch_routed_rr_groups: 11,
+            batch_fallback_sync_groups: 12,
+            batch_fallback_rr_groups: 13,
         };
         vec![
             EventKind::Stream { schema: EVENTS_SCHEMA.into(), source: "shard".into() },
@@ -723,7 +738,7 @@ mod tests {
     #[test]
     fn pre_batch_counter_objects_still_parse_with_zeros() {
         // Traces written before the batch counters existed carry the same
-        // schema tag; the three batch fields are optional and default to 0.
+        // schema tag; the batch fields are optional and default to 0.
         let line = "{\"event\":\"shard_end\",\"seq\":0,\"t_us\":0,\"cells\":1,\"wall_us\":2,\
                     \"counters\":{\"steps\":1,\"moves\":2,\"guard_evals\":3,\"delta_bytes\":4,\
                     \"scratch_reuses\":5,\"config_clones\":6}}";
@@ -732,8 +747,13 @@ mod tests {
             EventKind::ShardEnd { counters, .. } => {
                 assert_eq!(counters.moves, 2);
                 assert_eq!(counters.batch_lanes, 0);
+                assert_eq!(counters.batch_lane_steps, 0);
                 assert_eq!(counters.batch_idle_lane_steps, 0);
                 assert_eq!(counters.batch_scalar_fallbacks, 0);
+                assert_eq!(counters.batch_routed_sync_groups, 0);
+                assert_eq!(counters.batch_routed_rr_groups, 0);
+                assert_eq!(counters.batch_fallback_sync_groups, 0);
+                assert_eq!(counters.batch_fallback_rr_groups, 0);
             }
             other => panic!("expected shard_end, got {other:?}"),
         }

@@ -39,7 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod progress;
 
-pub use counters::{global, CounterSnapshot, RunCounters};
+pub use counters::{global, BatchDaemonClass, CounterSnapshot, RunCounters};
 pub use event::{
     merge_streams, parse_ndjson, validate_events, Event, EventKind, TraceWriter, EVENTS_SCHEMA,
 };

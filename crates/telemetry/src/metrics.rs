@@ -92,8 +92,13 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
                 agg.scratch_reuses += counters.scratch_reuses;
                 agg.config_clones += counters.config_clones;
                 agg.batch_lanes += counters.batch_lanes;
+                agg.batch_lane_steps += counters.batch_lane_steps;
                 agg.batch_idle_lane_steps += counters.batch_idle_lane_steps;
                 agg.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
+                agg.batch_routed_sync_groups += counters.batch_routed_sync_groups;
+                agg.batch_routed_rr_groups += counters.batch_routed_rr_groups;
+                agg.batch_fallback_sync_groups += counters.batch_fallback_sync_groups;
+                agg.batch_fallback_rr_groups += counters.batch_fallback_rr_groups;
                 shard_totals = agg;
                 shard_cells += n;
                 shard_wall_max = shard_wall_max.max(*wall_us);
