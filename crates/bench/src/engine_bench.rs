@@ -13,7 +13,9 @@ use criterion::{BenchmarkId, Criterion, Throughput};
 use rand::SeedableRng;
 use specstab_kernel::batch::{run_batch, run_batch_with, BatchDaemon};
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, RandomDistributedDaemon, SynchronousDaemon,
+};
 use specstab_kernel::engine::{RunLimits, Simulator, StepScratch, StopReason};
 use specstab_kernel::protocol::{random_configuration, Protocol};
 use specstab_protocols::{DijkstraThreeState, MaximalMatching, MinPlusOneBfs};
@@ -120,7 +122,118 @@ fn bench_batched_rr_unison_on(group: &mut criterion::BenchmarkGroup<'_>, g: &Gra
         BenchmarkId::new("batched_rr_unison_steps", format!("{label}-k{k}")),
         g,
         |b, g| {
-            b.iter(|| run_batch_with(g, &unison, BatchDaemon::CentralRr, &inits, steps).len());
+            b.iter(|| run_batch_with(g, &unison, BatchDaemon::CentralRr, &[], &inits, steps).len());
+        },
+    );
+}
+
+/// Lane-divergent batched central-rand throughput on one graph: K unison
+/// replicas, each drawing uniform picks from its own per-lane RNG stream.
+/// One move commits per lane per pass, so throughput counts aggregate
+/// lane moves — comparable to `central_rr_unison_steps` served replica by
+/// replica under a random central daemon.
+fn bench_batched_rand_unison_on(group: &mut criterion::BenchmarkGroup<'_>, g: &Graph, label: &str) {
+    let n = g.n();
+    let steps = steps_for(n);
+    let clock = CherryClock::new(n as i64, n as i64 + 1).expect("safe parameters");
+    let unison = AsyncUnison::new(clock);
+    let init = Configuration::from_fn(n, |_| clock.value(0).expect("0 in domain"));
+    let k = 64usize;
+    let inits: Vec<_> = (0..k).map(|_| init.clone()).collect();
+    let seeds: Vec<u64> = (0..k as u64).map(|l| 0xBEEF + l).collect();
+    group.throughput(Throughput::Elements((steps * k) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batched_rand_unison_moves", format!("{label}-k{k}")),
+        g,
+        |b, g| {
+            b.iter(|| {
+                run_batch_with(g, &unison, BatchDaemon::CentralRand, &seeds, &inits, steps).len()
+            });
+        },
+    );
+}
+
+/// Random-distributed daemon (p = 0.5) throughput on one graph, scalar
+/// and batched side by side. Both IDs meter the actual (seed-fixed,
+/// deterministic) move totals, so the batched/scalar moves/s ratio reads
+/// directly as the lane-packing speedup under a random daemon: dist
+/// lanes commit whole sampled selections per pass, so the engine keeps
+/// its sync-shaped throughput edge while the per-lane RNG streams replay
+/// the scalar coin sequences.
+fn bench_dist_unison_on(group: &mut criterion::BenchmarkGroup<'_>, g: &Graph, label: &str) {
+    let n = g.n();
+    let steps = steps_for(n);
+    let clock = CherryClock::new(n as i64, n as i64 + 1).expect("safe parameters");
+    let unison = AsyncUnison::new(clock);
+    let init = Configuration::from_fn(n, |_| clock.value(0).expect("0 in domain"));
+    const P: f64 = 0.5;
+    let sim = Simulator::new(g, &unison);
+    let mut scratch = StepScratch::new();
+    let reference = {
+        let mut d = RandomDistributedDaemon::new(P, 0xBEEF);
+        sim.run_with_scratch(
+            init.clone(),
+            &mut d,
+            RunLimits::with_max_steps(steps),
+            &mut [],
+            &mut scratch,
+        )
+    };
+    group.throughput(Throughput::Elements(reference.moves));
+    group.bench_with_input(BenchmarkId::new("dist_unison_moves", label), g, |b, g| {
+        let sim = Simulator::new(g, &unison);
+        let mut scratch = StepScratch::new();
+        b.iter(|| {
+            let mut d = RandomDistributedDaemon::new(P, 0xBEEF);
+            sim.run_with_scratch(
+                init.clone(),
+                &mut d,
+                RunLimits::with_max_steps(steps),
+                &mut [],
+                &mut scratch,
+            )
+            .moves
+        });
+    });
+    let k = 64usize;
+    let inits: Vec<_> = (0..k).map(|_| init.clone()).collect();
+    let seeds: Vec<u64> = (0..k as u64).map(|l| 0xBEEF + l).collect();
+    let daemon = BatchDaemon::RandomDistributed { p: P };
+    let total: u64 = run_batch_with(g, &unison, daemon, &seeds, &inits, steps)
+        .iter()
+        .map(|lane| lane.moves)
+        .sum();
+    group.throughput(Throughput::Elements(total));
+    group.bench_with_input(
+        BenchmarkId::new("batched_dist_unison_moves", format!("{label}-k{k}")),
+        g,
+        |b, g| {
+            b.iter(|| run_batch_with(g, &unison, daemon, &seeds, &inits, steps).len());
+        },
+    );
+}
+
+/// Lane-divergent batched central round-robin on the three-state ring:
+/// the workload the executor's central-mode size gate is calibrated on.
+/// Ring sizes straddling the old (n ≈ 32) and new (n = 128) routing
+/// crossover, K = 64 replicas from seeded random initial configurations.
+fn bench_batched_rr_dijkstra3_on(group: &mut criterion::BenchmarkGroup<'_>, n: usize) {
+    let g = generators::ring(n).expect("valid ring");
+    let proto = DijkstraThreeState::new(&g).expect("ring graph");
+    let steps = steps_for(n);
+    let k = 64usize;
+    let inits: Vec<_> = (0..k)
+        .map(|l| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(11 + l as u64);
+            random_configuration(&g, &proto, &mut rng)
+        })
+        .collect();
+    group.throughput(Throughput::Elements((steps * k) as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batched_rr_dijkstra3_steps", format!("ring-{n}-k{k}")),
+        &g,
+        |b, g| {
+            b.iter(|| run_batch_with(g, &proto, BatchDaemon::CentralRr, &[], &inits, steps).len());
         },
     );
 }
@@ -188,13 +301,23 @@ pub fn bench_engine(c: &mut Criterion) {
         bench_unison_on(&mut group, &g, &format!("torus-{rows}x{cols}"));
         bench_batched_unison_on(&mut group, &g, &format!("torus-{rows}x{cols}"));
     }
-    // Lane-divergent round-robin batching amortizes the per-pass guard
-    // sweep over the lanes, which only beats the scalar engine's
-    // incremental O(degree)-per-step bookkeeping below the size crossover
-    // (the executor routes larger rr groups to the scalar loop), so its
-    // bench pins the small torus the routed path actually serves.
+    // Lane-divergent batching: the rr/rand central modes amortize their
+    // per-pass bookkeeping (selection word-scans + the transposed
+    // incremental enabled-bitset refresh) over the lanes, which holds up
+    // to each protocol's measured crossover (`crossover_probe`), so the
+    // benches pin the small torus the routed path has always served, the
+    // rand torus past the i32 routing gate (regression-tracked, not
+    // routed), and the dijkstra3 ring sizes straddling the old (n ≈ 32)
+    // and new (n = 128) byte-lane gate. The dist pair meters the
+    // random-daemon mode that keeps sync-shaped aggregate throughput.
     let g = generators::torus(4, 5).expect("valid torus");
     bench_batched_rr_unison_on(&mut group, &g, "torus-4x5");
+    let g = generators::torus(8, 8).expect("valid torus");
+    bench_batched_rand_unison_on(&mut group, &g, "torus-8x8");
+    bench_dist_unison_on(&mut group, &g, "torus-8x8");
+    for n in [64usize, 128] {
+        bench_batched_rr_dijkstra3_on(&mut group, n);
+    }
     for n in [256usize, 1024] {
         bench_dijkstra3_on(&mut group, n);
     }

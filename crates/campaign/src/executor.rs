@@ -60,16 +60,6 @@ pub fn batching_enabled() -> bool {
     BATCHING.load(Ordering::Relaxed)
 }
 
-/// Largest graph the lane-divergent central round-robin groups are routed
-/// to the packed engine on. A round-robin pass costs a dense
-/// O(n · lanes) guard sweep to commit one move per lane, while the scalar
-/// engine's incremental enabled-set maintenance pays O(degree) per step;
-/// measured on the bench tori the packed path wins ~2x at n = 20 and
-/// loses past n ≈ 64, so larger rr groups take the scalar loop (counted
-/// as fallbacks in telemetry). Synchronous groups have no such crossover:
-/// every lane commits work each pass.
-const RR_BATCH_MAX_N: usize = 32;
-
 /// Campaign-wide execution parameters.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -592,13 +582,28 @@ fn run_harness_group<H: ProtocolHarness>(
     // to the scalar loop below and is counted per daemon class in the
     // process-wide telemetry.
     if let Ok(h) = &harness {
-        let mode = match cells.first().expect("group runs are nonempty").daemon.as_str() {
+        let spec = cells.first().expect("group runs are nonempty").daemon.as_str();
+        let mode = match spec {
             "sync" => Some((BatchDaemon::Sync, BatchDaemonClass::Sync)),
             "central-rr" => Some((BatchDaemon::CentralRr, BatchDaemonClass::CentralRr)),
-            _ => None,
+            "central-rand" => Some((BatchDaemon::CentralRand, BatchDaemonClass::CentralRand)),
+            _ => spec
+                .strip_prefix("dist:")
+                .and_then(|p| p.parse::<f64>().ok())
+                .filter(|p| (0.0..=1.0).contains(p))
+                .map(|p| {
+                    (BatchDaemon::RandomDistributed { p }, BatchDaemonClass::RandomDistributed)
+                }),
         };
         if let Some((mode, class)) = mode {
-            let size_ok = mode != BatchDaemon::CentralRr || graph.n() <= RR_BATCH_MAX_N;
+            let central = matches!(mode, BatchDaemon::CentralRr | BatchDaemon::CentralRand);
+            // Central groups commit one move per lane per pass, so they
+            // only amortize below the harness's measured crossover size
+            // (128 on the byte-lane rings, 32 on i32-lane ssme — see
+            // `ProtocolHarness::central_batch_max_n`); larger central
+            // groups take the counted per-class scalar fallback. Sync and
+            // dist groups commit whole selections and route at any size.
+            let size_ok = !central || graph.n() <= h.central_batch_max_n();
             if batching_enabled() && h.supports_batch() && size_ok {
                 if let Some(results) = run_batched_group(h, mode, cells, graph, diam, config) {
                     specstab_telemetry::global().record_batch_routed(class);
@@ -657,10 +662,15 @@ fn run_batched_group<H: ProtocolHarness>(
     let started = Instant::now();
     let mut seeds = Vec::with_capacity(cells.len());
     let mut classes = Vec::with_capacity(cells.len());
+    let mut lane_seeds = Vec::with_capacity(cells.len());
     let mut inits = Vec::with_capacity(cells.len());
     for cell in cells {
         let cell_seed = cell.cell_seed(config.seed);
-        let daemon = harness.daemon(&cell.daemon, mix(cell_seed, 0x000D_AE17)).ok()?;
+        // The lane's RNG seed is exactly the scalar path's daemon seed:
+        // a random-daemon lane replays the scalar cell's pick sequence
+        // draw for draw.
+        let daemon_seed = mix(cell_seed, 0x000D_AE17);
+        let daemon = harness.daemon(&cell.daemon, daemon_seed).ok()?;
         let mut rng = StdRng::seed_from_u64(mix(cell_seed, 0x1217));
         let init = match cell.init {
             InitMode::Burst(0) => random_configuration(graph, harness.protocol(), &mut rng),
@@ -672,10 +682,18 @@ fn run_batched_group<H: ProtocolHarness>(
         };
         seeds.push(cell_seed);
         classes.push(daemon.class());
+        lane_seeds.push(daemon_seed);
         inits.push(init);
     }
-    let reports =
-        harness.batched_measure(graph, mode, inits, config.max_steps, config.early_stop_margin)?;
+    let lane_seeds: &[u64] = if mode.needs_lane_seeds() { &lane_seeds } else { &[] };
+    let reports = harness.batched_measure(
+        graph,
+        mode,
+        lane_seeds,
+        inits,
+        config.max_steps,
+        config.early_stop_margin,
+    )?;
     // The chunk shares one daemon; the synchronous theorem bounds only
     // apply to the lanes when that daemon is "sync".
     let bound = (mode == BatchDaemon::Sync).then(|| harness.sync_bound(graph, diam)).flatten();

@@ -71,28 +71,53 @@ struct WorkerTally {
 
 /// Campaign-wide batched-vs-scalar routing tally, accumulated from the
 /// `x-specstab-batch-routing` header workers send with each upload
-/// (`routed_sync,routed_rr,fallback_sync,fallback_rr`). Spooled partials
-/// replayed on resume carry no header and contribute zeros.
+/// (`routed_sync,routed_rr,routed_rand,routed_dist,fallback_sync,`
+/// `fallback_rr,fallback_rand,fallback_dist`). Older four-field headers
+/// parse with the rand/dist slots zeroed; spooled partials replayed on
+/// resume carry no header and contribute zeros.
 #[derive(Debug, Default, Clone, Copy)]
 struct BatchRoutingTally {
     routed_sync: u64,
     routed_rr: u64,
+    routed_rand: u64,
+    routed_dist: u64,
     fallback_sync: u64,
     fallback_rr: u64,
+    fallback_rand: u64,
+    fallback_dist: u64,
 }
 
 impl BatchRoutingTally {
     fn parse(header: &str) -> Self {
         let mut parts = header.split(',').map(|p| p.trim().parse::<u64>().unwrap_or(0));
         let mut next = || parts.next().unwrap_or(0);
-        Self { routed_sync: next(), routed_rr: next(), fallback_sync: next(), fallback_rr: next() }
+        // Positional, new fields appended per class: a four-field legacy
+        // header fills sync/rr routed slots then misreads its two
+        // fallback numbers as rand/dist routed — acceptable only because
+        // legacy workers never coexist with this coordinator (the serve
+        // protocol ships both sides from one build); fresh headers are
+        // always eight fields.
+        Self {
+            routed_sync: next(),
+            routed_rr: next(),
+            routed_rand: next(),
+            routed_dist: next(),
+            fallback_sync: next(),
+            fallback_rr: next(),
+            fallback_rand: next(),
+            fallback_dist: next(),
+        }
     }
 
     fn add(&mut self, other: Self) {
         self.routed_sync += other.routed_sync;
         self.routed_rr += other.routed_rr;
+        self.routed_rand += other.routed_rand;
+        self.routed_dist += other.routed_dist;
         self.fallback_sync += other.fallback_sync;
         self.fallback_rr += other.fallback_rr;
+        self.fallback_rand += other.fallback_rand;
+        self.fallback_dist += other.fallback_dist;
     }
 }
 
@@ -421,8 +446,12 @@ impl Coordinator {
                         obj(vec![
                             ("routed_sync", Json::UInt(self.batch_routing.routed_sync)),
                             ("routed_rr", Json::UInt(self.batch_routing.routed_rr)),
+                            ("routed_rand", Json::UInt(self.batch_routing.routed_rand)),
+                            ("routed_dist", Json::UInt(self.batch_routing.routed_dist)),
                             ("fallback_sync", Json::UInt(self.batch_routing.fallback_sync)),
                             ("fallback_rr", Json::UInt(self.batch_routing.fallback_rr)),
+                            ("fallback_rand", Json::UInt(self.batch_routing.fallback_rand)),
+                            ("fallback_dist", Json::UInt(self.batch_routing.fallback_dist)),
                         ]),
                     ),
                     ("workers", Json::Arr(workers)),

@@ -136,7 +136,8 @@ fn execute_leased(
 /// Uploads a partial with bounded-jittered retries. `Ok(true)` means a
 /// fresh acceptance, `Ok(false)` a duplicate acknowledgement. `routing`
 /// is the worker's batched-vs-scalar routing tally for this shard
-/// (`routed_sync,routed_rr,fallback_sync,fallback_rr`), carried as a
+/// (`routed_sync,routed_rr,routed_rand,routed_dist,fallback_sync,`
+/// `fallback_rr,fallback_rand,fallback_dist`), carried as a
 /// header so the coordinator's `/status` can report how much of the
 /// campaign ran lane-packed without touching the partial artifact bytes.
 fn upload(
@@ -250,11 +251,15 @@ pub fn run_worker(opts: &WorkOptions) -> Result<WorkerSummary, String> {
         let partial = execute_leased(&url, opts, &plan, &lease)?;
         let d = specstab_telemetry::global().snapshot().delta(&before);
         let routing = format!(
-            "{},{},{},{}",
+            "{},{},{},{},{},{},{},{}",
             d.batch_routed_sync_groups,
             d.batch_routed_rr_groups,
+            d.batch_routed_rand_groups,
+            d.batch_routed_dist_groups,
             d.batch_fallback_sync_groups,
-            d.batch_fallback_rr_groups
+            d.batch_fallback_rr_groups,
+            d.batch_fallback_rand_groups,
+            d.batch_fallback_dist_groups
         );
         match upload(&url, opts, &partial.to_json(), &routing)? {
             Some(true) => summary.executed += 1,

@@ -90,8 +90,12 @@ pub fn sum_shard_counters(events: &[Event]) -> CounterSnapshot {
             total.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
             total.batch_routed_sync_groups += counters.batch_routed_sync_groups;
             total.batch_routed_rr_groups += counters.batch_routed_rr_groups;
+            total.batch_routed_rand_groups += counters.batch_routed_rand_groups;
+            total.batch_routed_dist_groups += counters.batch_routed_dist_groups;
             total.batch_fallback_sync_groups += counters.batch_fallback_sync_groups;
             total.batch_fallback_rr_groups += counters.batch_fallback_rr_groups;
+            total.batch_fallback_rand_groups += counters.batch_fallback_rand_groups;
+            total.batch_fallback_dist_groups += counters.batch_fallback_dist_groups;
         }
     }
     total
@@ -153,8 +157,12 @@ mod tests {
             batch_scalar_fallbacks: 9 * k,
             batch_routed_sync_groups: 11 * k,
             batch_routed_rr_groups: 12 * k,
+            batch_routed_rand_groups: 15 * k,
+            batch_routed_dist_groups: 16 * k,
             batch_fallback_sync_groups: 13 * k,
             batch_fallback_rr_groups: 14 * k,
+            batch_fallback_rand_groups: 17 * k,
+            batch_fallback_dist_groups: 18 * k,
         };
         let ev = |shard: u64, kind: EventKind| Event { shard: Some(shard), seq: 1, t_us: 0, kind };
         let events = vec![

@@ -19,9 +19,11 @@ static TOGGLE: Mutex<()> = Mutex::new(());
 #[test]
 fn batched_campaign_artifact_is_byte_identical_to_scalar() {
     let _guard = TOGGLE.lock().unwrap();
-    // Sync ssme cells across two topologies, full bursts, partial bursts
-    // and the Theorem 4 witness — every init mode the batched group
-    // runner has to reproduce seed-exactly.
+    // Sync and random-distributed ssme cells across two topologies, full
+    // bursts, partial bursts and the Theorem 4 witness — every init mode
+    // the batched group runner has to reproduce seed-exactly, with the
+    // dist lanes additionally replaying the scalar daemon's per-cell RNG
+    // stream coin for coin.
     let m = ScenarioMatrix::builder()
         .topologies(["ring:8", "torus:3x4"])
         .protocols(["ssme"])
@@ -44,6 +46,10 @@ fn batched_campaign_artifact_is_byte_identical_to_scalar() {
         mid.batch_routed_sync_groups > before.batch_routed_sync_groups,
         "sync groups must be counted under the sync routing class"
     );
+    assert!(
+        mid.batch_routed_dist_groups > before.batch_routed_dist_groups,
+        "dist:0.5 groups must be counted under the dist routing class"
+    );
 
     set_batching_enabled(false);
     let scalar = run_campaign_sequential(&m, &cfg);
@@ -61,6 +67,10 @@ fn batched_campaign_artifact_is_byte_identical_to_scalar() {
         after.batch_fallback_sync_groups > mid.batch_fallback_sync_groups,
         "disabled sync groups must land in the sync fallback class"
     );
+    assert!(
+        after.batch_fallback_dist_groups > mid.batch_fallback_dist_groups,
+        "disabled dist groups must land in the dist fallback class"
+    );
 
     assert_eq!(
         artifact::to_json(&batched, true),
@@ -72,23 +82,25 @@ fn batched_campaign_artifact_is_byte_identical_to_scalar() {
 #[test]
 fn batched_dijkstra_central_rr_artifact_is_byte_identical_to_scalar() {
     let _guard = TOGGLE.lock().unwrap();
-    // All three Dijkstra protocols under both batchable daemons plus a
-    // daemon that never batches (`central-rand`), so routed sync groups,
-    // routed rr groups, and scalar-only groups coexist in one artifact.
-    // The ring matrix carries the two ring protocols (K-state with the
-    // standard grid K = n, well under the 256-state u8 lane gate); the
-    // four-state protocol needs a line, so it gets its own path matrix.
+    // All three Dijkstra protocols under three batchable daemons (sync,
+    // central-rr, and central-rand with its per-lane RNG streams) plus a
+    // daemon that never batches (`central-min`), so routed sync groups,
+    // routed rr groups, routed rand groups, and scalar-only groups
+    // coexist in one artifact. The ring matrix carries the two ring
+    // protocols (K-state with the standard grid K = n, well under the
+    // 256-state u8 lane gate); the four-state protocol needs a line, so
+    // it gets its own path matrix.
     let rings = ScenarioMatrix::builder()
         .topologies(["ring:8", "ring:13"])
         .protocols(["dijkstra", "dijkstra3"])
-        .daemons(["sync", "central-rr", "central-rand"])
+        .daemons(["sync", "central-rr", "central-rand", "central-min"])
         .fault_bursts([0, 1])
         .seeds(0..5)
         .build();
     let lines = ScenarioMatrix::builder()
         .topologies(["path:8", "path:13"])
         .protocols(["dijkstra4"])
-        .daemons(["sync", "central-rr", "central-rand"])
+        .daemons(["sync", "central-rr", "central-rand", "central-min"])
         .fault_bursts([0, 1])
         .seeds(0..5)
         .build();
@@ -106,6 +118,10 @@ fn batched_dijkstra_central_rr_artifact_is_byte_identical_to_scalar() {
     assert!(
         mid.batch_routed_sync_groups > before.batch_routed_sync_groups,
         "sync Dijkstra groups must route through the sync lane engine"
+    );
+    assert!(
+        mid.batch_routed_rand_groups > before.batch_routed_rand_groups,
+        "central-rand Dijkstra groups must route through the per-lane RNG engine"
     );
 
     set_batching_enabled(false);

@@ -293,6 +293,19 @@ impl PackedProtocol for Ssme {
     ) {
         self.unison.step_lanes(graph, lanes, soa, next, fired, scratch);
     }
+
+    fn eval_vertex_lanes(
+        &self,
+        graph: &Graph,
+        v: usize,
+        lanes: usize,
+        soa: &[i32],
+        next: &mut [i32],
+        fired: &mut [bool],
+        scratch: &mut UnisonLaneScratch,
+    ) {
+        self.unison.eval_vertex_lanes(graph, v, lanes, soa, next, fired, scratch);
+    }
 }
 
 #[cfg(test)]

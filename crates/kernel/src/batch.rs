@@ -1,6 +1,6 @@
 //! Replica-parallel batched stepping: K seed-replicas of one campaign
 //! cell packed into structure-of-arrays state and stepped together under
-//! the synchronous daemon.
+//! a batchable daemon.
 //!
 //! A campaign cell replays the identical (topology, protocol, daemon)
 //! across hundreds of seeds — perfectly homogeneous work that the scalar
@@ -13,34 +13,74 @@
 //!
 //! # Which daemons batch
 //!
-//! Two daemon classes have schedules that are deterministic given the
-//! enabled set, which is exactly what lane-packing needs
-//! ([`BatchDaemon`]):
+//! Four daemon classes batch ([`BatchDaemon`]), in two families:
 //!
 //! - **Synchronous** ([`BatchDaemon::Sync`]): the activated set *is* the
 //!   enabled set — no RNG, no selection state — so every lane's move
-//!   sequence is bit-identical to its scalar run by construction.
-//! - **Central round-robin** ([`BatchDaemon::CentralRr`]): the scalar
-//!   daemon picks the first enabled vertex at or after a cursor (wrapping
-//!   to the lowest enabled vertex) and advances the cursor past the pick.
-//!   Lanes diverge — each holds its own cursor and picks its own vertex —
-//!   but the *guard evaluation* stays lane-uniform: one shared topology
-//!   walk computes every lane's enabled set, then a cheap per-lane scan
-//!   resolves each lane's pick and commits exactly one vertex per lane
-//!   per pass (GPU-warp-style divergence, masked not branched).
+//!   sequence is bit-identical to its scalar run by construction. Sync
+//!   takes the dense path: one whole-graph `step_lanes` per step, every
+//!   fired entry committed with a branch-free blend.
+//! - **Lane-divergent** ([`BatchDaemon::CentralRr`],
+//!   [`BatchDaemon::CentralRand`], [`BatchDaemon::RandomDistributed`]):
+//!   each lane runs its own schedule — a round-robin cursor, or an RNG
+//!   stream seeded exactly as the scalar daemon for that replica would
+//!   be — over a shared guard evaluation. Selection is resolved as
+//!   per-lane masks over a **transposed enabled-bitset** (below) and
+//!   committed per lane (GPU-warp-style divergence, masked not
+//!   branched). The random modes replay the scalar daemon's RNG draw
+//!   sequence bit for bit: `CentralRand` draws one `choose` index per
+//!   step from the lane's sorted enabled set, `RandomDistributed{p}`
+//!   draws one `gen_bool(p)` per enabled vertex in ascending vertex
+//!   order plus one `choose` fallback when the sample comes up empty —
+//!   and draws happen *only* for steps that execute, matching the
+//!   scalar engine's select-after-stop-checks order.
 //!
-//! Daemons whose choices need randomness (central random, distributed,
-//! k-bounded) would need per-lane RNG streams; those combinations take
-//! the scalar fallback (counted by `batch_scalar_fallbacks` in the
-//! telemetry snapshot).
+//! Daemons whose schedules read history (`kbounded`, `central-oldest`)
+//! or adversarial search state still take the scalar fallback (counted
+//! by `batch_scalar_fallbacks` in the telemetry snapshot).
+//!
+//! # The transposed incremental enabled-bitset
+//!
+//! Lane-divergent modes commit only a handful of vertices per pass, so
+//! re-evaluating every guard every pass (the dense O(n · lanes) sweep
+//! central-rr used to pay) wastes almost all of its work. Instead the
+//! divergent engine keeps, per vertex, one u64 word per 64 lanes —
+//! `bits[v * wpl + w]` bit `b` = "vertex `v` enabled in lane
+//! `w * 64 + b`" — plus exact per-lane enabled counts:
+//!
+//! ```text
+//!             lane:  63 ......... 210
+//! vertex 0  bits[0] [0 1 0 ... 1 0 1]   one word = 64 lanes' enablement
+//! vertex 1  bits[1] [1 1 0 ... 0 0 1]   of one vertex; selection scans
+//!   ...                                 are word ANDs + trailing_zeros
+//! vertex n  bits[n] [0 0 0 ... 1 1 0]
+//! ```
+//!
+//! After each commit the engine re-evaluates only the commit's touched
+//! neighborhood (the committed vertices and their CSR neighbors — the
+//! batched analogue of the scalar engine's O(degree) enabled-set
+//! bookkeeping) via [`PackedProtocol::eval_vertex_lanes`], patching the
+//! bitset from word diffs. Selection never rescans guards: round-robin
+//! resolves every lane's pick in one ascending word-scan (cursor-sorted
+//! lane activation), the random modes count down their drawn index over
+//! set bits. A pass therefore costs O(n · lanes / 64) word ops plus
+//! O(touched · degree · lanes) guard re-evaluation, instead of
+//! O(n · lanes · degree) — which is what moves the central-mode routing
+//! crossover on the byte-lane ring protocols from n ≤ 32 to n ≈ 128
+//! (each harness publishes its measured gate via
+//! `ProtocolHarness::central_batch_max_n`) and opens the random daemons
+//! to batching at any size.
 //!
 //! # Lane masking
 //!
 //! Replicas converge at different steps. A stopped lane keeps riding the
-//! batch GPU-warp style — its guards are still evaluated, but its commits
-//! are masked off so its state (and hence its extracted final
-//! configuration) freezes at the stop step. The masked work is surfaced
-//! as `batch_idle_lane_steps` (occupancy = `1 - idle / (lanes * iterations)`).
+//! batch GPU-warp style — its commits are masked off so its state (and
+//! hence its extracted final configuration) freezes at the stop step.
+//! The masked work is surfaced as `batch_idle_lane_steps`, counted **per
+//! logical step**: every pass that commits at least one lane charges one
+//! step-slot per lane, so `batch_lane_steps − batch_idle_lane_steps`
+//! equals the total steps executed across lanes and occupancy stays
+//! comparable across lane widths (u8×64 vs i32×16 packing).
 //!
 //! # Equivalence contract
 //!
@@ -48,18 +88,23 @@
 //! [`Simulator::run`](crate::engine::Simulator::run) produces under the
 //! matching scalar daemon: the same step/move counts, the same
 //! [`StopReason`] (checked in the scalar engine's order — terminal, step
-//! limit, observer request), the same final configuration.
+//! limit, observer request), the same final configuration — for the
+//! random daemons, the same RNG draws from the same seed.
 //! [`run_batch_measured`] additionally replicates the
 //! [`MeasurementContext`](crate::measure::MeasurementContext) monitor
 //! stack (safety monitor, legitimacy monitor, optional
 //! `StopAfterStable`) per lane, index for index. The differential
-//! proptest suites assert both claims against the scalar engine.
+//! proptest suites assert both claims against the scalar engine, and
+//! [`run_batch_with_dense_sweep`] pins the incremental bitset against a
+//! forced full re-evaluation every pass.
 
 use crate::config::Configuration;
 use crate::engine::StopReason;
 use crate::measure::StabilizationReport;
 use crate::observer::ConfigPredicate;
 use crate::protocol::Protocol;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use specstab_telemetry::RunCounters;
 use specstab_topology::{Graph, VertexId};
 
@@ -97,11 +142,12 @@ lane_word!(u8, u16, u32, u64, i8, i16, i32, i64);
 /// set `fired[v * lanes + l]` to whether `v` is enabled in lane `l`'s
 /// configuration and, when enabled, write the successor state to
 /// `next[v * lanes + l]` — exactly the states the scalar
-/// `enabled_rule`/`apply` pair would produce. The whole-graph form
-/// serves both batched daemons: under [`BatchDaemon::Sync`] "enabled"
-/// and "activated" coincide, and under [`BatchDaemon::CentralRr`] the
-/// runner commits only each lane's round-robin pick from the enabled
-/// set, leaving the other `next` entries unused.
+/// `enabled_rule`/`apply` pair would produce.
+/// [`PackedProtocol::eval_vertex_lanes`] is the single-vertex form of the
+/// same computation; the divergent-daemon engine uses it to re-evaluate
+/// only a commit's touched neighborhood, so it must read nothing beyond
+/// vertex `v`'s own state and its CSR neighbors' states (the same
+/// locality the scalar engine's incremental enabled set assumes).
 pub trait PackedProtocol: Protocol {
     /// Packed per-vertex state: a fixed-width copyable lane word.
     type Lane: LaneWord;
@@ -135,11 +181,27 @@ pub trait PackedProtocol: Protocol {
         fired: &mut [bool],
         scratch: &mut Self::LaneScratch,
     );
+
+    /// Re-evaluates vertex `v`'s guard and successor in every lane,
+    /// writing only row `v` of `next`/`fired` — the incremental unit the
+    /// divergent engine's touched-neighborhood refresh is built on. Must
+    /// agree with [`PackedProtocol::step_lanes`] row for row.
+    #[allow(clippy::too_many_arguments)] // step_lanes' signature plus the row index
+    fn eval_vertex_lanes(
+        &self,
+        graph: &Graph,
+        v: usize,
+        lanes: usize,
+        soa: &[Self::Lane],
+        next: &mut [Self::Lane],
+        fired: &mut [bool],
+        scratch: &mut Self::LaneScratch,
+    );
 }
 
 /// Daemon schedule a batched run replays: which scalar daemon every lane
 /// must be bit-identical to.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub enum BatchDaemon {
     /// The synchronous daemon: every enabled vertex fires each step.
     Sync,
@@ -149,76 +211,518 @@ pub enum BatchDaemon {
     /// the exact schedule of the scalar `central-rr` daemon after
     /// `reset()`.
     CentralRr,
+    /// The central random daemon: each lane holds its own RNG stream
+    /// (seeded per lane like the scalar `central-rand` daemon after
+    /// `reset()`) and commits a uniformly chosen enabled vertex per step —
+    /// one `choose` draw per executed step, bit-identical to the scalar
+    /// pick sequence.
+    CentralRand,
+    /// The random distributed daemon: each lane includes each enabled
+    /// vertex independently with probability `p` (one `gen_bool(p)` draw
+    /// per enabled vertex in ascending vertex order), falling back to one
+    /// uniform `choose` pick when the sample is empty — the exact draw
+    /// sequence of the scalar `dist:<p>` daemon after `reset()`.
+    RandomDistributed {
+        /// Per-vertex inclusion probability in `[0, 1]`.
+        p: f64,
+    },
 }
 
-/// Per-lane round-robin selection state for [`BatchDaemon::CentralRr`]:
-/// cursors persist across passes, the scan scratch is reused.
-struct RrState {
+impl BatchDaemon {
+    /// Whether this daemon needs one RNG seed per lane
+    /// (`lane_seeds.len() == inits.len()` in the batch entry points).
+    #[must_use]
+    pub fn needs_lane_seeds(self) -> bool {
+        matches!(self, BatchDaemon::CentralRand | BatchDaemon::RandomDistributed { .. })
+    }
+}
+
+/// u64 words per transposed bitset row (64 lanes per word).
+#[inline]
+fn words_per_row(lanes: usize) -> usize {
+    lanes.div_ceil(64)
+}
+
+/// Assembles word `w` of vertex `v`'s transposed fired row from the
+/// lane-major `fired` matrix (`base = v * lanes`).
+///
+/// Packs eight bool bytes per step with a SWAR multiply: for bytes
+/// b₀..b₇ ∈ {0,1}, `x · 0x0102_0408_1020_4080` places bᵢ at bit 56 + i
+/// (each product bit has at most one contributor, so no carries), and
+/// the top byte is the packed mask. This runs once per bitset row per
+/// refresh, so the bit-at-a-time loop it replaces was the dominant
+/// per-pass cost of the divergent engine on mid-size graphs.
+#[inline]
+fn row_word(fired: &[bool], base: usize, lanes: usize, w: usize) -> u64 {
+    let lo = w * 64;
+    let hi = lanes.min(lo + 64);
+    let row = &fired[base + lo..base + hi];
+    let mut word = 0u64;
+    let mut chunks = row.chunks_exact(8);
+    for (i, c) in chunks.by_ref().enumerate() {
+        let x = u64::from_le_bytes([
+            c[0] as u8, c[1] as u8, c[2] as u8, c[3] as u8, c[4] as u8, c[5] as u8, c[6] as u8,
+            c[7] as u8,
+        ]);
+        word |= (x.wrapping_mul(0x0102_0408_1020_4080) >> 56) << (8 * i);
+    }
+    let tail = row.len() & !7;
+    for (j, &b) in chunks.remainder().iter().enumerate() {
+        word |= u64::from(b) << (tail + j);
+    }
+    word
+}
+
+/// Replays the vendored `SliceRandom::choose` draw on a slice of length
+/// `span`: one `next_u64` mapped onto `0..span` by the fixed-point
+/// multiply. The scalar random daemons pick from their sorted enabled
+/// slice with exactly this draw, so replaying it against the lane's
+/// enabled *count* (resolving the j-th set bit in ascending vertex
+/// order) reproduces the scalar pick bit for bit.
+#[inline]
+fn choose_index(rng: &mut StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// Per-lane divergent-daemon state: the transposed enabled-bitset, exact
+/// per-lane enabled counts, per-lane schedules (rr cursors / RNG
+/// streams), selection scratch and the touched-set bookkeeping for the
+/// incremental refresh.
+struct DivergentState {
+    mode: BatchDaemon,
+    n: usize,
+    lanes: usize,
+    wpl: usize,
+    /// `bits[v * wpl + w]` bit `b` = vertex `v` enabled in lane `w*64+b`.
+    bits: Vec<u64>,
+    /// Row-summary bitmap: bit `v` = some lane has vertex `v` enabled.
+    /// Selection scans iterate its set bits, skipping all-disabled rows.
+    any: Vec<u64>,
+    /// Per-lane enabled count — the exact column popcounts of `bits`,
+    /// maintained from word diffs.
+    cnt: Vec<u32>,
+    /// Per-lane RNG streams (random modes only), seeded exactly as the
+    /// scalar daemon for that replica after `reset()`.
+    rngs: Vec<StdRng>,
+    /// Per-lane round-robin cursors (the scalar `reset()` zeroes them).
     cursor: Vec<u32>,
+    /// Per-lane picked vertex for the single-move modes (rr / rand).
     pick: Vec<u32>,
     first_any: Vec<u32>,
     first_ge: Vec<u32>,
+    /// Selected (vertex, lane) bitset for the distributed mode (same
+    /// layout as `bits`) and per-lane selection sizes.
+    sel: Vec<u64>,
+    sel_count: Vec<u32>,
+    /// Countdown scratch for j-th-enabled scans.
+    jbuf: Vec<u32>,
+    /// Committing-lane mask and scan pendings (word layout).
+    commit_words: Vec<u64>,
+    pend_a: Vec<u64>,
+    pend_b: Vec<u64>,
+    started: Vec<u64>,
+    /// Committing lanes sorted by cursor (rr scan activation order).
+    order: Vec<u32>,
+    /// Touched-vertex set for the incremental refresh (stamp-deduped).
+    touched: Vec<u32>,
+    stamp: Vec<u64>,
+    generation: u64,
+    /// Forces the full dense re-evaluation every pass — the reference
+    /// sweep the incremental path is differentially tested against.
+    dense_sweep: bool,
 }
 
-impl RrState {
-    fn new(lanes: usize) -> Self {
+impl DivergentState {
+    fn new(
+        mode: BatchDaemon,
+        n: usize,
+        lanes: usize,
+        lane_seeds: &[u64],
+        dense_sweep: bool,
+    ) -> Self {
+        let wpl = words_per_row(lanes);
+        let rngs = if mode.needs_lane_seeds() {
+            assert_eq!(
+                lane_seeds.len(),
+                lanes,
+                "random batch daemons need exactly one RNG seed per lane"
+            );
+            lane_seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect()
+        } else {
+            Vec::new()
+        };
+        if let BatchDaemon::RandomDistributed { p } = mode {
+            assert!((0.0..=1.0).contains(&p), "inclusion probability must be in [0,1]");
+        }
+        let dist = matches!(mode, BatchDaemon::RandomDistributed { .. });
         Self {
-            // The scalar daemon's `reset()` zeroes the cursor at run start.
+            mode,
+            n,
+            lanes,
+            wpl,
+            bits: vec![0; n * wpl],
+            any: vec![0; n.div_ceil(64)],
+            cnt: vec![0; lanes],
+            rngs,
             cursor: vec![0; lanes],
             pick: vec![u32::MAX; lanes],
             first_any: vec![u32::MAX; lanes],
             first_ge: vec![u32::MAX; lanes],
+            sel: if dist { vec![0; n * wpl] } else { Vec::new() },
+            sel_count: vec![0; lanes],
+            jbuf: vec![0; lanes],
+            commit_words: vec![0; wpl],
+            pend_a: vec![0; wpl],
+            pend_b: vec![0; wpl],
+            started: vec![0; wpl],
+            order: Vec::with_capacity(lanes),
+            touched: Vec::with_capacity(n),
+            stamp: vec![0; n],
+            generation: 0,
+            dense_sweep,
         }
     }
 
-    /// One row-major scan over the fired matrix resolving, per lane, the
-    /// enabled count and the round-robin pick: the first enabled vertex
-    /// at or after the lane's cursor, else the first enabled vertex
-    /// overall — the branch-free mirror of the scalar daemon's
-    /// `partition_point` fast path over its sorted enabled slice. The
-    /// per-lane scan state is u32 (graphs are far below 2^32 vertices),
-    /// halving the scan's memory traffic and letting the `min` folds
-    /// vectorize.
-    fn select(&mut self, _n: usize, lanes: usize, fired: &[bool], fired_count: &mut [u32]) {
-        fired_count.fill(0);
+    /// Patches row `v` of the bitset against the freshly re-evaluated
+    /// `fired` matrix, adjusting the per-lane counts from the word diff.
+    #[inline]
+    fn diff_row(&mut self, v: usize, fired: &[bool]) {
+        let base = v * self.lanes;
+        let mut nz = 0u64;
+        for w in 0..self.wpl {
+            let new = row_word(fired, base, self.lanes, w);
+            let idx = v * self.wpl + w;
+            let mut delta = self.bits[idx] ^ new;
+            while delta != 0 {
+                let b = delta.trailing_zeros() as usize;
+                if new & (1u64 << b) != 0 {
+                    self.cnt[w * 64 + b] += 1;
+                } else {
+                    self.cnt[w * 64 + b] -= 1;
+                }
+                delta &= delta - 1;
+            }
+            self.bits[idx] = new;
+            nz |= new;
+        }
+        if nz != 0 {
+            self.any[v / 64] |= 1u64 << (v % 64);
+        } else {
+            self.any[v / 64] &= !(1u64 << (v % 64));
+        }
+    }
+
+    /// Rebuilds every row (the initial build after the first whole-graph
+    /// evaluation, and every pass of the reference dense-sweep mode).
+    fn diff_all_rows(&mut self, fired: &[bool]) {
+        for v in 0..self.n {
+            self.diff_row(v, fired);
+        }
+    }
+
+    #[inline]
+    fn touch_one(&mut self, v: usize) {
+        if self.stamp[v] != self.generation {
+            self.stamp[v] = self.generation;
+            self.touched.push(v as u32);
+        }
+    }
+
+    /// Marks the closed neighborhood of a committed vertex stale: `v`
+    /// itself and every vertex whose guard reads `v`'s state.
+    #[inline]
+    fn touch(&mut self, graph: &Graph, v: usize) {
+        self.touch_one(v);
+        for &u in graph.neighbors(VertexId::new(v)) {
+            self.touch_one(u.index());
+        }
+    }
+
+    fn build_commit_words(&mut self, commit: &[bool]) {
+        self.commit_words.fill(0);
+        for (l, &c) in commit.iter().enumerate() {
+            self.commit_words[l / 64] |= u64::from(c) << (l % 64);
+        }
+    }
+
+    /// Resolves every committing lane's selection for this pass. RNG
+    /// draws happen here and only here — i.e. only for lanes that will
+    /// execute a step, matching the scalar engine's
+    /// select-after-stop-checks order.
+    fn select(&mut self, commit: &[bool]) {
+        match self.mode {
+            BatchDaemon::Sync => unreachable!("sync rides the dense path"),
+            BatchDaemon::CentralRr => self.select_rr(commit),
+            BatchDaemon::CentralRand => self.select_rand(commit),
+            BatchDaemon::RandomDistributed { p } => self.select_dist(commit, p),
+        }
+    }
+
+    /// Round-robin: one ascending word-scan over the *set rows* of the
+    /// summary bitmap resolves, per committing lane, the first enabled
+    /// vertex at or after the lane's cursor (`first_ge`) and the first
+    /// enabled vertex overall (`first_any`, the wraparound fallback).
+    /// Lanes activate into the ≥-cursor search as the scan passes their
+    /// cursor — committing lanes sorted by cursor, a `started` mask
+    /// switched on word-wise. All-disabled rows carry no hits in either
+    /// search, so skipping them is exact, and the pass costs
+    /// O(enabled-rows · wpl) word ops + O(lanes log lanes) for the sort.
+    fn select_rr(&mut self, commit: &[bool]) {
+        self.build_commit_words(commit);
+        self.pend_a.copy_from_slice(&self.commit_words);
+        self.pend_b.copy_from_slice(&self.commit_words);
+        self.started.fill(0);
         self.first_any.fill(u32::MAX);
         self.first_ge.fill(u32::MAX);
-        let cursor = &self.cursor[..lanes];
-        for (v, row) in fired.chunks_exact(lanes).enumerate() {
-            let v32 = v as u32;
-            for ((((&f, cnt), any), ge), &cur) in row
-                .iter()
-                .zip(fired_count.iter_mut())
-                .zip(self.first_any.iter_mut())
-                .zip(self.first_ge.iter_mut())
-                .zip(cursor)
-            {
-                *cnt += u32::from(f);
-                *any = (*any).min(u32::MAX.blend(v32, f));
-                *ge = (*ge).min(u32::MAX.blend(v32, f & (v32 >= cur)));
+        self.order.clear();
+        self.order.extend((0..self.lanes as u32).filter(|&l| commit[l as usize]));
+        let cursor = &self.cursor;
+        self.order.sort_unstable_by_key(|&l| cursor[l as usize]);
+        let mut op = 0;
+        let mut unresolved = 2 * self.order.len();
+        'rows: for aw in 0..self.any.len() {
+            let mut aword = self.any[aw];
+            while aword != 0 {
+                let v = aw * 64 + aword.trailing_zeros() as usize;
+                aword &= aword - 1;
+                while op < self.order.len() && self.cursor[self.order[op] as usize] <= v as u32 {
+                    let l = self.order[op] as usize;
+                    self.started[l / 64] |= 1u64 << (l % 64);
+                    op += 1;
+                }
+                let base = v * self.wpl;
+                for w in 0..self.wpl {
+                    let row = self.bits[base + w];
+                    let mut hit = row & self.pend_a[w];
+                    while hit != 0 {
+                        let bit = hit & hit.wrapping_neg();
+                        self.first_any[w * 64 + bit.trailing_zeros() as usize] = v as u32;
+                        self.pend_a[w] ^= bit;
+                        hit ^= bit;
+                        unresolved -= 1;
+                    }
+                    let mut hit = row & self.pend_b[w] & self.started[w];
+                    while hit != 0 {
+                        let bit = hit & hit.wrapping_neg();
+                        self.first_ge[w * 64 + bit.trailing_zeros() as usize] = v as u32;
+                        self.pend_b[w] ^= bit;
+                        hit ^= bit;
+                        unresolved -= 1;
+                    }
+                }
+                if unresolved == 0 {
+                    break 'rows;
+                }
             }
         }
-        for ((pick, &ge), &any) in self.pick.iter_mut().zip(&self.first_ge).zip(&self.first_any) {
-            *pick = if ge != u32::MAX { ge } else { any };
+        for i in 0..self.order.len() {
+            let l = self.order[i] as usize;
+            let ge = self.first_ge[l];
+            let p = if ge == u32::MAX { self.first_any[l] } else { ge };
+            debug_assert!(p != u32::MAX, "committing lanes have a nonempty enabled set");
+            self.pick[l] = p;
+            self.cursor[l] = ((p as usize + 1) % self.n) as u32;
         }
     }
 
-    /// Commits each unmasked lane's pick and advances its cursor.
-    fn commit<L: Copy>(
+    /// Central random: each committing lane draws its scalar `choose`
+    /// index j against its enabled count, and one ascending word-scan
+    /// resolves lane l's j-th enabled vertex by counting j down over set
+    /// bits — the sorted-enabled-slice pick, without materializing the
+    /// slice.
+    fn select_rand(&mut self, commit: &[bool]) {
+        self.build_commit_words(commit);
+        self.pend_a.copy_from_slice(&self.commit_words);
+        let mut unresolved = 0usize;
+        for (l, &committing) in commit.iter().enumerate().take(self.lanes) {
+            if committing {
+                self.jbuf[l] = choose_index(&mut self.rngs[l], u64::from(self.cnt[l])) as u32;
+                unresolved += 1;
+            }
+        }
+        'rows: for aw in 0..self.any.len() {
+            let mut aword = self.any[aw];
+            while aword != 0 {
+                let v = aw * 64 + aword.trailing_zeros() as usize;
+                aword &= aword - 1;
+                let base = v * self.wpl;
+                for w in 0..self.wpl {
+                    let mut hit = self.bits[base + w] & self.pend_a[w];
+                    while hit != 0 {
+                        let bit = hit & hit.wrapping_neg();
+                        let l = w * 64 + bit.trailing_zeros() as usize;
+                        if self.jbuf[l] == 0 {
+                            self.pick[l] = v as u32;
+                            self.pend_a[w] ^= bit;
+                            unresolved -= 1;
+                        } else {
+                            self.jbuf[l] -= 1;
+                        }
+                        hit ^= bit;
+                    }
+                }
+                if unresolved == 0 {
+                    break 'rows;
+                }
+            }
+        }
+        debug_assert_eq!(unresolved, 0, "every drawn index lies below the enabled count");
+    }
+
+    /// Random distributed: the vertex-major scan draws one `gen_bool(p)`
+    /// per (enabled, committing) lane bit — each lane's draws land in
+    /// ascending vertex order, exactly the scalar daemon's iteration over
+    /// its sorted enabled slice — then lanes whose sample came up empty
+    /// take the scalar's one-`choose` fallback pick.
+    fn select_dist(&mut self, commit: &[bool], p: f64) {
+        self.build_commit_words(commit);
+        self.sel.fill(0);
+        self.sel_count.fill(0);
+        for aw in 0..self.any.len() {
+            let mut aword = self.any[aw];
+            while aword != 0 {
+                let v = aw * 64 + aword.trailing_zeros() as usize;
+                aword &= aword - 1;
+                let base = v * self.wpl;
+                for w in 0..self.wpl {
+                    let mut hit = self.bits[base + w] & self.commit_words[w];
+                    while hit != 0 {
+                        let bit = hit & hit.wrapping_neg();
+                        let l = w * 64 + bit.trailing_zeros() as usize;
+                        if self.rngs[l].gen_bool(p) {
+                            self.sel[base + w] |= bit;
+                            self.sel_count[l] += 1;
+                        }
+                        hit ^= bit;
+                    }
+                }
+            }
+        }
+        self.pend_a.fill(0);
+        let mut unresolved = 0usize;
+        for (l, &committing) in commit.iter().enumerate().take(self.lanes) {
+            if committing && self.sel_count[l] == 0 {
+                self.jbuf[l] = choose_index(&mut self.rngs[l], u64::from(self.cnt[l])) as u32;
+                self.pend_a[l / 64] |= 1u64 << (l % 64);
+                unresolved += 1;
+            }
+        }
+        if unresolved == 0 {
+            return;
+        }
+        'rows: for aw in 0..self.any.len() {
+            let mut aword = self.any[aw];
+            while aword != 0 {
+                let v = aw * 64 + aword.trailing_zeros() as usize;
+                aword &= aword - 1;
+                let base = v * self.wpl;
+                for w in 0..self.wpl {
+                    let mut hit = self.bits[base + w] & self.pend_a[w];
+                    while hit != 0 {
+                        let bit = hit & hit.wrapping_neg();
+                        let l = w * 64 + bit.trailing_zeros() as usize;
+                        if self.jbuf[l] == 0 {
+                            self.sel[base + w] |= bit;
+                            self.sel_count[l] = 1;
+                            self.pend_a[w] ^= bit;
+                            unresolved -= 1;
+                        } else {
+                            self.jbuf[l] -= 1;
+                        }
+                        hit ^= bit;
+                    }
+                }
+                if unresolved == 0 {
+                    break 'rows;
+                }
+            }
+        }
+    }
+
+    /// Moves one committed step executes in lane `l`.
+    #[inline]
+    fn moved(&self, l: usize) -> u64 {
+        match self.mode {
+            BatchDaemon::RandomDistributed { .. } => u64::from(self.sel_count[l]),
+            _ => 1,
+        }
+    }
+
+    /// Commits every selected (vertex, lane) pair into `soa`, records the
+    /// touched neighborhoods for the incremental refresh, and reports
+    /// each commit to `on_commit(lane, vertex, new_word)` (the measured
+    /// runner's mirror-repair hook).
+    fn commit<L: LaneWord>(
         &mut self,
-        n: usize,
-        lanes: usize,
+        graph: &Graph,
         commit: &[bool],
         next: &[L],
         soa: &mut [L],
+        mut on_commit: impl FnMut(usize, usize, L),
     ) {
-        for l in 0..lanes {
-            if commit[l] {
-                let p = self.pick[l] as usize;
-                soa[p * lanes + l] = next[p * lanes + l];
-                self.cursor[l] = ((p + 1) % n) as u32;
+        self.generation += 1;
+        self.touched.clear();
+        if matches!(self.mode, BatchDaemon::RandomDistributed { .. }) {
+            for v in 0..self.n {
+                let base = v * self.wpl;
+                let mut any = false;
+                for w in 0..self.wpl {
+                    let mut hit = self.sel[base + w];
+                    any |= hit != 0;
+                    while hit != 0 {
+                        let l = w * 64 + hit.trailing_zeros() as usize;
+                        let val = next[v * self.lanes + l];
+                        soa[v * self.lanes + l] = val;
+                        on_commit(l, v, val);
+                        hit &= hit - 1;
+                    }
+                }
+                if any {
+                    self.touch(graph, v);
+                }
+            }
+        } else {
+            for l in 0..self.lanes {
+                if commit[l] {
+                    let v = self.pick[l] as usize;
+                    let val = next[v * self.lanes + l];
+                    soa[v * self.lanes + l] = val;
+                    on_commit(l, v, val);
+                    self.touch(graph, v);
+                }
             }
         }
+    }
+
+    /// Re-evaluates the guard rows invalidated by this pass's commits and
+    /// patches `bits`/`cnt` from the word diffs (whole-graph sweep + full
+    /// rebuild when the reference dense-sweep mode is forced).
+    fn refresh<P: PackedProtocol>(
+        &mut self,
+        graph: &Graph,
+        protocol: &P,
+        soa: &[P::Lane],
+        next: &mut [P::Lane],
+        fired: &mut [bool],
+        scratch: &mut P::LaneScratch,
+    ) {
+        if self.dense_sweep {
+            protocol.step_lanes(graph, self.lanes, soa, next, fired, scratch);
+            self.diff_all_rows(fired);
+            return;
+        }
+        // Enablement can only have changed where a guard input changed —
+        // the touched set — so re-evaluating exactly those rows is a full
+        // repair: worst case (touched = whole graph) it costs one dense
+        // sweep, and in the divergent steady state it is O(commits ·
+        // degree · lanes).
+        let touched = std::mem::take(&mut self.touched);
+        for &v in &touched {
+            protocol.eval_vertex_lanes(graph, v as usize, self.lanes, soa, next, fired, scratch);
+            self.diff_row(v as usize, fired);
+        }
+        self.touched = touched;
     }
 }
 
@@ -296,7 +800,11 @@ struct LaneState {
     fired_count: Vec<u32>,
     counters: Vec<RunCounters>,
     active: usize,
-    passes: u64,
+    /// Scheduled lane-step slots: `lanes` per pass that committed at
+    /// least one lane (the final all-stop drain pass charges nothing).
+    lane_step_slots: u64,
+    /// Slots where a lane was scheduled but rode masked — per logical
+    /// step, so `lane_step_slots − idle_lane_steps == Σ steps[l]`.
     idle_lane_steps: u64,
 }
 
@@ -310,17 +818,27 @@ impl LaneState {
             fired_count: vec![0; lanes],
             counters: vec![RunCounters::new(); lanes],
             active: lanes,
-            passes: 0,
+            lane_step_slots: 0,
             idle_lane_steps: 0,
+        }
+    }
+
+    /// Charges this pass's step-slot accounting: one slot per lane when
+    /// any lane committed, idle for the lanes that did not. Counting per
+    /// logical step (instead of per evaluation pass) keeps occupancy
+    /// comparable across lane widths — a u8-packed batch runs 64 replicas
+    /// per cache line where an i32-packed one runs 16 — and makes
+    /// `lane_step_slots − idle_lane_steps` exactly the steps executed.
+    fn charge_pass(&mut self, lanes: usize, committed: usize) {
+        if committed > 0 {
+            self.lane_step_slots += lanes as u64;
+            self.idle_lane_steps += (lanes - committed) as u64;
         }
     }
 
     /// Flushes per-lane counters and the batch occupancy tallies to the
     /// global telemetry aggregate (one batched flush per lane, mirroring
-    /// the scalar engine's once-per-run discipline). The lane-step total
-    /// (`lanes x passes`) is reported explicitly so occupancy stays
-    /// comparable across lane widths — a u8-packed batch runs 64 replicas
-    /// per cache line where an i32-packed one runs 16.
+    /// the scalar engine's once-per-run discipline).
     fn flush_telemetry(&mut self, lanes: usize) {
         let telemetry = specstab_telemetry::global();
         for l in 0..lanes {
@@ -328,7 +846,7 @@ impl LaneState {
             self.counters[l].moves = self.moves[l];
             telemetry.record_run(&self.counters[l]);
         }
-        telemetry.record_batch(lanes as u64, lanes as u64 * self.passes, self.idle_lane_steps);
+        telemetry.record_batch(lanes as u64, self.lane_step_slots, self.idle_lane_steps);
     }
 }
 
@@ -346,7 +864,7 @@ pub fn run_batch<P: PackedProtocol>(
     inits: &[Configuration<P::State>],
     max_steps: usize,
 ) -> Vec<LaneSummary<P::State>> {
-    run_batch_with(graph, protocol, BatchDaemon::Sync, inits, max_steps)
+    run_batch_with(graph, protocol, BatchDaemon::Sync, &[], inits, max_steps)
 }
 
 /// Runs `inits.len()` replicas of `protocol` to termination (or
@@ -354,47 +872,89 @@ pub fn run_batch<P: PackedProtocol>(
 ///
 /// Per lane, the result is exactly what a scalar
 /// [`Simulator::run`](crate::engine::Simulator::run) with the matching
-/// daemon ([`SynchronousDaemon`](crate::daemon::SynchronousDaemon), or a
-/// freshly `reset()` central round-robin
-/// [`CentralDaemon`](crate::daemon::CentralDaemon)) and no observers
-/// produces from the same initial configuration.
+/// daemon ([`SynchronousDaemon`](crate::daemon::SynchronousDaemon), a
+/// freshly `reset()` [`CentralDaemon`](crate::daemon::CentralDaemon)
+/// round-robin or random, or a
+/// [`RandomDistributedDaemon`](crate::daemon::RandomDistributedDaemon))
+/// and no observers produces from the same initial configuration. For
+/// the random daemons, `lane_seeds[l]` must be the seed the scalar
+/// daemon for replica `l` was constructed with; the deterministic
+/// daemons ignore `lane_seeds` (pass `&[]`).
 ///
 /// # Panics
 ///
-/// Panics when `inits` is empty or a configuration's size does not match
-/// the graph.
+/// Panics when `inits` is empty, a configuration's size does not match
+/// the graph, or a random daemon's `lane_seeds` length does not match
+/// `inits.len()`.
 #[must_use]
 pub fn run_batch_with<P: PackedProtocol>(
     graph: &Graph,
     protocol: &P,
     daemon: BatchDaemon,
+    lane_seeds: &[u64],
     inits: &[Configuration<P::State>],
     max_steps: usize,
 ) -> Vec<LaneSummary<P::State>> {
+    match daemon {
+        BatchDaemon::Sync => run_batch_sync(graph, protocol, inits, max_steps),
+        _ => run_batch_divergent(graph, protocol, daemon, lane_seeds, inits, max_steps, false),
+    }
+}
+
+/// [`run_batch_with`] with the incremental enabled-bitset disabled: the
+/// divergent engine re-evaluates every guard with a whole-graph
+/// `step_lanes` sweep every pass. Selection, RNG streams and commits are
+/// shared with the incremental path, so comparing the two isolates
+/// exactly the touched-neighborhood bitset maintenance. Test-only
+/// reference; not part of the public API surface.
+///
+/// # Panics
+///
+/// As [`run_batch_with`]; additionally panics under [`BatchDaemon::Sync`]
+/// (which has no divergent path to compare).
+#[doc(hidden)]
+#[must_use]
+pub fn run_batch_with_dense_sweep<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: BatchDaemon,
+    lane_seeds: &[u64],
+    inits: &[Configuration<P::State>],
+    max_steps: usize,
+) -> Vec<LaneSummary<P::State>> {
+    assert!(daemon != BatchDaemon::Sync, "the dense-sweep reference is for divergent daemons");
+    run_batch_divergent(graph, protocol, daemon, lane_seeds, inits, max_steps, true)
+}
+
+fn check_batch_args<S>(graph: &Graph, inits: &[Configuration<S>]) -> (usize, usize) {
     let n = graph.n();
     let lanes = inits.len();
     assert!(lanes > 0, "a batch needs at least one replica lane");
     for init in inits {
         assert_eq!(init.len(), n, "configuration size must match graph");
     }
+    (n, lanes)
+}
+
+/// The synchronous dense path: whole-graph `step_lanes` every pass, the
+/// whole fired set committed per lane with branch-free blends.
+fn run_batch_sync<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    inits: &[Configuration<P::State>],
+    max_steps: usize,
+) -> Vec<LaneSummary<P::State>> {
+    let (n, lanes) = check_batch_args(graph, inits);
     let mut soa = pack_soa(protocol, n, inits);
     let mut next = soa.clone();
     let mut fired = vec![false; n * lanes];
     let mut scratch = P::LaneScratch::default();
     let mut ls = LaneState::new(lanes);
-    let mut rr = match daemon {
-        BatchDaemon::Sync => None,
-        BatchDaemon::CentralRr => Some(RrState::new(lanes)),
-    };
 
     while ls.active > 0 {
-        ls.passes += 1;
-        ls.idle_lane_steps += (lanes - ls.active) as u64;
         protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
-        match rr.as_mut() {
-            None => count_fired(n, lanes, &fired, &mut ls.fired_count),
-            Some(rr) => rr.select(n, lanes, &fired, &mut ls.fired_count),
-        }
+        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        let mut committed = 0usize;
         for l in 0..lanes {
             ls.commit[l] = false;
             if ls.stop[l].is_some() {
@@ -411,18 +971,16 @@ pub fn run_batch_with<P: PackedProtocol>(
                 ls.active -= 1;
             } else {
                 ls.commit[l] = true;
+                committed += 1;
             }
         }
-        match rr.as_mut() {
-            None => commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa),
-            Some(rr) => rr.commit(n, lanes, &ls.commit, &next, &mut soa),
-        }
+        ls.charge_pass(lanes, committed);
+        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
         for l in 0..lanes {
             if ls.commit[l] {
                 // A committed pass is one step; it moves the whole fired
-                // set under Sync and exactly the picked vertex under
-                // CentralRr.
-                let moved = if rr.is_some() { 1 } else { u64::from(ls.fired_count[l]) };
+                // set under the synchronous daemon.
+                let moved = u64::from(ls.fired_count[l]);
                 ls.steps[l] += 1;
                 ls.moves[l] += moved;
                 ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
@@ -431,6 +989,81 @@ pub fn run_batch_with<P: PackedProtocol>(
     }
 
     ls.flush_telemetry(lanes);
+    collect_summaries(protocol, n, lanes, &soa, &ls)
+}
+
+/// The divergent path (rr / rand / dist): initial whole-graph evaluation
+/// builds the transposed bitset, then every pass selects from it with
+/// word scans, commits per lane, and re-evaluates only the commit's
+/// touched neighborhood.
+fn run_batch_divergent<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: BatchDaemon,
+    lane_seeds: &[u64],
+    inits: &[Configuration<P::State>],
+    max_steps: usize,
+    dense_sweep: bool,
+) -> Vec<LaneSummary<P::State>> {
+    let (n, lanes) = check_batch_args(graph, inits);
+    let mut soa = pack_soa(protocol, n, inits);
+    let mut next = soa.clone();
+    let mut fired = vec![false; n * lanes];
+    let mut scratch = P::LaneScratch::default();
+    let mut ls = LaneState::new(lanes);
+    let mut ds = DivergentState::new(daemon, n, lanes, lane_seeds, dense_sweep);
+    protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
+    ds.diff_all_rows(&fired);
+
+    while ls.active > 0 {
+        let mut committed = 0usize;
+        for l in 0..lanes {
+            ls.commit[l] = false;
+            if ls.stop[l].is_some() {
+                continue;
+            }
+            ls.counters[l].guard_evals += n as u64;
+            // The scalar engine's loop-top order: terminal first, then the
+            // step limit (no observers on the plain path).
+            if ds.cnt[l] == 0 {
+                ls.stop[l] = Some(StopReason::Terminal);
+                ls.active -= 1;
+            } else if ls.steps[l] >= max_steps {
+                ls.stop[l] = Some(StopReason::MaxSteps);
+                ls.active -= 1;
+            } else {
+                ls.commit[l] = true;
+                committed += 1;
+            }
+        }
+        if committed == 0 {
+            break;
+        }
+        ls.charge_pass(lanes, committed);
+        ds.select(&ls.commit);
+        ds.commit(graph, &ls.commit, &next, &mut soa, |_, _, _| {});
+        for l in 0..lanes {
+            if ls.commit[l] {
+                let moved = ds.moved(l);
+                ls.steps[l] += 1;
+                ls.moves[l] += moved;
+                ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
+            }
+        }
+        ds.refresh(graph, protocol, &soa, &mut next, &mut fired, &mut scratch);
+    }
+
+    ls.flush_telemetry(lanes);
+    collect_summaries(protocol, n, lanes, &soa, &ls)
+}
+
+fn collect_summaries<P: PackedProtocol>(
+    protocol: &P,
+    n: usize,
+    lanes: usize,
+    soa: &[P::Lane],
+    ls: &LaneState,
+) -> Vec<LaneSummary<P::State>> {
     (0..lanes)
         .map(|l| LaneSummary {
             final_config: Configuration::from_fn(n, |v| {
@@ -531,6 +1164,27 @@ impl LaneMonitors {
             _ => false,
         }
     }
+
+    fn into_report(
+        self,
+        steps: usize,
+        moves: u64,
+        stop: StopReason,
+        counters: RunCounters,
+    ) -> StabilizationReport {
+        StabilizationReport {
+            steps_run: steps,
+            moves,
+            stop,
+            last_violation: self.last_violation,
+            violation_count: self.violations,
+            stabilization_steps: self.last_violation.map_or(0, |i| i + 1),
+            first_legitimate: self.first_legitimate,
+            legitimacy_entry: self.last_illegitimate.map_or(0, |i| i + 1),
+            ended_legitimate: self.ended_legitimate(),
+            counters,
+        }
+    }
 }
 
 /// [`run_batch_measured_with`] under the synchronous daemon (the original
@@ -554,6 +1208,7 @@ pub fn run_batch_measured<P: PackedProtocol>(
         graph,
         protocol,
         BatchDaemon::Sync,
+        &[],
         inits,
         max_steps,
         safety,
@@ -566,7 +1221,10 @@ pub fn run_batch_measured<P: PackedProtocol>(
 /// gets the [`StabilizationReport`] a scalar
 /// [`MeasurementContext`](crate::measure::MeasurementContext) (optionally
 /// with early stop) would produce from the same initial configuration
-/// under the matching daemon, plus its final configuration.
+/// under the matching daemon, plus its final configuration. For the
+/// random daemons, `lane_seeds[l]` must be the seed the scalar daemon
+/// for replica `l` was constructed with (deterministic daemons pass
+/// `&[]`).
 ///
 /// `early_stop` mirrors
 /// [`MeasurementContext::with_early_stop`](crate::measure::MeasurementContext::with_early_stop):
@@ -575,26 +1233,42 @@ pub fn run_batch_measured<P: PackedProtocol>(
 ///
 /// # Panics
 ///
-/// Panics when `inits` is empty or a configuration's size does not match
-/// the graph.
+/// Panics when `inits` is empty, a configuration's size does not match
+/// the graph, or a random daemon's `lane_seeds` length does not match
+/// `inits.len()`.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn run_batch_measured_with<P: PackedProtocol>(
     graph: &Graph,
     protocol: &P,
     daemon: BatchDaemon,
+    lane_seeds: &[u64],
     inits: Vec<Configuration<P::State>>,
     max_steps: usize,
     safety: &ConfigPredicate<P::State>,
     legitimacy: &ConfigPredicate<P::State>,
     early_stop: Option<(&ConfigPredicate<P::State>, usize)>,
 ) -> Vec<(StabilizationReport, Configuration<P::State>)> {
-    let n = graph.n();
-    let lanes = inits.len();
-    assert!(lanes > 0, "a batch needs at least one replica lane");
-    for init in &inits {
-        assert_eq!(init.len(), n, "configuration size must match graph");
+    match daemon {
+        BatchDaemon::Sync => run_batch_measured_sync(
+            graph, protocol, inits, max_steps, safety, legitimacy, early_stop,
+        ),
+        _ => run_batch_measured_divergent(
+            graph, protocol, daemon, lane_seeds, inits, max_steps, safety, legitimacy, early_stop,
+        ),
     }
+}
+
+fn run_batch_measured_sync<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    inits: Vec<Configuration<P::State>>,
+    max_steps: usize,
+    safety: &ConfigPredicate<P::State>,
+    legitimacy: &ConfigPredicate<P::State>,
+    early_stop: Option<(&ConfigPredicate<P::State>, usize)>,
+) -> Vec<(StabilizationReport, Configuration<P::State>)> {
+    let (n, lanes) = check_batch_args(graph, &inits);
     let mut soa = pack_soa(protocol, n, &inits);
     let mut next = soa.clone();
     let mut fired = vec![false; n * lanes];
@@ -608,70 +1282,29 @@ pub fn run_batch_measured_with<P: PackedProtocol>(
         .iter()
         .map(|m| LaneMonitors::start(m, graph, safety, legitimacy, early_stop.as_ref()))
         .collect();
-    let mut rr = match daemon {
-        BatchDaemon::Sync => None,
-        BatchDaemon::CentralRr => Some(RrState::new(lanes)),
-    };
 
     while ls.active > 0 {
-        ls.passes += 1;
-        ls.idle_lane_steps += (lanes - ls.active) as u64;
         protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
-        match rr.as_mut() {
-            None => count_fired(n, lanes, &fired, &mut ls.fired_count),
-            Some(rr) => rr.select(n, lanes, &fired, &mut ls.fired_count),
-        }
-        for (l, monitor) in monitors.iter().enumerate() {
-            ls.commit[l] = false;
-            if ls.stop[l].is_some() {
-                continue;
-            }
-            ls.counters[l].guard_evals += n as u64;
-            // The scalar engine's loop-top order: terminal, step limit,
-            // observer request.
-            if ls.fired_count[l] == 0 {
-                ls.stop[l] = Some(StopReason::Terminal);
-                ls.active -= 1;
-            } else if ls.steps[l] >= max_steps {
-                ls.stop[l] = Some(StopReason::MaxSteps);
-                ls.active -= 1;
-            } else if monitor.should_stop(early_stop.as_ref().map(|&(_, m)| m)) {
-                ls.stop[l] = Some(StopReason::ObserverRequest);
-                ls.active -= 1;
-            } else {
-                ls.commit[l] = true;
-            }
-        }
+        count_fired(n, lanes, &fired, &mut ls.fired_count);
+        let margin = early_stop.as_ref().map(|&(_, m)| m);
+        let committed = measured_stop_checks(&mut ls, &monitors, n, max_steps, margin);
+        ls.charge_pass(lanes, committed);
         // Commit, then repair the per-lane mirrors to match, then run the
         // monitor checks at the post-commit step index (the scalar
         // observers see `event.step` = steps-after-increment). Under Sync
-        // the repair covers the whole fired set; under CentralRr only the
-        // lane's picked vertex changed.
-        match rr.as_mut() {
-            None => {
-                commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
-                for v in 0..n {
-                    let base = v * lanes;
-                    for l in 0..lanes {
-                        if fired[base + l] && ls.commit[l] {
-                            mirrors[l].set(VertexId::new(v), protocol.unpack(next[base + l]));
-                        }
-                    }
-                }
-            }
-            Some(rr) => {
-                rr.commit(n, lanes, &ls.commit, &next, &mut soa);
-                for l in 0..lanes {
-                    if ls.commit[l] {
-                        let p = rr.pick[l] as usize;
-                        mirrors[l].set(VertexId::new(p), protocol.unpack(next[p * lanes + l]));
-                    }
+        // the repair covers the whole fired set.
+        commit_fired(n, lanes, &ls.commit, &fired, &next, &mut soa);
+        for v in 0..n {
+            let base = v * lanes;
+            for l in 0..lanes {
+                if fired[base + l] && ls.commit[l] {
+                    mirrors[l].set(VertexId::new(v), protocol.unpack(next[base + l]));
                 }
             }
         }
         for l in 0..lanes {
             if ls.commit[l] {
-                let moved = if rr.is_some() { 1 } else { u64::from(ls.fired_count[l]) };
+                let moved = u64::from(ls.fired_count[l]);
                 ls.steps[l] += 1;
                 ls.moves[l] += moved;
                 ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
@@ -688,23 +1321,124 @@ pub fn run_batch_measured_with<P: PackedProtocol>(
     }
 
     ls.flush_telemetry(lanes);
+    collect_measured(monitors, mirrors, ls)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_batch_measured_divergent<P: PackedProtocol>(
+    graph: &Graph,
+    protocol: &P,
+    daemon: BatchDaemon,
+    lane_seeds: &[u64],
+    inits: Vec<Configuration<P::State>>,
+    max_steps: usize,
+    safety: &ConfigPredicate<P::State>,
+    legitimacy: &ConfigPredicate<P::State>,
+    early_stop: Option<(&ConfigPredicate<P::State>, usize)>,
+) -> Vec<(StabilizationReport, Configuration<P::State>)> {
+    let (n, lanes) = check_batch_args(graph, &inits);
+    let mut soa = pack_soa(protocol, n, &inits);
+    let mut next = soa.clone();
+    let mut fired = vec![false; n * lanes];
+    let mut scratch = P::LaneScratch::default();
+    let mut ls = LaneState::new(lanes);
+    let mut ds = DivergentState::new(daemon, n, lanes, lane_seeds, false);
+    let mut mirrors = inits;
+    let mut monitors: Vec<LaneMonitors> = mirrors
+        .iter()
+        .map(|m| LaneMonitors::start(m, graph, safety, legitimacy, early_stop.as_ref()))
+        .collect();
+    protocol.step_lanes(graph, lanes, &soa, &mut next, &mut fired, &mut scratch);
+    ds.diff_all_rows(&fired);
+
+    while ls.active > 0 {
+        ls.fired_count.copy_from_slice(&ds.cnt);
+        let margin = early_stop.as_ref().map(|&(_, m)| m);
+        let committed = measured_stop_checks(&mut ls, &monitors, n, max_steps, margin);
+        if committed == 0 {
+            break;
+        }
+        ls.charge_pass(lanes, committed);
+        ds.select(&ls.commit);
+        // Commit and repair each lane's mirror in one walk, then run the
+        // monitor checks at the post-commit step index — the scalar
+        // observers see every move of the step applied before the check.
+        ds.commit(graph, &ls.commit, &next, &mut soa, |l, v, val| {
+            mirrors[l].set(VertexId::new(v), protocol.unpack(val));
+        });
+        for l in 0..lanes {
+            if ls.commit[l] {
+                let moved = ds.moved(l);
+                ls.steps[l] += 1;
+                ls.moves[l] += moved;
+                ls.counters[l].delta_bytes += moved * 2 * std::mem::size_of::<P::State>() as u64;
+                monitors[l].step(
+                    ls.steps[l],
+                    &mirrors[l],
+                    graph,
+                    safety,
+                    legitimacy,
+                    early_stop.as_ref(),
+                );
+            }
+        }
+        ds.refresh(graph, protocol, &soa, &mut next, &mut fired, &mut scratch);
+    }
+
+    ls.flush_telemetry(lanes);
+    collect_measured(monitors, mirrors, ls)
+}
+
+/// The measured runners' shared stop-check pass: terminal, step limit,
+/// observer request — the scalar engine's loop-top order. Returns how
+/// many lanes will commit a step this pass.
+fn measured_stop_checks(
+    ls: &mut LaneState,
+    monitors: &[LaneMonitors],
+    n: usize,
+    max_steps: usize,
+    margin: Option<usize>,
+) -> usize {
+    let mut committed = 0usize;
+    for (l, monitor) in monitors.iter().enumerate() {
+        ls.commit[l] = false;
+        if ls.stop[l].is_some() {
+            continue;
+        }
+        ls.counters[l].guard_evals += n as u64;
+        if ls.fired_count[l] == 0 {
+            ls.stop[l] = Some(StopReason::Terminal);
+            ls.active -= 1;
+        } else if ls.steps[l] >= max_steps {
+            ls.stop[l] = Some(StopReason::MaxSteps);
+            ls.active -= 1;
+        } else if monitor.should_stop(margin) {
+            ls.stop[l] = Some(StopReason::ObserverRequest);
+            ls.active -= 1;
+        } else {
+            ls.commit[l] = true;
+            committed += 1;
+        }
+    }
+    committed
+}
+
+fn collect_measured<S>(
+    monitors: Vec<LaneMonitors>,
+    mirrors: Vec<Configuration<S>>,
+    ls: LaneState,
+) -> Vec<(StabilizationReport, Configuration<S>)> {
     monitors
         .into_iter()
         .zip(mirrors)
         .enumerate()
         .map(|(l, (m, final_config))| {
-            let report = StabilizationReport {
-                steps_run: ls.steps[l],
-                moves: ls.moves[l],
-                stop: ls.stop[l].expect("every lane stopped"),
-                last_violation: m.last_violation,
-                violation_count: m.violations,
-                stabilization_steps: m.last_violation.map_or(0, |i| i + 1),
-                first_legitimate: m.first_legitimate,
-                legitimacy_entry: m.last_illegitimate.map_or(0, |i| i + 1),
-                ended_legitimate: m.ended_legitimate(),
-                counters: ls.counters[l],
-            };
+            let report = m.into_report(
+                ls.steps[l],
+                ls.moves[l],
+                ls.stop[l].expect("every lane stopped"),
+                ls.counters[l],
+            );
             (report, final_config)
         })
         .collect()

@@ -228,9 +228,10 @@ pub trait ProtocolHarness: Sized {
     /// implementation, i.e. whether [`ProtocolHarness::batched_measure`]
     /// returns `Some`. Batch drivers check this before building replica
     /// inits so unsupported protocols fall straight to the scalar path.
-    /// The check covers both batched daemons ([`BatchDaemon`]): the
-    /// round-robin lane engine is protocol-agnostic, so a packed protocol
-    /// supports every batched daemon mode.
+    /// The check covers every batched daemon ([`BatchDaemon`]) — sync,
+    /// central round-robin and both per-lane-RNG random modes: the lane
+    /// engines are protocol-agnostic, so a packed protocol supports every
+    /// batched daemon mode.
     ///
     /// Harnesses may return `false` for *instances* outside their packed
     /// domain (e.g. the K-state Dijkstra ring packs u8 lanes and only
@@ -241,12 +242,33 @@ pub trait ProtocolHarness: Sized {
         false
     }
 
+    /// Largest graph the lane-divergent *central* batch daemons
+    /// ([`BatchDaemon::CentralRr`] / [`BatchDaemon::CentralRand`]) should
+    /// be routed to the packed engine on. A central pass commits one move
+    /// per lane, so its cost — selection word-scans plus the
+    /// touched-neighborhood bitset refresh — must amortize below one
+    /// scalar step across the lanes; where that break-even sits depends
+    /// on the lane width and guard cost, so each packed harness
+    /// calibrates its own bound (see `crossover_probe` in the bench
+    /// crate). The conservative default covers narrow wins like the
+    /// i32-lane protocols; byte-lane harnesses raise it. Synchronous and
+    /// random-distributed daemons commit whole selections per pass and
+    /// have no such crossover.
+    #[must_use]
+    fn central_batch_max_n(&self) -> usize {
+        32
+    }
+
     /// Runs `inits.len()` replicas of this protocol under `daemon` as one
     /// batched run (see [`crate::batch`]), producing per lane the exact
     /// [`StabilizationReport`] (and final configuration) a scalar
     /// measured run from the same initial configuration under the
     /// matching scalar daemon yields — same monitors, same early stop
-    /// with `early_stop_margin`, same stop-reason ordering.
+    /// with `early_stop_margin`, same stop-reason ordering. For the
+    /// random daemons, `lane_seeds[l]` must be the seed lane `l`'s scalar
+    /// daemon was constructed with (one per replica; deterministic
+    /// daemons pass `&[]`), so every lane replays its scalar RNG draw
+    /// sequence bit for bit.
     ///
     /// `None` (the default) means "no packed implementation — use the
     /// scalar path". Harnesses whose protocols implement
@@ -259,11 +281,12 @@ pub trait ProtocolHarness: Sized {
         &self,
         graph: &Graph,
         daemon: BatchDaemon,
+        lane_seeds: &[u64],
         inits: Vec<Configuration<HarnessState<Self>>>,
         max_steps: usize,
         early_stop_margin: usize,
     ) -> Option<Vec<(StabilizationReport, Configuration<HarnessState<Self>>)>> {
-        let _ = (graph, daemon, inits, max_steps, early_stop_margin);
+        let _ = (graph, daemon, lane_seeds, inits, max_steps, early_stop_margin);
         None
     }
 

@@ -1,22 +1,28 @@
 //! Differential suite for replica-parallel batched stepping: every lane
 //! of [`run_batch`] / [`run_batch_measured`] (and their `_with` variants
-//! under the central round-robin daemon) must be observationally
-//! identical to an independent scalar run of the same initial
-//! configuration under the matching scalar daemon — same step/move
-//! counts, same stop reason, same final configuration, and (for the
-//! measured runner) the same [`StabilizationReport`] monitor fields
-//! index for index, across topologies × seeds × lane counts
-//! K ∈ {1, 3, 64, 100}.
+//! under the central round-robin, central-rand and random-distributed
+//! daemons) must be observationally identical to an independent scalar
+//! run of the same initial configuration under the matching scalar
+//! daemon — same step/move counts, same stop reason, same final
+//! configuration, and (for the measured runner) the same
+//! [`StabilizationReport`] monitor fields index for index, across
+//! topologies × seeds × lane counts K ∈ {1, 3, 64, 100}. The random
+//! daemons additionally pin the per-lane RNG streams: lane `l` seeded
+//! with `s` replays the scalar daemon seeded with `s` draw for draw.
+//! A final property holds the transposed incremental enabled-bitset to
+//! the dense full-sweep reference it replaced.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use specstab_kernel::batch::{
-    run_batch, run_batch_measured, run_batch_measured_with, run_batch_with, BatchDaemon,
-    PackedProtocol,
+    run_batch, run_batch_measured, run_batch_measured_with, run_batch_with,
+    run_batch_with_dense_sweep, BatchDaemon, PackedProtocol,
 };
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, RandomDistributedDaemon, SynchronousDaemon,
+};
 use specstab_kernel::engine::{RunLimits, Simulator};
 use specstab_kernel::measure::{MeasurementContext, StabilizationReport};
 use specstab_kernel::observer::ConfigPredicate;
@@ -86,6 +92,33 @@ impl PackedProtocol for MaxProto {
                 fired[base + l] = best[l] > soa[base + l];
                 next[base + l] = best[l];
             }
+        }
+    }
+
+    fn eval_vertex_lanes(
+        &self,
+        graph: &Graph,
+        v: usize,
+        lanes: usize,
+        soa: &[u32],
+        next: &mut [u32],
+        fired: &mut [bool],
+        scratch: &mut Vec<u32>,
+    ) {
+        scratch.resize(lanes, 0);
+        let best = &mut scratch[..lanes];
+        let v = VertexId::new(v);
+        let base = v.index() * lanes;
+        best.fill(0);
+        for &u in graph.neighbors(v) {
+            let ru = &soa[u.index() * lanes..u.index() * lanes + lanes];
+            for (b, &s) in best.iter_mut().zip(ru) {
+                *b = (*b).max(s);
+            }
+        }
+        for l in 0..lanes {
+            fired[base + l] = best[l] > soa[base + l];
+            next[base + l] = best[l];
         }
     }
 }
@@ -229,7 +262,8 @@ proptest! {
         let k = [1, 3, 64, 100][k_pick];
         let graph = graph_for(case);
         let inits = random_inits(&graph, k, seed);
-        let lanes = run_batch_with(&graph, &MaxProto, BatchDaemon::CentralRr, &inits, max_steps);
+        let lanes =
+            run_batch_with(&graph, &MaxProto, BatchDaemon::CentralRr, &[], &inits, max_steps);
         prop_assert_eq!(lanes.len(), k);
         for (lane, init) in lanes.iter().zip(&inits) {
             let mut daemon = CentralDaemon::new(CentralStrategy::RoundRobin);
@@ -262,6 +296,7 @@ proptest! {
             &graph,
             &MaxProto,
             BatchDaemon::CentralRr,
+            &[],
             inits.clone(),
             1_000,
             &zero_holds_max(),
@@ -292,6 +327,115 @@ proptest! {
                 &mut [],
             );
             prop_assert_eq!(final_config, &plain.final_config);
+        }
+    }
+
+    /// Lane-divergent batched central-rand runs equal K independent
+    /// scalar runs under the scalar seeded `CentralStrategy::Random`
+    /// daemon: lane `l` carries its own RNG stream seeded exactly like
+    /// scalar replica `l`, so the per-lane pick sequences — and with them
+    /// every step/move count and final configuration — replay draw for
+    /// draw.
+    #[test]
+    fn batch_central_rand_equals_scalar_runs(
+        case in 0u8..4,
+        seed in 0u64..1_000,
+        k_pick in 0usize..3,
+        tight in 0u8..2,
+    ) {
+        let max_steps = if tight == 0 { 5 } else { 2_000 };
+        let k = [1, 3, 64][k_pick];
+        let graph = graph_for(case);
+        let inits = random_inits(&graph, k, seed);
+        let seeds: Vec<u64> = (0..k as u64).map(|l| seed ^ (0x5EED * l + 7)).collect();
+        let lanes =
+            run_batch_with(&graph, &MaxProto, BatchDaemon::CentralRand, &seeds, &inits, max_steps);
+        prop_assert_eq!(lanes.len(), k);
+        for ((lane, init), &s) in lanes.iter().zip(&inits).zip(&seeds) {
+            let mut daemon = CentralDaemon::new(CentralStrategy::Random(s));
+            let sim = Simulator::new(&graph, &MaxProto);
+            let scalar =
+                sim.run(init.clone(), &mut daemon, RunLimits::with_max_steps(max_steps), &mut []);
+            prop_assert_eq!(lane.steps, scalar.steps);
+            prop_assert_eq!(lane.moves, scalar.moves);
+            prop_assert_eq!(lane.stop, scalar.stop);
+            prop_assert_eq!(&lane.final_config, &scalar.final_config);
+        }
+    }
+
+    /// Lane-divergent batched random-distributed runs equal K independent
+    /// scalar runs under the scalar `RandomDistributedDaemon` with the
+    /// same per-lane seeds: each lane replays its scalar replica's
+    /// `gen_bool` coin sequence (ascending vertex order over the enabled
+    /// set) plus the uniform fallback draw on empty samples.
+    #[test]
+    fn batch_random_distributed_equals_scalar_runs(
+        case in 0u8..4,
+        seed in 0u64..1_000,
+        k_pick in 0usize..3,
+        p_pick in 0usize..3,
+        tight in 0u8..2,
+    ) {
+        let max_steps = if tight == 0 { 5 } else { 2_000 };
+        let k = [1, 3, 64][k_pick];
+        let p = [0.25, 0.5, 1.0][p_pick];
+        let graph = graph_for(case);
+        let inits = random_inits(&graph, k, seed);
+        let seeds: Vec<u64> = (0..k as u64).map(|l| seed ^ (0xD157 * l + 3)).collect();
+        let lanes = run_batch_with(
+            &graph,
+            &MaxProto,
+            BatchDaemon::RandomDistributed { p },
+            &seeds,
+            &inits,
+            max_steps,
+        );
+        prop_assert_eq!(lanes.len(), k);
+        for ((lane, init), &s) in lanes.iter().zip(&inits).zip(&seeds) {
+            let mut daemon = RandomDistributedDaemon::new(p, s);
+            let sim = Simulator::new(&graph, &MaxProto);
+            let scalar =
+                sim.run(init.clone(), &mut daemon, RunLimits::with_max_steps(max_steps), &mut []);
+            prop_assert_eq!(lane.steps, scalar.steps);
+            prop_assert_eq!(lane.moves, scalar.moves);
+            prop_assert_eq!(lane.stop, scalar.stop);
+            prop_assert_eq!(&lane.final_config, &scalar.final_config);
+        }
+    }
+
+    /// The transposed incremental enabled-bitset maintains exactly the
+    /// enabled set a dense full guard sweep recomputes from scratch:
+    /// forcing the dense-sweep reference path (same selection and RNG
+    /// code, only the bitset maintenance differs) yields bit-identical
+    /// lane results for every divergent daemon mode.
+    #[test]
+    fn incremental_bitset_matches_dense_sweep(
+        case in 0u8..4,
+        seed in 0u64..1_000,
+        mode_pick in 0usize..3,
+        k_pick in 0usize..3,
+    ) {
+        let k = [1, 3, 64][k_pick];
+        let mode = [
+            BatchDaemon::CentralRr,
+            BatchDaemon::CentralRand,
+            BatchDaemon::RandomDistributed { p: 0.5 },
+        ][mode_pick];
+        let graph = graph_for(case);
+        let inits = random_inits(&graph, k, seed);
+        let seeds: Vec<u64> = if mode.needs_lane_seeds() {
+            (0..k as u64).map(|l| seed ^ (0xB175 * l + 5)).collect()
+        } else {
+            Vec::new()
+        };
+        let incremental = run_batch_with(&graph, &MaxProto, mode, &seeds, &inits, 1_000);
+        let dense = run_batch_with_dense_sweep(&graph, &MaxProto, mode, &seeds, &inits, 1_000);
+        prop_assert_eq!(incremental.len(), dense.len());
+        for (a, b) in incremental.iter().zip(&dense) {
+            prop_assert_eq!(a.steps, b.steps);
+            prop_assert_eq!(a.moves, b.moves);
+            prop_assert_eq!(a.stop, b.stop);
+            prop_assert_eq!(&a.final_config, &b.final_config);
         }
     }
 }

@@ -193,7 +193,22 @@ impl PackedProtocol for DijkstraRing {
 
     fn step_lanes(
         &self,
+        graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        scratch: &mut (),
+    ) {
+        for v in 0..self.n {
+            self.eval_vertex_lanes(graph, v, lanes, soa, next, fired, scratch);
+        }
+    }
+
+    fn eval_vertex_lanes(
+        &self,
         _graph: &Graph,
+        v: usize,
         lanes: usize,
         soa: &[u8],
         next: &mut [u8],
@@ -202,30 +217,26 @@ impl PackedProtocol for DijkstraRing {
     ) {
         let n = self.n;
         let km1 = u8::try_from(self.k - 1).expect("K <= 256 for packed stepping");
-        for v in 0..n {
-            let p = if v == 0 { n - 1 } else { v - 1 };
-            let base = v * lanes;
-            let rv = &soa[base..base + lanes];
-            let rp = &soa[p * lanes..p * lanes + lanes];
-            let fired_row = &mut fired[base..base + lanes];
-            let next_row = &mut next[base..base + lanes];
-            // Zip iteration instead of indexing: a runtime `lanes` keeps
-            // per-element bounds checks alive under indexed access, which
-            // blocks autovectorization of the byte compares.
-            if v == 0 {
-                for (((f, nx), &s), &p) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
-                {
-                    *f = s == p;
-                    *nx = if s == km1 { 0 } else { s + 1 };
-                }
-            } else {
-                for (((f, nx), &s), &p) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
-                {
-                    *f = s != p;
-                    *nx = p;
-                }
+        let p = if v == 0 { n - 1 } else { v - 1 };
+        let base = v * lanes;
+        let rv = &soa[base..base + lanes];
+        let rp = &soa[p * lanes..p * lanes + lanes];
+        let fired_row = &mut fired[base..base + lanes];
+        let next_row = &mut next[base..base + lanes];
+        // Zip iteration instead of indexing: a runtime `lanes` keeps
+        // per-element bounds checks alive under indexed access, which
+        // blocks autovectorization of the byte compares.
+        if v == 0 {
+            for (((f, nx), &s), &p) in fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
+            {
+                *f = s == p;
+                *nx = if s == km1 { 0 } else { s + 1 };
+            }
+        } else {
+            for (((f, nx), &s), &p) in fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(rp)
+            {
+                *f = s != p;
+                *nx = p;
             }
         }
     }
@@ -462,7 +473,7 @@ mod tests {
             })
             .collect();
         for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
-            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            let lanes = run_batch_with(&g, &p, daemon, &[], &inits, 400);
             for (lane, init) in lanes.iter().zip(&inits) {
                 let sim = Simulator::new(&g, &p);
                 let limits = RunLimits::with_max_steps(400);

@@ -245,7 +245,22 @@ impl PackedProtocol for DijkstraFourState {
 
     fn step_lanes(
         &self,
+        graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        scratch: &mut (),
+    ) {
+        for v in 0..self.n {
+            self.eval_vertex_lanes(graph, v, lanes, soa, next, fired, scratch);
+        }
+    }
+
+    fn eval_vertex_lanes(
+        &self,
         _graph: &Graph,
+        v: usize,
         lanes: usize,
         soa: &[u8],
         next: &mut [u8],
@@ -264,52 +279,50 @@ impl PackedProtocol for DijkstraFourState {
                 (0b00, 0b11)
             }
         };
-        for v in 0..n {
-            let base = v * lanes;
-            let rv = &soa[base..base + lanes];
-            let fired_row = &mut fired[base..base + lanes];
-            let next_row = &mut next[base..base + lanes];
-            // Zip iteration instead of indexing: a runtime `lanes` keeps
-            // per-element bounds checks alive under indexed access, which
-            // blocks autovectorization of the bit ops.
-            if v == 0 {
-                // bottom :: x = x_R ∧ ¬up_R → x := ¬x (up stays frozen true)
-                let (ro, ra) = canon(1);
-                let row_r = &soa[lanes..2 * lanes];
-                for (((f, nx), &s), &rr) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
-                {
-                    let r = (rr | ro) & ra;
-                    *f = (s ^ r) & 1 == 0 && r & 2 == 0;
-                    *nx = ((s & 1) ^ 1) | 0b10;
-                }
-            } else if v == n - 1 {
-                // top :: x ≠ x_L → x := ¬x (up stays frozen false)
-                let row_l = &soa[(v - 1) * lanes..v * lanes];
-                for (((f, nx), &s), &lv) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l)
-                {
-                    *f = (s ^ lv) & 1 != 0;
-                    *nx = (s & 1) ^ 1;
-                }
-            } else {
-                // normal: FLIP (x ≠ x_L → x := ¬x, up := true) wins over
-                // LOWER (x = x_R ∧ up ∧ ¬up_R → up := false), like the
-                // scalar arbitration.
-                let (lo, la) = canon(v - 1);
-                let (ro, ra) = canon(v + 1);
-                let row_l = &soa[(v - 1) * lanes..v * lanes];
-                let row_r = &soa[(v + 1) * lanes..(v + 2) * lanes];
-                for ((((f, nx), &s), &ll), &rr) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
-                {
-                    let lv = (ll | lo) & la;
-                    let r = (rr | ro) & ra;
-                    let flip = (s ^ lv) & 1 != 0;
-                    let lower = (s ^ r) & 1 == 0 && s & 2 != 0 && r & 2 == 0;
-                    *f = flip | lower;
-                    *nx = if flip { ((s & 1) ^ 1) | 0b10 } else { s & 1 };
-                }
+        let base = v * lanes;
+        let rv = &soa[base..base + lanes];
+        let fired_row = &mut fired[base..base + lanes];
+        let next_row = &mut next[base..base + lanes];
+        // Zip iteration instead of indexing: a runtime `lanes` keeps
+        // per-element bounds checks alive under indexed access, which
+        // blocks autovectorization of the bit ops.
+        if v == 0 {
+            // bottom :: x = x_R ∧ ¬up_R → x := ¬x (up stays frozen true)
+            let (ro, ra) = canon(1);
+            let row_r = &soa[lanes..2 * lanes];
+            for (((f, nx), &s), &rr) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
+            {
+                let r = (rr | ro) & ra;
+                *f = (s ^ r) & 1 == 0 && r & 2 == 0;
+                *nx = ((s & 1) ^ 1) | 0b10;
+            }
+        } else if v == n - 1 {
+            // top :: x ≠ x_L → x := ¬x (up stays frozen false)
+            let row_l = &soa[(v - 1) * lanes..v * lanes];
+            for (((f, nx), &s), &lv) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l)
+            {
+                *f = (s ^ lv) & 1 != 0;
+                *nx = (s & 1) ^ 1;
+            }
+        } else {
+            // normal: FLIP (x ≠ x_L → x := ¬x, up := true) wins over
+            // LOWER (x = x_R ∧ up ∧ ¬up_R → up := false), like the
+            // scalar arbitration.
+            let (lo, la) = canon(v - 1);
+            let (ro, ra) = canon(v + 1);
+            let row_l = &soa[(v - 1) * lanes..v * lanes];
+            let row_r = &soa[(v + 1) * lanes..(v + 2) * lanes];
+            for ((((f, nx), &s), &ll), &rr) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+            {
+                let lv = (ll | lo) & la;
+                let r = (rr | ro) & ra;
+                let flip = (s ^ lv) & 1 != 0;
+                let lower = (s ^ r) & 1 == 0 && s & 2 != 0 && r & 2 == 0;
+                *f = flip | lower;
+                *nx = if flip { ((s & 1) ^ 1) | 0b10 } else { s & 1 };
             }
         }
     }
@@ -493,7 +506,7 @@ mod tests {
             .collect();
         inits.push(Configuration::from_fn(8, |v| FourState { x: v.index() % 2 == 0, up: true }));
         for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
-            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            let lanes = run_batch_with(&g, &p, daemon, &[], &inits, 400);
             for (lane, init) in lanes.iter().zip(&inits) {
                 let sim = Simulator::new(&g, &p);
                 let limits = RunLimits::with_max_steps(400);

@@ -219,7 +219,22 @@ impl PackedProtocol for DijkstraThreeState {
 
     fn step_lanes(
         &self,
+        graph: &Graph,
+        lanes: usize,
+        soa: &[u8],
+        next: &mut [u8],
+        fired: &mut [bool],
+        scratch: &mut (),
+    ) {
+        for v in 0..self.n {
+            self.eval_vertex_lanes(graph, v, lanes, soa, next, fired, scratch);
+        }
+    }
+
+    fn eval_vertex_lanes(
+        &self,
         _graph: &Graph,
+        v: usize,
         lanes: usize,
         soa: &[u8],
         next: &mut [u8],
@@ -229,47 +244,45 @@ impl PackedProtocol for DijkstraThreeState {
         let n = self.n;
         let inc3 = |s: u8| if s == 2 { 0 } else { s + 1 };
         let dec3 = |s: u8| if s == 0 { 2 } else { s - 1 };
-        for v in 0..n {
-            let li = (v + n - 1) % n;
-            let ri = (v + 1) % n;
-            let base = v * lanes;
-            let rv = &soa[base..base + lanes];
-            let row_l = &soa[li * lanes..li * lanes + lanes];
-            let row_r = &soa[ri * lanes..ri * lanes + lanes];
-            let fired_row = &mut fired[base..base + lanes];
-            let next_row = &mut next[base..base + lanes];
-            // Zip iteration keeps the lane loops free of per-element
-            // bounds checks (a runtime `lanes` blocks their elision under
-            // indexing), which is what lets the byte ops autovectorize.
-            if v == 0 {
-                // bottom :: (S+1) mod 3 = R → S := (S+2) mod 3
-                for (((f, nx), &s), &r) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
-                {
-                    *f = inc3(s) == r;
-                    *nx = dec3(s);
-                }
-            } else if v == n - 1 {
-                // top :: L = R ∧ (L+1) mod 3 ≠ S → S := (L+1) mod 3
-                for ((((f, nx), &s), &lv), &r) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
-                {
-                    let want = inc3(lv);
-                    *f = lv == r && want != s;
-                    *nx = want;
-                }
-            } else {
-                // normal: FROM_LEFT wins over FROM_RIGHT, like the scalar
-                // arbitration.
-                for ((((f, nx), &s), &lv), &r) in
-                    fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
-                {
-                    let s1 = inc3(s);
-                    let from_left = s1 == lv;
-                    let from_right = s1 == r;
-                    *f = from_left | from_right;
-                    *nx = if from_left { lv } else { r };
-                }
+        let li = (v + n - 1) % n;
+        let ri = (v + 1) % n;
+        let base = v * lanes;
+        let rv = &soa[base..base + lanes];
+        let row_l = &soa[li * lanes..li * lanes + lanes];
+        let row_r = &soa[ri * lanes..ri * lanes + lanes];
+        let fired_row = &mut fired[base..base + lanes];
+        let next_row = &mut next[base..base + lanes];
+        // Zip iteration keeps the lane loops free of per-element
+        // bounds checks (a runtime `lanes` blocks their elision under
+        // indexing), which is what lets the byte ops autovectorize.
+        if v == 0 {
+            // bottom :: (S+1) mod 3 = R → S := (S+2) mod 3
+            for (((f, nx), &s), &r) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_r)
+            {
+                *f = inc3(s) == r;
+                *nx = dec3(s);
+            }
+        } else if v == n - 1 {
+            // top :: L = R ∧ (L+1) mod 3 ≠ S → S := (L+1) mod 3
+            for ((((f, nx), &s), &lv), &r) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+            {
+                let want = inc3(lv);
+                *f = lv == r && want != s;
+                *nx = want;
+            }
+        } else {
+            // normal: FROM_LEFT wins over FROM_RIGHT, like the scalar
+            // arbitration.
+            for ((((f, nx), &s), &lv), &r) in
+                fired_row.iter_mut().zip(next_row.iter_mut()).zip(rv).zip(row_l).zip(row_r)
+            {
+                let s1 = inc3(s);
+                let from_left = s1 == lv;
+                let from_right = s1 == r;
+                *f = from_left | from_right;
+                *nx = if from_left { lv } else { r };
             }
         }
     }
@@ -449,7 +462,7 @@ mod tests {
             })
             .collect();
         for daemon in [BatchDaemon::Sync, BatchDaemon::CentralRr] {
-            let lanes = run_batch_with(&g, &p, daemon, &inits, 400);
+            let lanes = run_batch_with(&g, &p, daemon, &[], &inits, 400);
             for (lane, init) in lanes.iter().zip(&inits) {
                 let sim = Simulator::new(&g, &p);
                 let limits = RunLimits::with_max_steps(400);

@@ -155,10 +155,17 @@ impl ProtocolHarness for SsmeHarness {
         true
     }
 
+    // `central_batch_max_n` keeps the conservative default (32): the i32
+    // unison lanes pay ~10 ns per lane-element in a refresh row, so the
+    // central modes stop beating 64 scalar steps per pass past the small
+    // campaign tori (measured with the bench crate's `crossover_probe`
+    // methodology on torus-4x5 vs torus-8x8).
+
     fn batched_measure(
         &self,
         graph: &Graph,
         daemon: BatchDaemon,
+        lane_seeds: &[u64],
         inits: Vec<Configuration<ClockValue>>,
         max_steps: usize,
         early_stop_margin: usize,
@@ -168,6 +175,7 @@ impl ProtocolHarness for SsmeHarness {
             graph,
             &self.ssme,
             daemon,
+            lane_seeds,
             inits,
             max_steps,
             &self.safety_predicate(),
@@ -239,10 +247,20 @@ impl ProtocolHarness for DijkstraHarness {
         self.proto.k() <= 256
     }
 
+    /// Byte lanes make the central-mode pass cheap enough to route well
+    /// past the i32 default: `crossover_probe` has central-rand winning
+    /// outright through n ≈ 64–96 and both central modes within ~25% of
+    /// scalar at n = 128 (`bench_results/crossover_central.txt`), which
+    /// buys one engine path across the Monte-Carlo ring grid.
+    fn central_batch_max_n(&self) -> usize {
+        128
+    }
+
     fn batched_measure(
         &self,
         graph: &Graph,
         daemon: BatchDaemon,
+        lane_seeds: &[u64],
         inits: Vec<Configuration<u64>>,
         max_steps: usize,
         early_stop_margin: usize,
@@ -255,6 +273,7 @@ impl ProtocolHarness for DijkstraHarness {
             graph,
             &self.proto,
             daemon,
+            lane_seeds,
             inits,
             max_steps,
             &self.safety_predicate(),
@@ -312,10 +331,17 @@ impl ProtocolHarness for Dijkstra3Harness {
         true
     }
 
+    /// Byte lanes: see [`DijkstraHarness::central_batch_max_n`] — the
+    /// three-state ring is the `crossover_probe` calibration workload.
+    fn central_batch_max_n(&self) -> usize {
+        128
+    }
+
     fn batched_measure(
         &self,
         graph: &Graph,
         daemon: BatchDaemon,
+        lane_seeds: &[u64],
         inits: Vec<Configuration<u8>>,
         max_steps: usize,
         early_stop_margin: usize,
@@ -325,6 +351,7 @@ impl ProtocolHarness for Dijkstra3Harness {
             graph,
             &self.proto,
             daemon,
+            lane_seeds,
             inits,
             max_steps,
             &self.safety_predicate(),
@@ -385,10 +412,16 @@ impl ProtocolHarness for Dijkstra4Harness {
         true
     }
 
+    /// Byte lanes: see [`DijkstraHarness::central_batch_max_n`].
+    fn central_batch_max_n(&self) -> usize {
+        128
+    }
+
     fn batched_measure(
         &self,
         graph: &Graph,
         daemon: BatchDaemon,
+        lane_seeds: &[u64],
         inits: Vec<Configuration<FourState>>,
         max_steps: usize,
         early_stop_margin: usize,
@@ -398,6 +431,7 @@ impl ProtocolHarness for Dijkstra4Harness {
             graph,
             &self.proto,
             daemon,
+            lane_seeds,
             inits,
             max_steps,
             &self.safety_predicate(),

@@ -33,8 +33,8 @@ pub struct ProtocolInfo {
     /// Whether the protocol defines an adversarial witness configuration.
     pub has_witness: bool,
     /// Whether the protocol supports lane-packed batched stepping
-    /// (see `specstab_kernel::batch`) — routed under the synchronous
-    /// and central round-robin daemons.
+    /// (see `specstab_kernel::batch`) — routed under the synchronous,
+    /// central round-robin, central-rand and random-distributed daemons.
     pub batched: bool,
 }
 

@@ -2,15 +2,19 @@
 //! `batched_measure` must hand back, per lane, exactly the
 //! `StabilizationReport` the campaign executor's scalar cell runner
 //! produces with the harness's own predicates and early-stop margin —
-//! under both batchable daemons (synchronous and central round-robin),
-//! for every lane count the executor chunks into (K ∈ {1, 3, 64, 100}).
+//! under every batchable daemon (synchronous, central round-robin,
+//! central-rand and random-distributed, the random modes driven by
+//! per-lane RNG streams seeded like the scalar daemons), for every lane
+//! count the executor chunks into (K ∈ {1, 3, 64, 100}).
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use specstab_kernel::batch::BatchDaemon;
 use specstab_kernel::config::Configuration;
-use specstab_kernel::daemon::{CentralDaemon, CentralStrategy, SynchronousDaemon};
+use specstab_kernel::daemon::{
+    CentralDaemon, CentralStrategy, RandomDistributedDaemon, SynchronousDaemon,
+};
 use specstab_kernel::engine::Simulator;
 use specstab_kernel::harness::ProtocolHarness;
 use specstab_kernel::measure::MeasurementContext;
@@ -33,6 +37,8 @@ fn graph_for(case: u8) -> Graph {
 
 /// Lane-for-lane equivalence of `batched_measure` against the scalar
 /// measurement stack, for one harness/daemon/lane-count combination.
+/// Lane `l`'s RNG seed doubles as scalar replica `l`'s daemon seed, so
+/// the random modes must replay the exact scalar pick sequences.
 macro_rules! check_batched {
     ($harness:expr, $graph:expr, $daemon:expr, $k:expr, $seed:expr, $max_steps:expr) => {{
         let harness = &$harness;
@@ -44,11 +50,13 @@ macro_rules! check_batched {
                 random_configuration(graph, harness.protocol(), &mut rng)
             })
             .collect();
+        let lane_seeds: Vec<u64> = (0..$k).map(|l| $seed ^ (0xDAE1 * l as u64 + 9)).collect();
+        let seeds_arg: &[u64] = if daemon.needs_lane_seeds() { &lane_seeds } else { &[] };
         let measured = harness
-            .batched_measure(graph, daemon, inits.clone(), $max_steps, 3)
+            .batched_measure(graph, daemon, seeds_arg, inits.clone(), $max_steps, 3)
             .expect("harness supports the batched path");
         prop_assert_eq!(measured.len(), $k);
-        for ((report, _), init) in measured.iter().zip(&inits) {
+        for (l, ((report, _), init)) in measured.iter().zip(&inits).enumerate() {
             let sim = Simulator::new(graph, harness.protocol());
             let ctx =
                 MeasurementContext::new(harness.safety_predicate(), harness.legitimacy_predicate())
@@ -60,6 +68,18 @@ macro_rules! check_batched {
                 BatchDaemon::CentralRr => ctx.run(
                     &sim,
                     &mut CentralDaemon::new(CentralStrategy::RoundRobin),
+                    init.clone(),
+                    $max_steps,
+                ),
+                BatchDaemon::CentralRand => ctx.run(
+                    &sim,
+                    &mut CentralDaemon::new(CentralStrategy::Random(lane_seeds[l])),
+                    init.clone(),
+                    $max_steps,
+                ),
+                BatchDaemon::RandomDistributed { p } => ctx.run(
+                    &sim,
+                    &mut RandomDistributedDaemon::new(p, lane_seeds[l]),
                     init.clone(),
                     $max_steps,
                 ),
@@ -77,11 +97,12 @@ macro_rules! check_batched {
     }};
 }
 
-fn daemon_pick(rr: bool) -> BatchDaemon {
-    if rr {
-        BatchDaemon::CentralRr
-    } else {
-        BatchDaemon::Sync
+fn daemon_pick(d: u8) -> BatchDaemon {
+    match d % 4 {
+        0 => BatchDaemon::Sync,
+        1 => BatchDaemon::CentralRr,
+        2 => BatchDaemon::CentralRand,
+        _ => BatchDaemon::RandomDistributed { p: 0.5 },
     }
 }
 
@@ -89,59 +110,59 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Harness batched measurement ≡ harness scalar measurement, lane for
-    /// lane, K ∈ {1, 3, 64, 100}, both daemons.
+    /// lane, K ∈ {1, 3, 64, 100}, all four batchable daemons.
     #[test]
     fn ssme_batched_measure_matches_scalar(
         case in 0u8..3,
         seed in 0u64..1_000,
         k_pick in 0usize..4,
-        rr in 0u8..2,
+        d in 0u8..4,
     ) {
         let k = LANE_COUNTS[k_pick];
         let graph = graph_for(case);
         let diam = DistanceMatrix::new(&graph).diameter();
         let harness = SsmeHarness::build(&graph, diam).unwrap();
         prop_assert!(harness.supports_batch());
-        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 5_000);
+        check_batched!(harness, graph, daemon_pick(d), k, seed, 5_000);
     }
 
     #[test]
     fn dijkstra_batched_measure_matches_scalar(
         seed in 0u64..1_000,
         k_pick in 0usize..4,
-        rr in 0u8..2,
+        d in 0u8..4,
     ) {
         let k = LANE_COUNTS[k_pick];
         let graph = generators::ring(8).unwrap();
         let harness = DijkstraHarness::build(&graph, 4).unwrap();
         prop_assert!(harness.supports_batch());
-        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+        check_batched!(harness, graph, daemon_pick(d), k, seed, 2_000);
     }
 
     #[test]
     fn dijkstra3_batched_measure_matches_scalar(
         seed in 0u64..1_000,
         k_pick in 0usize..4,
-        rr in 0u8..2,
+        d in 0u8..4,
     ) {
         let k = LANE_COUNTS[k_pick];
         let graph = generators::ring(9).unwrap();
         let harness = Dijkstra3Harness::build(&graph, 4).unwrap();
         prop_assert!(harness.supports_batch());
-        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+        check_batched!(harness, graph, daemon_pick(d), k, seed, 2_000);
     }
 
     #[test]
     fn dijkstra4_batched_measure_matches_scalar(
         seed in 0u64..1_000,
         k_pick in 0usize..4,
-        rr in 0u8..2,
+        d in 0u8..4,
     ) {
         let k = LANE_COUNTS[k_pick];
         let graph = generators::path(7).unwrap();
         let harness = Dijkstra4Harness::build(&graph, 6).unwrap();
         prop_assert!(harness.supports_batch());
-        check_batched!(harness, graph, daemon_pick(rr == 1), k, seed, 2_000);
+        check_batched!(harness, graph, daemon_pick(d), k, seed, 2_000);
     }
 }
 
@@ -155,5 +176,5 @@ fn oversized_k_state_ring_refuses_to_batch() {
     assert!(!harness.supports_batch(), "K = 300 > 256 cannot pack into u8 lanes");
     let mut rng = StdRng::seed_from_u64(7);
     let init = random_configuration(&graph, harness.protocol(), &mut rng);
-    assert!(harness.batched_measure(&graph, BatchDaemon::Sync, vec![init], 10, 0).is_none());
+    assert!(harness.batched_measure(&graph, BatchDaemon::Sync, &[], vec![init], 10, 0).is_none());
 }

@@ -14,9 +14,11 @@
 use specstab_telemetry::counters::CounterSnapshot;
 use specstab_telemetry::event::{parse_ndjson, validate_events, Event, EventKind};
 
-/// Batch counter invariant on every counter-carrying event: idle
+/// Batch counter invariants on every counter-carrying event: idle
 /// lane-steps are only accumulated inside a batch loop, so they cannot
-/// appear without launched lanes. Returns the last (most aggregated)
+/// appear without launched lanes, and the per-daemon-class fallback
+/// counters partition the scalar-fallback total (each fallback is
+/// attributed to exactly one class). Returns the last (most aggregated)
 /// counter snapshot for the summary line.
 fn check_batch_counters(events: &[Event]) -> Result<CounterSnapshot, String> {
     let mut totals = CounterSnapshot::default();
@@ -30,6 +32,20 @@ fn check_batch_counters(events: &[Event]) -> Result<CounterSnapshot, String> {
             return Err(format!(
                 "event seq {}: {} idle lane-steps with zero batch lanes launched",
                 e.seq, counters.batch_idle_lane_steps
+            ));
+        }
+        let class_fallbacks = counters.batch_fallback_sync_groups
+            + counters.batch_fallback_rr_groups
+            + counters.batch_fallback_rand_groups
+            + counters.batch_fallback_dist_groups;
+        // Legacy traces carry the total without the class split (parsed
+        // as zeros), so the partition is only enforced once any class
+        // counter is present.
+        if class_fallbacks != 0 && class_fallbacks != counters.batch_scalar_fallbacks {
+            return Err(format!(
+                "event seq {}: per-class fallbacks ({class_fallbacks}) do not partition the \
+                 scalar-fallback total ({})",
+                e.seq, counters.batch_scalar_fallbacks
             ));
         }
         totals = *counters;
@@ -75,11 +91,16 @@ fn check_file(path: &str) -> Result<String, String> {
     check_lease_discipline(&events).map_err(|e| format!("{path}: {e}"))?;
     let totals = check_batch_counters(&events).map_err(|e| format!("{path}: {e}"))?;
     Ok(format!(
-        "{path}: ok ({} events; batch: {} lanes, {} idle lane-steps, {} scalar fallbacks)",
+        "{path}: ok ({} events; batch: {} lanes, {} idle lane-steps, {} scalar fallbacks; \
+         routed sync/rr/rand/dist: {}/{}/{}/{})",
         events.len(),
         totals.batch_lanes,
         totals.batch_idle_lane_steps,
-        totals.batch_scalar_fallbacks
+        totals.batch_scalar_fallbacks,
+        totals.batch_routed_sync_groups,
+        totals.batch_routed_rr_groups,
+        totals.batch_routed_rand_groups,
+        totals.batch_routed_dist_groups
     ))
 }
 

@@ -62,6 +62,10 @@ pub enum BatchDaemonClass {
     Sync,
     /// Central round-robin daemon groups (`central-rr`).
     CentralRr,
+    /// Central uniform-random daemon groups (`central-rand`).
+    CentralRand,
+    /// Random-distributed daemon groups (`dist:<p>`).
+    RandomDistributed,
 }
 
 /// The process-global aggregate: relaxed atomics, written by batched
@@ -80,8 +84,12 @@ pub struct EngineCounters {
     batch_scalar_fallbacks: AtomicU64,
     batch_routed_sync_groups: AtomicU64,
     batch_routed_rr_groups: AtomicU64,
+    batch_routed_rand_groups: AtomicU64,
+    batch_routed_dist_groups: AtomicU64,
     batch_fallback_sync_groups: AtomicU64,
     batch_fallback_rr_groups: AtomicU64,
+    batch_fallback_rand_groups: AtomicU64,
+    batch_fallback_dist_groups: AtomicU64,
 }
 
 /// A point-in-time copy of the global counters. Monotonically increasing
@@ -123,10 +131,19 @@ pub struct CounterSnapshot {
     pub batch_routed_sync_groups: u64,
     /// Central round-robin groups routed through the batched engine.
     pub batch_routed_rr_groups: u64,
+    /// Central uniform-random groups routed through the batched engine.
+    pub batch_routed_rand_groups: u64,
+    /// Random-distributed (`dist:<p>`) groups routed through the batched
+    /// engine.
+    pub batch_routed_dist_groups: u64,
     /// Synchronous-daemon groups that took the scalar fallback.
     pub batch_fallback_sync_groups: u64,
     /// Central round-robin groups that took the scalar fallback.
     pub batch_fallback_rr_groups: u64,
+    /// Central uniform-random groups that took the scalar fallback.
+    pub batch_fallback_rand_groups: u64,
+    /// Random-distributed groups that took the scalar fallback.
+    pub batch_fallback_dist_groups: u64,
 }
 
 impl CounterSnapshot {
@@ -155,12 +172,24 @@ impl CounterSnapshot {
             batch_routed_rr_groups: self
                 .batch_routed_rr_groups
                 .saturating_sub(earlier.batch_routed_rr_groups),
+            batch_routed_rand_groups: self
+                .batch_routed_rand_groups
+                .saturating_sub(earlier.batch_routed_rand_groups),
+            batch_routed_dist_groups: self
+                .batch_routed_dist_groups
+                .saturating_sub(earlier.batch_routed_dist_groups),
             batch_fallback_sync_groups: self
                 .batch_fallback_sync_groups
                 .saturating_sub(earlier.batch_fallback_sync_groups),
             batch_fallback_rr_groups: self
                 .batch_fallback_rr_groups
                 .saturating_sub(earlier.batch_fallback_rr_groups),
+            batch_fallback_rand_groups: self
+                .batch_fallback_rand_groups
+                .saturating_sub(earlier.batch_fallback_rand_groups),
+            batch_fallback_dist_groups: self
+                .batch_fallback_dist_groups
+                .saturating_sub(earlier.batch_fallback_dist_groups),
         }
     }
 }
@@ -204,6 +233,8 @@ impl EngineCounters {
         match class {
             BatchDaemonClass::Sync => &self.batch_routed_sync_groups,
             BatchDaemonClass::CentralRr => &self.batch_routed_rr_groups,
+            BatchDaemonClass::CentralRand => &self.batch_routed_rand_groups,
+            BatchDaemonClass::RandomDistributed => &self.batch_routed_dist_groups,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -215,6 +246,8 @@ impl EngineCounters {
         match class {
             BatchDaemonClass::Sync => &self.batch_fallback_sync_groups,
             BatchDaemonClass::CentralRr => &self.batch_fallback_rr_groups,
+            BatchDaemonClass::CentralRand => &self.batch_fallback_rand_groups,
+            BatchDaemonClass::RandomDistributed => &self.batch_fallback_dist_groups,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -235,8 +268,12 @@ impl EngineCounters {
             batch_scalar_fallbacks: self.batch_scalar_fallbacks.load(Ordering::Relaxed),
             batch_routed_sync_groups: self.batch_routed_sync_groups.load(Ordering::Relaxed),
             batch_routed_rr_groups: self.batch_routed_rr_groups.load(Ordering::Relaxed),
+            batch_routed_rand_groups: self.batch_routed_rand_groups.load(Ordering::Relaxed),
+            batch_routed_dist_groups: self.batch_routed_dist_groups.load(Ordering::Relaxed),
             batch_fallback_sync_groups: self.batch_fallback_sync_groups.load(Ordering::Relaxed),
             batch_fallback_rr_groups: self.batch_fallback_rr_groups.load(Ordering::Relaxed),
+            batch_fallback_rand_groups: self.batch_fallback_rand_groups.load(Ordering::Relaxed),
+            batch_fallback_dist_groups: self.batch_fallback_dist_groups.load(Ordering::Relaxed),
         }
     }
 }
@@ -254,8 +291,12 @@ static GLOBAL: EngineCounters = EngineCounters {
     batch_scalar_fallbacks: AtomicU64::new(0),
     batch_routed_sync_groups: AtomicU64::new(0),
     batch_routed_rr_groups: AtomicU64::new(0),
+    batch_routed_rand_groups: AtomicU64::new(0),
+    batch_routed_dist_groups: AtomicU64::new(0),
     batch_fallback_sync_groups: AtomicU64::new(0),
     batch_fallback_rr_groups: AtomicU64::new(0),
+    batch_fallback_rand_groups: AtomicU64::new(0),
+    batch_fallback_dist_groups: AtomicU64::new(0),
 };
 
 /// The process-global engine counters.
@@ -284,17 +325,23 @@ mod tests {
         global().record_batch(64, 640, 17);
         global().record_batch_routed(BatchDaemonClass::Sync);
         global().record_batch_routed(BatchDaemonClass::CentralRr);
+        global().record_batch_routed(BatchDaemonClass::CentralRand);
+        global().record_batch_routed(BatchDaemonClass::RandomDistributed);
         global().record_batch_fallback(BatchDaemonClass::Sync);
         global().record_batch_fallback(BatchDaemonClass::CentralRr);
+        global().record_batch_fallback(BatchDaemonClass::CentralRand);
+        global().record_batch_fallback(BatchDaemonClass::RandomDistributed);
         let d = global().snapshot().delta(&before);
         // Other tests in this binary may run concurrently and also flush,
         // so deltas are lower-bounded, not exact.
         assert!(d.steps >= 5 && d.moves >= 7 && d.guard_evals >= 11 && d.delta_bytes >= 13);
         assert!(d.scratch_reuses >= 1 && d.config_clones >= 1);
         assert!(d.batch_lanes >= 64 && d.batch_lane_steps >= 640 && d.batch_idle_lane_steps >= 17);
-        assert!(d.batch_scalar_fallbacks >= 2);
+        assert!(d.batch_scalar_fallbacks >= 4);
         assert!(d.batch_routed_sync_groups >= 1 && d.batch_routed_rr_groups >= 1);
+        assert!(d.batch_routed_rand_groups >= 1 && d.batch_routed_dist_groups >= 1);
         assert!(d.batch_fallback_sync_groups >= 1 && d.batch_fallback_rr_groups >= 1);
+        assert!(d.batch_fallback_rand_groups >= 1 && d.batch_fallback_dist_groups >= 1);
     }
 
     #[test]

@@ -242,8 +242,12 @@ pub(crate) fn counters_json(c: &CounterSnapshot) -> Json {
         ("batch_scalar_fallbacks", Json::UInt(c.batch_scalar_fallbacks)),
         ("batch_routed_sync_groups", Json::UInt(c.batch_routed_sync_groups)),
         ("batch_routed_rr_groups", Json::UInt(c.batch_routed_rr_groups)),
+        ("batch_routed_rand_groups", Json::UInt(c.batch_routed_rand_groups)),
+        ("batch_routed_dist_groups", Json::UInt(c.batch_routed_dist_groups)),
         ("batch_fallback_sync_groups", Json::UInt(c.batch_fallback_sync_groups)),
         ("batch_fallback_rr_groups", Json::UInt(c.batch_fallback_rr_groups)),
+        ("batch_fallback_rand_groups", Json::UInt(c.batch_fallback_rand_groups)),
+        ("batch_fallback_dist_groups", Json::UInt(c.batch_fallback_dist_groups)),
     ])
 }
 
@@ -268,8 +272,12 @@ fn counters_from_json(j: &Json) -> Result<CounterSnapshot, String> {
         batch_scalar_fallbacks: opt_u64(j, "batch_scalar_fallbacks")?,
         batch_routed_sync_groups: opt_u64(j, "batch_routed_sync_groups")?,
         batch_routed_rr_groups: opt_u64(j, "batch_routed_rr_groups")?,
+        batch_routed_rand_groups: opt_u64(j, "batch_routed_rand_groups")?,
+        batch_routed_dist_groups: opt_u64(j, "batch_routed_dist_groups")?,
         batch_fallback_sync_groups: opt_u64(j, "batch_fallback_sync_groups")?,
         batch_fallback_rr_groups: opt_u64(j, "batch_fallback_rr_groups")?,
+        batch_fallback_rand_groups: opt_u64(j, "batch_fallback_rand_groups")?,
+        batch_fallback_dist_groups: opt_u64(j, "batch_fallback_dist_groups")?,
     })
 }
 
@@ -656,8 +664,12 @@ mod tests {
             batch_scalar_fallbacks: 9,
             batch_routed_sync_groups: 10,
             batch_routed_rr_groups: 11,
+            batch_routed_rand_groups: 14,
+            batch_routed_dist_groups: 15,
             batch_fallback_sync_groups: 12,
             batch_fallback_rr_groups: 13,
+            batch_fallback_rand_groups: 16,
+            batch_fallback_dist_groups: 17,
         };
         vec![
             EventKind::Stream { schema: EVENTS_SCHEMA.into(), source: "shard".into() },
@@ -752,8 +764,12 @@ mod tests {
                 assert_eq!(counters.batch_scalar_fallbacks, 0);
                 assert_eq!(counters.batch_routed_sync_groups, 0);
                 assert_eq!(counters.batch_routed_rr_groups, 0);
+                assert_eq!(counters.batch_routed_rand_groups, 0);
+                assert_eq!(counters.batch_routed_dist_groups, 0);
                 assert_eq!(counters.batch_fallback_sync_groups, 0);
                 assert_eq!(counters.batch_fallback_rr_groups, 0);
+                assert_eq!(counters.batch_fallback_rand_groups, 0);
+                assert_eq!(counters.batch_fallback_dist_groups, 0);
             }
             other => panic!("expected shard_end, got {other:?}"),
         }

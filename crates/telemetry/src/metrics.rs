@@ -97,8 +97,12 @@ pub fn metrics_from_events(events: &[Event]) -> Json {
                 agg.batch_scalar_fallbacks += counters.batch_scalar_fallbacks;
                 agg.batch_routed_sync_groups += counters.batch_routed_sync_groups;
                 agg.batch_routed_rr_groups += counters.batch_routed_rr_groups;
+                agg.batch_routed_rand_groups += counters.batch_routed_rand_groups;
+                agg.batch_routed_dist_groups += counters.batch_routed_dist_groups;
                 agg.batch_fallback_sync_groups += counters.batch_fallback_sync_groups;
                 agg.batch_fallback_rr_groups += counters.batch_fallback_rr_groups;
+                agg.batch_fallback_rand_groups += counters.batch_fallback_rand_groups;
+                agg.batch_fallback_dist_groups += counters.batch_fallback_dist_groups;
                 shard_totals = agg;
                 shard_cells += n;
                 shard_wall_max = shard_wall_max.max(*wall_us);
